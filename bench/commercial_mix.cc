@@ -1,0 +1,95 @@
+// The "commercial environment" end to end: a mixed closed-loop workload
+// (reads, writes, hot-key contention, variable fan-out) run under each
+// protocol and optimization bundle, summarizing outcomes, throughput,
+// latency, flows, and forced writes — the paper's whole argument in one
+// table.
+//
+// Usage: commercial_mix [txns]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/workload.h"
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace tpc;
+using harness::Cluster;
+using harness::NodeOptions;
+using harness::Workload;
+using harness::WorkloadOptions;
+using harness::WorkloadStats;
+
+struct Config {
+  std::string label;
+  tm::ProtocolKind protocol = tm::ProtocolKind::kPresumedAbort;
+  bool vote_reliable = false;
+  bool group_commit = false;
+};
+
+WorkloadStats RunConfig(const Config& config, uint64_t txns) {
+  Cluster cluster(/*seed=*/2026);
+  NodeOptions node_options;
+  node_options.tm.protocol = config.protocol;
+  node_options.tm.vote_reliable_opt = config.vote_reliable;
+  node_options.rm_options.reliable = config.vote_reliable;
+  if (config.group_commit) {
+    node_options.group_commit.enabled = true;
+    node_options.group_commit.group_size = 8;
+    node_options.group_commit.group_timeout = 2 * sim::kMillisecond;
+  }
+  WorkloadOptions options;
+  options.seed = 7;
+  options.servers = 4;
+  options.transactions = txns;
+  options.read_only_fraction = 0.4;  // commercial mixes read a lot
+  options.hot_key_fraction = 0.15;
+  Workload::BuildStandardCluster(&cluster, options, node_options);
+  Workload workload(&cluster, options);
+  return workload.Run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t txns = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 150;
+  std::printf(
+      "Commercial mix: %llu closed-loop transactions, 4 servers, 40%% "
+      "read-only,\n15%% hot-key writes, 1-3 participants each.\n\n",
+      static_cast<unsigned long long>(txns));
+
+  const Config configs[] = {
+      {"Basic 2PC", tm::ProtocolKind::kBasic2PC},
+      {"Presumed Abort", tm::ProtocolKind::kPresumedAbort},
+      {"Presumed Commit (ext)", tm::ProtocolKind::kPresumedCommit},
+      {"Presumed Nothing", tm::ProtocolKind::kPresumedNothing},
+      {"PA + vote reliable", tm::ProtocolKind::kPresumedAbort, true},
+      {"PA + group commit", tm::ProtocolKind::kPresumedAbort, false, true},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"configuration", "txn/s", "mean lat (ms)", "p99 (ms)",
+                  "flows", "forced", "aborted"});
+  for (const Config& config : configs) {
+    WorkloadStats stats = RunConfig(config, txns);
+    TPC_CHECK(stats.incomplete == 0);
+    rows.push_back(
+        {config.label, StringPrintf("%.0f", stats.Throughput()),
+         StringPrintf("%.1f", stats.commit_latency.Mean() / sim::kMillisecond),
+         StringPrintf("%.1f",
+                      stats.commit_latency.Percentile(99) / sim::kMillisecond),
+         StringPrintf("%llu", static_cast<unsigned long long>(stats.flows)),
+         StringPrintf("%llu", static_cast<unsigned long long>(stats.forced)),
+         StringPrintf("%llu",
+                      static_cast<unsigned long long>(stats.aborted))});
+  }
+  std::printf("%s", tpc::RenderTable(rows).c_str());
+  std::printf(
+      "\nShape check (paper §1): commit processing dominates transaction\n"
+      "time, so fewer flows and forces translate directly into latency\n"
+      "and throughput; the read-only optimization (on in every PA row)\n"
+      "keeps the 40%% read-only traffic nearly free.\n");
+  return 0;
+}

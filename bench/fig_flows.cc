@@ -1,0 +1,21 @@
+// Reproduces the paper's figures 1-8 as message-flow / log-write time
+// sequences captured from the simulation.
+//
+// Usage: fig_flows [figure]   (default: all eight)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/scenarios.h"
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    int figure = std::atoi(argv[1]);
+    std::printf("%s\n", tpc::harness::RunFigureScenario(figure).c_str());
+    return 0;
+  }
+  for (int figure = 1; figure <= 8; ++figure) {
+    std::printf("%s\n", tpc::harness::RunFigureScenario(figure).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Commit latency and lock-hold time versus network delay, per optimization
+// (Section 5's motivation: flows and forces translate into lock time,
+// which bounds concurrency). Includes the paper's "satellite link" case:
+// with one far-away partner, last agent turns two slow round trips into
+// one.
+//
+// Usage: latency_sweep
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "util/logging.h"
+#include "util/format.h"
+
+namespace {
+
+using namespace tpc;
+using harness::Cluster;
+using harness::NodeOptions;
+
+struct Config {
+  std::string label;
+  bool last_agent = false;
+  bool vote_reliable = false;
+  bool unsolicited = false;
+};
+
+// One coordinator, one near subordinate (1ms), one far subordinate
+// (configurable). Reports commit latency and the far node's lock hold.
+struct Sample {
+  sim::Time commit_latency;
+  double far_lock_hold_mean;
+};
+
+Sample RunOne(const Config& config, sim::Time far_latency) {
+  Cluster c;
+  NodeOptions options;
+  options.tm.protocol = tm::ProtocolKind::kPresumedAbort;
+  options.tm.last_agent_opt = config.last_agent;
+  options.tm.vote_reliable_opt = config.vote_reliable;
+  options.rm_options.reliable = config.vote_reliable;
+  c.AddNode("coord", options);
+  c.AddNode("near", options);
+  c.AddNode("far", options);
+  tm::SessionOptions far_session;
+  far_session.last_agent_candidate = config.last_agent;
+  c.Connect("coord", "near");
+  c.Connect("coord", "far", far_session, {});
+  c.network().SetLinkLatency("coord", "far", far_latency);
+
+  const bool unsolicited = config.unsolicited;
+  for (const std::string node : {"near", "far"}) {
+    c.tm(node).SetAppDataHandler(
+        [&c, node, unsolicited](uint64_t txn, const net::NodeId&,
+                                const std::string&) {
+          c.tm(node).Write(txn, 0, node + "_key", "v",
+                           [&c, node, txn, unsolicited](Status st) {
+            TPC_CHECK(st.ok());
+            if (unsolicited) c.tm(node).UnsolicitedPrepare(txn);
+          });
+        });
+  }
+
+  uint64_t txn = c.tm("coord").Begin();
+  c.tm("coord").Write(txn, 0, "k", "v", [](Status st) { TPC_CHECK(st.ok()); });
+  TPC_CHECK(c.tm("coord").SendWork(txn, "near").ok());
+  TPC_CHECK(c.tm("coord").SendWork(txn, "far").ok());
+  c.RunFor(sim::kSecond);  // the work phase: locks held from here
+
+  harness::DrivenCommit commit = c.CommitAndWait("coord", txn);
+  TPC_CHECK(commit.completed);
+  c.RunFor(30 * sim::kSecond);
+  // Flush implied acks (last agent) so locks settle.
+  uint64_t next_txn = c.tm("coord").Begin();
+  TPC_CHECK(c.tm("coord").SendWork(next_txn, "far").ok());
+  c.RunFor(30 * sim::kSecond);
+
+  Sample sample;
+  sample.commit_latency = commit.latency;
+  sample.far_lock_hold_mean = c.node("far").rm().locks().stats().hold_time.Mean();
+  return sample;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Commit latency and far-node lock-hold time vs. link delay to one\n"
+      "far partner (near partner fixed at 1ms; PA base protocol).\n\n");
+
+  const std::vector<Config> configs = {
+      {"PA baseline"},
+      {"PA + last agent (far is last agent)", /*last_agent=*/true},
+      {"PA + vote reliable", false, /*vote_reliable=*/true},
+      {"PA + unsolicited vote", false, false, /*unsolicited=*/true},
+  };
+
+  for (sim::Time far : {5 * sim::kMillisecond, 50 * sim::kMillisecond,
+                        300 * sim::kMillisecond /* satellite hop */}) {
+    std::printf("far-link one-way delay: %lldms\n",
+                static_cast<long long>(far / sim::kMillisecond));
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"configuration", "commit latency (ms)",
+                    "far lock hold (ms, incl. 1s work phase)"});
+    for (const auto& config : configs) {
+      Sample sample = RunOne(config, far);
+      rows.push_back(
+          {config.label,
+           StringPrintf("%.1f", static_cast<double>(sample.commit_latency) /
+                                    sim::kMillisecond),
+           StringPrintf("%.1f", sample.far_lock_hold_mean /
+                                    sim::kMillisecond)});
+    }
+    std::printf("%s\n", RenderTable(rows).c_str());
+  }
+  std::printf(
+      "Shape check (paper): with a slow far link, the last-agent\n"
+      "configuration wins — communication with the far partner collapses\n"
+      "to one slow round trip, so commit latency drops by roughly one\n"
+      "far-link round trip versus the baseline.\n");
+  return 0;
+}

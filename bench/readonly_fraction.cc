@@ -1,0 +1,115 @@
+// Read-only-dominated workloads (Section 4: "For an environment that is
+// dominated by read-only transactions this optimization provides enormous
+// savings"): total flows and forced writes as the read-only fraction of a
+// mixed transaction stream grows, with the read-only optimization on and
+// off.
+//
+// Usage: readonly_fraction [txns]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/cluster.h"
+#include "util/format.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace tpc;
+using harness::Cluster;
+using harness::NodeOptions;
+
+struct Totals {
+  uint64_t flows = 0;
+  uint64_t forced = 0;
+};
+
+Totals RunMix(bool read_only_opt, double ro_fraction, uint64_t txns,
+              uint64_t seed) {
+  Cluster c(seed);
+  Random rng(seed);
+  NodeOptions options;
+  options.tm.read_only_opt = read_only_opt;
+  c.AddNode("coord", options);
+  c.AddNode("s1", options);
+  c.AddNode("s2", options);
+  c.Connect("coord", "s1");
+  c.Connect("coord", "s2");
+  c.network().set_tracing(false);
+
+  // Per-transaction behavior is decided by the coordinator and shipped in
+  // the payload: "w" = write, "r" = read only.
+  for (const std::string node : {"s1", "s2"}) {
+    c.tm(node).SetAppDataHandler(
+        [&c, node](uint64_t txn, const net::NodeId&, const std::string& op) {
+          if (op == "w") {
+            c.tm(node).Write(txn, 0, "k" + std::to_string(txn), "v",
+                             [](Status st) { TPC_CHECK(st.ok()); });
+          } else {
+            c.tm(node).Read(txn, 0, "k", [](Result<std::string>) {});
+          }
+        });
+  }
+
+  Totals totals;
+  for (uint64_t i = 0; i < txns; ++i) {
+    const bool read_only = rng.Bernoulli(ro_fraction);
+    const std::string op = read_only ? "r" : "w";
+    uint64_t txn = c.tm("coord").Begin();
+    if (!read_only) {
+      c.tm("coord").Write(txn, 0, "c" + std::to_string(txn), "v",
+                          [](Status st) { TPC_CHECK(st.ok()); });
+    } else {
+      c.tm("coord").Read(txn, 0, "k", [](Result<std::string>) {});
+    }
+    TPC_CHECK(c.tm("coord").SendWork(txn, "s1", op).ok());
+    TPC_CHECK(c.tm("coord").SendWork(txn, "s2", op).ok());
+    c.RunFor(10 * sim::kMillisecond);
+    harness::DrivenCommit commit = c.CommitAndWait("coord", txn);
+    TPC_CHECK(commit.completed);
+    tm::TxnCost cost = c.TotalCost(txn);
+    totals.flows += cost.flows_sent;
+    totals.forced += cost.tm_log_forced;
+  }
+  return totals;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t txns = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  std::printf(
+      "Mixed workload (coordinator + 2 subordinates, %llu transactions):\n"
+      "totals with the read-only optimization OFF vs ON, as the fraction\n"
+      "of fully read-only transactions grows.\n\n",
+      static_cast<unsigned long long>(txns));
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"RO fraction", "flows (off)", "flows (on)", "forced (off)",
+                  "forced (on)", "savings"});
+  for (double fraction : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    Totals off = RunMix(false, fraction, txns, /*seed=*/7);
+    Totals on = RunMix(true, fraction, txns, /*seed=*/7);
+    double savings =
+        off.flows == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(on.flows + on.forced) /
+                                 static_cast<double>(off.flows + off.forced));
+    rows.push_back(
+        {tpc::StringPrintf("%.2f", fraction),
+         tpc::StringPrintf("%llu", static_cast<unsigned long long>(off.flows)),
+         tpc::StringPrintf("%llu", static_cast<unsigned long long>(on.flows)),
+         tpc::StringPrintf("%llu",
+                           static_cast<unsigned long long>(off.forced)),
+         tpc::StringPrintf("%llu", static_cast<unsigned long long>(on.forced)),
+         tpc::StringPrintf("%.0f%%", savings)});
+  }
+  std::printf("%s", tpc::RenderTable(rows).c_str());
+  std::printf(
+      "\nShape check (paper): the savings scale with the read-only\n"
+      "fraction, reaching 'enormous' (zero logging, one round trip) when\n"
+      "the environment is read-only dominated.\n");
+  return 0;
+}

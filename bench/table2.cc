@@ -1,0 +1,62 @@
+// Reproduces Table 2 of the paper: logging and network traffic of 2PC
+// optimizations for a two-participant transaction, per role.
+// Prints the paper's (reconstructed) analytic values next to the counts
+// measured from the simulation.
+
+#include <cstdio>
+
+#include "analysis/cost_model.h"
+#include "harness/scenarios.h"
+#include "util/format.h"
+
+int main() {
+  using tpc::analysis::Table2Expected;
+  using tpc::harness::RunTable2Scenarios;
+
+  std::printf("Table 2: logging and network traffic of 2PC optimizations\n");
+  std::printf("(two participants; cell = flows sent, log writes (forced))\n\n");
+
+  auto expected = Table2Expected();
+  auto measured = RunTable2Scenarios();
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"2PC variant", "coord flows (paper)", "coord logs (paper)",
+                  "sub flows (paper)", "sub logs (paper)", "match"});
+
+  bool all_match = true;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const auto& e = expected[i];
+    const auto& m = measured[i];
+    const bool match = e.coordinator == m.coordinator &&
+                       e.subordinate == m.subordinate;
+    all_match = all_match && match;
+    rows.push_back({
+        e.label,
+        tpc::StringPrintf("%llu (%llu)",
+                          static_cast<unsigned long long>(m.coordinator.flows),
+                          static_cast<unsigned long long>(e.coordinator.flows)),
+        tpc::StringPrintf(
+            "%llu,%lluf (%llu,%lluf)",
+            static_cast<unsigned long long>(m.coordinator.writes),
+            static_cast<unsigned long long>(m.coordinator.forced),
+            static_cast<unsigned long long>(e.coordinator.writes),
+            static_cast<unsigned long long>(e.coordinator.forced)),
+        tpc::StringPrintf("%llu (%llu)",
+                          static_cast<unsigned long long>(m.subordinate.flows),
+                          static_cast<unsigned long long>(e.subordinate.flows)),
+        tpc::StringPrintf(
+            "%llu,%lluf (%llu,%lluf)",
+            static_cast<unsigned long long>(m.subordinate.writes),
+            static_cast<unsigned long long>(m.subordinate.forced),
+            static_cast<unsigned long long>(e.subordinate.writes),
+            static_cast<unsigned long long>(e.subordinate.forced)),
+        match ? "yes" : "NO",
+    });
+  }
+
+  std::printf("%s", tpc::RenderTable(rows).c_str());
+  std::printf("\ncells: measured (paper). %s\n",
+              all_match ? "All rows match the paper's accounting."
+                        : "MISMATCH against the paper's accounting!");
+  return all_match ? 0 : 1;
+}

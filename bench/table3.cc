@@ -1,0 +1,57 @@
+// Reproduces Table 3 of the paper: logging and message costs for each
+// optimization in a transaction of n participants where m members follow
+// the optimization. Paper example: n = 11, m = 4.
+//
+// Usage: table3 [n] [m]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/cost_model.h"
+#include "harness/scenarios.h"
+#include "util/format.h"
+
+int main(int argc, char** argv) {
+  using namespace tpc;
+  using analysis::AllTable3Variants;
+  using analysis::CostTriplet;
+  using analysis::Table3Cost;
+  using analysis::Table3VariantName;
+
+  uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  uint64_t m = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+  if (n < 2 || m > n - 1) {
+    std::fprintf(stderr, "need n >= 2 and m <= n-1\n");
+    return 2;
+  }
+
+  std::printf("Table 3: logging and message costs (n = %llu, m = %llu)\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(m));
+  std::printf("triplet = (flows, log writes, forced writes)\n\n");
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"2PC type", "measured", "paper formula", "match"});
+
+  bool all_match = true;
+  for (auto variant : AllTable3Variants()) {
+    CostTriplet paper = Table3Cost(variant, n, m);
+    harness::ScenarioResult run = harness::RunTable3Scenario(variant, n, m);
+    const bool match = run.completed && run.measured == paper;
+    all_match = all_match && match;
+    auto fmt = [](const CostTriplet& t) {
+      return StringPrintf("%llu, %llu, %llu",
+                          static_cast<unsigned long long>(t.flows),
+                          static_cast<unsigned long long>(t.writes),
+                          static_cast<unsigned long long>(t.forced));
+    };
+    rows.push_back({std::string(Table3VariantName(variant)),
+                    fmt(run.measured), fmt(paper), match ? "yes" : "NO"});
+  }
+
+  std::printf("%s", RenderTable(rows).c_str());
+  std::printf("\n%s\n", all_match
+                            ? "All rows match the paper's formulas."
+                            : "MISMATCH against the paper's formulas!");
+  return all_match ? 0 : 1;
+}

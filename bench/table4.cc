@@ -1,0 +1,56 @@
+// Reproduces Table 4 of the paper: logging and message costs for the
+// long-locks optimization over r successive two-member transactions.
+// Paper example: r = 12.
+//
+// Usage: table4 [r]   (r must be even for the last-agent pairing)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/cost_model.h"
+#include "harness/scenarios.h"
+#include "util/format.h"
+
+int main(int argc, char** argv) {
+  using namespace tpc;
+  using analysis::CostTriplet;
+  using analysis::Table4Cost;
+  using analysis::Table4Variant;
+  using analysis::Table4VariantName;
+
+  uint64_t r = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 12;
+  if (r == 0 || r % 2 != 0) {
+    std::fprintf(stderr, "need even r > 0\n");
+    return 2;
+  }
+
+  std::printf("Table 4: long-locks costs over r = %llu transactions\n",
+              static_cast<unsigned long long>(r));
+  std::printf("triplet = (flows, log writes, forced writes)\n\n");
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"2PC type", "measured", "paper formula", "match"});
+
+  bool all_match = true;
+  for (auto variant : {Table4Variant::kBasic2PC, Table4Variant::kLongLocks,
+                       Table4Variant::kLongLocksLastAgent}) {
+    CostTriplet paper = Table4Cost(variant, r);
+    CostTriplet measured = harness::RunTable4Scenario(variant, r);
+    const bool match = measured == paper;
+    all_match = all_match && match;
+    auto fmt = [](const CostTriplet& t) {
+      return StringPrintf("%llu, %llu, %llu",
+                          static_cast<unsigned long long>(t.flows),
+                          static_cast<unsigned long long>(t.writes),
+                          static_cast<unsigned long long>(t.forced));
+    };
+    rows.push_back({std::string(Table4VariantName(variant)), fmt(measured),
+                    fmt(paper), match ? "yes" : "NO"});
+  }
+
+  std::printf("%s", RenderTable(rows).c_str());
+  std::printf("\n%s\n", all_match
+                            ? "All rows match the paper's formulas."
+                            : "MISMATCH against the paper's formulas!");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Throughput under lock contention: the paper's second claim for faster
+// commits — "by causing locks to be released sooner, reducing the wait
+// time of other transactions". A closed-loop stream of conflicting
+// transactions (every transaction updates the same hot key at the
+// subordinate) turns commit-path latency directly into throughput.
+//
+// Usage: throughput [txns]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/cluster.h"
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace tpc;
+using harness::Cluster;
+using harness::NodeOptions;
+
+struct Config {
+  std::string label;
+  tm::ProtocolKind protocol = tm::ProtocolKind::kPresumedAbort;
+  bool vote_reliable = false;
+  bool last_agent = false;
+  bool group_commit = false;
+};
+
+double RunStream(const Config& config, uint64_t txns) {
+  Cluster c;
+  NodeOptions options;
+  options.tm.protocol = config.protocol;
+  options.tm.vote_reliable_opt = config.vote_reliable;
+  options.rm_options.reliable = config.vote_reliable;
+  options.tm.last_agent_opt = config.last_agent;
+  if (config.group_commit) {
+    options.group_commit.enabled = true;
+    options.group_commit.group_size = 8;
+    options.group_commit.group_timeout = sim::kMillisecond;
+  }
+  c.AddNode("coord", options);
+  c.AddNode("sub", options);
+  tm::SessionOptions session;
+  session.last_agent_candidate = config.last_agent;
+  c.Connect("coord", "sub", session, {});
+  c.network().set_tracing(false);
+  c.tm("sub").SetAppDataHandler(
+      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+        // Hot key: every transaction conflicts with its predecessor.
+        c.tm("sub").Write(txn, 0, "hot", std::to_string(txn),
+                          [](Status st) { TPC_CHECK(st.ok()); });
+      });
+
+  const sim::Time start = c.ctx().now();
+  for (uint64_t i = 0; i < txns; ++i) {
+    uint64_t txn = c.tm("coord").Begin();
+    c.tm("coord").Write(txn, 0, "k", "v",
+                        [](Status st) { TPC_CHECK(st.ok()); });
+    TPC_CHECK(c.tm("coord").SendWork(txn, "sub").ok());
+    // Closed loop: each transaction runs to completion before the next
+    // begins (its lock wait would otherwise serialize them anyway).
+    harness::DrivenCommit commit = c.CommitAndWait("coord", txn);
+    TPC_CHECK(commit.completed);
+    TPC_CHECK(commit.result.outcome == tm::Outcome::kCommitted);
+  }
+  const double elapsed_s =
+      static_cast<double>(c.ctx().now() - start) / sim::kSecond;
+  return static_cast<double>(txns) / elapsed_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t txns = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  std::printf(
+      "Closed-loop throughput on a hot key (every transaction conflicts):\n"
+      "%llu transactions, 1ms links, 2ms log device.\n\n",
+      static_cast<unsigned long long>(txns));
+
+  const Config configs[] = {
+      {"Basic 2PC", tm::ProtocolKind::kBasic2PC},
+      {"Presumed Abort", tm::ProtocolKind::kPresumedAbort},
+      {"Presumed Commit (ext)", tm::ProtocolKind::kPresumedCommit},
+      {"Presumed Nothing", tm::ProtocolKind::kPresumedNothing},
+      {"PA + vote reliable", tm::ProtocolKind::kPresumedAbort, true},
+      {"PA + last agent", tm::ProtocolKind::kPresumedAbort, false, true},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"configuration", "throughput (txn/s, simulated)"});
+  for (const Config& config : configs) {
+    double tps = RunStream(config, txns);
+    rows.push_back({config.label, tpc::StringPrintf("%.0f", tps)});
+  }
+  std::printf("%s", tpc::RenderTable(rows).c_str());
+  std::printf(
+      "\nShape check (paper §1): a faster commit path shortens the hot\n"
+      "key's lock-hold window, which raises the whole stream's throughput\n"
+      "— fewer flows/forces means more transactions per second.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// End-of-day settlement between two banks — the application the paper cites
+// for the long-locks optimization ("banks that needed to reconcile their
+// accounts at the end of the day... a large number of short transactions
+// with small delays between them").
+//
+// Runs the same stream of settlement transactions three ways and compares
+// network flows:
+//   1. basic 2PC,
+//   2. presumed abort + long locks (acks ride the next transaction), and
+//   3. presumed abort + long locks + last agent (two transactions commit
+//      in three flows).
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/cost_model.h"
+#include "harness/cluster.h"
+#include "harness/scenarios.h"
+#include "util/logging.h"
+#include "util/format.h"
+
+using namespace tpc;
+
+namespace {
+
+constexpr uint64_t kSettlements = 40;  // even, for the last-agent pairing
+
+uint64_t RunStream(analysis::Table4Variant variant) {
+  // The Table 4 scenario *is* the settlement stream: two members, r short
+  // transactions, each moving one balance adjustment across.
+  analysis::CostTriplet cost =
+      harness::RunTable4Scenario(variant, kSettlements);
+  return cost.flows;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("End-of-day settlement: %llu transfer transactions between\n"
+              "bank A and bank B.\n\n",
+              static_cast<unsigned long long>(kSettlements));
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"protocol", "network flows", "flows per settlement"});
+  for (auto variant : {analysis::Table4Variant::kBasic2PC,
+                       analysis::Table4Variant::kLongLocks,
+                       analysis::Table4Variant::kLongLocksLastAgent}) {
+    uint64_t flows = RunStream(variant);
+    rows.push_back({std::string(analysis::Table4VariantName(variant)),
+                    StringPrintf("%llu", static_cast<unsigned long long>(flows)),
+                    StringPrintf("%.1f", static_cast<double>(flows) /
+                                             kSettlements)});
+  }
+  std::printf("%s", RenderTable(rows).c_str());
+
+  std::printf(
+      "\nWith long locks the commit acknowledgment is packaged into the\n"
+      "next settlement's first data packet (4 -> 3 flows); adding the\n"
+      "last-agent optimization and alternating initiators commits two\n"
+      "settlements in three flows (1.5 per transaction), exactly the\n"
+      "paper's Table 4.\n");
+
+  // Show the actual money movement is still correct under the most
+  // aggressive configuration: run a few hand-driven settlements and check
+  // the balances.
+  harness::Cluster c;
+  harness::NodeOptions options;
+  options.tm.protocol = tm::ProtocolKind::kPresumedAbort;
+  c.AddNode("bankA", options);
+  c.AddNode("bankB", options);
+  c.Connect("bankA", "bankB", {.long_locks = true}, {});
+
+  int balance_a = 1000;
+  int balance_b = 1000;
+  c.tm("bankB").SetAppDataHandler(
+      [&](uint64_t txn, const net::NodeId&, const std::string& amount) {
+        balance_b += std::stoi(amount);
+        c.tm("bankB").Write(txn, 0, "balance", std::to_string(balance_b),
+                            [](Status st) { TPC_CHECK(st.ok()); });
+      });
+
+  for (int i = 0; i < 5; ++i) {
+    uint64_t txn = c.tm("bankA").Begin();
+    balance_a -= 10;
+    c.tm("bankA").Write(txn, 0, "balance", std::to_string(balance_a),
+                        [](Status st) { TPC_CHECK(st.ok()); });
+    TPC_CHECK(c.tm("bankA").SendWork(txn, "bankB", "10").ok());
+    c.RunFor(100 * sim::kMillisecond);
+    auto commit = c.StartCommit("bankA", txn);
+    c.RunFor(100 * sim::kMillisecond);
+    // bankB opens the next settlement; its data carries the buffered ack.
+    uint64_t handshake = c.tm("bankB").Begin();
+    TPC_CHECK(c.tm("bankB").SendWork(handshake, "bankA").ok());
+    c.RunFor(100 * sim::kMillisecond);
+    TPC_CHECK(commit->completed);
+    TPC_CHECK(commit->result.outcome == tm::Outcome::kCommitted);
+  }
+  c.RunFor(sim::kSecond);
+  std::printf(
+      "\nAfter 5 transfers of 10 under long locks:\n"
+      "  bank A balance: %s (expected 950)\n"
+      "  bank B balance: %s (expected 1050)\n",
+      c.node("bankA").rm().Peek("balance").value_or("?").c_str(),
+      c.node("bankB").rm().Peek("balance").value_or("?").c_str());
+  return 0;
+}

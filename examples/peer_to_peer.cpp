@@ -1,0 +1,116 @@
+// Peer-to-peer sync point processing — the LU 6.2 environment Presumed
+// Nothing was designed for. Unlike client-server 2PC:
+//
+//   * any participant can initiate the commit, and the coordinator can
+//     change from one transaction to the next;
+//   * a server can declare OK_TO_LEAVE_OUT and be skipped entirely by
+//     transactions that do not touch it;
+//   * two peers initiating commit for the same transaction is an error the
+//     protocol detects and turns into a consistent abort.
+
+#include <cstdio>
+
+#include "harness/cluster.h"
+#include "util/logging.h"
+
+using namespace tpc;
+
+namespace {
+
+void Writer(harness::Cluster& c, const std::string& node) {
+  c.tm(node).SetAppDataHandler(
+      [&c, node](uint64_t txn, const net::NodeId&, const std::string&) {
+        c.tm(node).Write(txn, 0, node + ":data", "v",
+                         [](Status st) { TPC_CHECK(st.ok()); });
+      });
+}
+
+}  // namespace
+
+int main() {
+  harness::NodeOptions options;
+  options.tm.protocol = tm::ProtocolKind::kPresumedNothing;
+  options.tm.include_idle_sessions = true;
+  options.tm.leave_out_opt = true;
+  options.tm.ok_to_leave_out = true;
+  options.rm_options.ok_to_leave_out = true;
+
+  harness::Cluster c;
+  c.AddNode("alpha", options);
+  c.AddNode("beta", options);
+  c.AddNode("archive", options);  // a suspendable server
+  c.Connect("alpha", "beta");
+  c.Connect("alpha", "archive");
+  Writer(c, "beta");
+  Writer(c, "archive");
+
+  // --- Transaction 1: alpha coordinates; everyone participates -------------
+  uint64_t txn1 = c.tm("alpha").Begin();
+  c.tm("alpha").Write(txn1, 0, "alpha:data", "v",
+                      [](Status st) { TPC_CHECK(st.ok()); });
+  TPC_CHECK(c.tm("alpha").SendWork(txn1, "beta").ok());
+  TPC_CHECK(c.tm("alpha").SendWork(txn1, "archive").ok());
+  c.RunFor(sim::kSecond);
+  auto commit1 = c.CommitAndWait("alpha", txn1);
+  c.RunFor(sim::kSecond);
+  std::printf("txn1 (alpha coordinates, all three): %s; archive voted "
+              "OK_TO_LEAVE_OUT and is now suspended\n",
+              std::string(tm::OutcomeToString(commit1.result.outcome)).c_str());
+
+  // --- Transaction 2: beta coordinates this time; archive untouched --------
+  // Peer-to-peer: the coordinator role moved from alpha to beta.
+  uint64_t txn2 = c.tm("beta").Begin();
+  c.tm("beta").Write(txn2, 0, "beta:data", "v2",
+                     [](Status st) { TPC_CHECK(st.ok()); });
+  TPC_CHECK(c.tm("beta").SendWork(txn2, "alpha").ok());
+  c.tm("alpha").SetAppDataHandler(
+      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+        c.tm("alpha").Write(txn, 0, "alpha:data", "v2",
+                            [](Status st) { TPC_CHECK(st.ok()); });
+      });
+  c.RunFor(sim::kSecond);
+  auto commit2 = c.CommitAndWait("beta", txn2);
+  c.RunFor(sim::kSecond);
+  std::printf("txn2 (beta coordinates, archive left out): %s; archive cost: "
+              "%llu flows, %llu log writes\n",
+              std::string(tm::OutcomeToString(commit2.result.outcome)).c_str(),
+              static_cast<unsigned long long>(
+                  c.tm("archive").CostOf(txn2).flows_sent),
+              static_cast<unsigned long long>(
+                  c.tm("archive").CostOf(txn2).tm_log_writes));
+
+  // --- Transaction 3: data reaches the archive again: it rejoins -----------
+  uint64_t txn3 = c.tm("alpha").Begin();
+  TPC_CHECK(c.tm("alpha").SendWork(txn3, "archive").ok());
+  c.RunFor(sim::kSecond);
+  auto commit3 = c.CommitAndWait("alpha", txn3);
+  c.RunFor(sim::kSecond);
+  std::printf("txn3 (archive touched again): %s; archive cost: %llu flows\n",
+              std::string(tm::OutcomeToString(commit3.result.outcome)).c_str(),
+              static_cast<unsigned long long>(
+                  c.tm("archive").CostOf(txn3).flows_sent));
+
+  // --- Transaction 4: two initiators — the error case ----------------------
+  uint64_t txn4 = c.tm("alpha").Begin();
+  c.tm("alpha").Write(txn4, 0, "alpha:data", "v4",
+                      [](Status st) { TPC_CHECK(st.ok()); });
+  TPC_CHECK(c.tm("alpha").SendWork(txn4, "beta").ok());
+  c.RunFor(sim::kSecond);
+  bool alpha_done = false, beta_done = false;
+  tm::CommitResult alpha_result, beta_result;
+  c.tm("alpha").Commit(txn4, [&](tm::CommitResult r) {
+    alpha_done = true;
+    alpha_result = r;
+  });
+  c.tm("beta").Commit(txn4, [&](tm::CommitResult r) {
+    beta_done = true;
+    beta_result = r;
+  });
+  c.RunFor(60 * sim::kSecond);
+  std::printf("txn4 (both peers initiated commit): alpha=%s beta=%s — "
+              "consistent %s\n",
+              std::string(tm::OutcomeToString(alpha_result.outcome)).c_str(),
+              std::string(tm::OutcomeToString(beta_result.outcome)).c_str(),
+              c.Audit(txn4).consistent ? "abort" : "DIVERGENCE!");
+  return 0;
+}

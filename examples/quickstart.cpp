@@ -1,0 +1,74 @@
+// Quickstart: build a three-node cluster, run one distributed transaction
+// through presumed-abort two-phase commit, and inspect what happened.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "harness/cluster.h"
+#include "util/logging.h"
+
+using namespace tpc;
+
+int main() {
+  // A cluster is a deterministic simulation: nodes, a network, and a clock.
+  harness::Cluster cluster(/*seed=*/42);
+
+  // Every node gets a transaction manager, a write-ahead log, and one
+  // key-value resource manager by default.
+  harness::NodeOptions options;
+  options.tm.protocol = tm::ProtocolKind::kPresumedAbort;
+  cluster.AddNode("app", options);     // the commit coordinator
+  cluster.AddNode("orders", options);  // a database server
+  cluster.AddNode("stock", options);   // another database server
+  cluster.Connect("app", "orders");
+  cluster.Connect("app", "stock");
+
+  // Servers do work when application data reaches them.
+  cluster.tm("orders").SetAppDataHandler(
+      [&](uint64_t txn, const net::NodeId&, const std::string& data) {
+        cluster.tm("orders").Write(txn, 0, "order:1001", data,
+                                   [](Status st) { TPC_CHECK(st.ok()); });
+      });
+  cluster.tm("stock").SetAppDataHandler(
+      [&](uint64_t txn, const net::NodeId&, const std::string&) {
+        cluster.tm("stock").Write(txn, 0, "widget:count", "41",
+                                  [](Status st) { TPC_CHECK(st.ok()); });
+      });
+
+  // One distributed transaction: the app updates both servers...
+  uint64_t txn = cluster.tm("app").Begin();
+  TPC_CHECK(cluster.tm("app").SendWork(txn, "orders", "1 widget").ok());
+  TPC_CHECK(cluster.tm("app").SendWork(txn, "stock").ok());
+  cluster.RunFor(sim::kSecond);
+
+  // ...and commits. CommitAndWait drives the simulated event loop until
+  // the commit callback fires.
+  harness::DrivenCommit commit = cluster.CommitAndWait("app", txn);
+  cluster.RunFor(sim::kSecond);
+
+  std::printf("outcome:        %s\n",
+              std::string(tm::OutcomeToString(commit.result.outcome)).c_str());
+  std::printf("commit latency: %lld us (simulated)\n",
+              static_cast<long long>(commit.latency));
+  std::printf("order row:      %s\n",
+              cluster.node("orders").rm().Peek("order:1001").value_or("?").c_str());
+  std::printf("stock row:      %s\n",
+              cluster.node("stock").rm().Peek("widget:count").value_or("?").c_str());
+
+  // Cost accounting — the quantities the paper analyzes.
+  tm::TxnCost total = cluster.TotalCost(txn);
+  std::printf("total flows:    %llu network messages\n",
+              static_cast<unsigned long long>(total.flows_sent));
+  std::printf("TM log writes:  %llu (%llu forced)\n",
+              static_cast<unsigned long long>(total.tm_log_writes),
+              static_cast<unsigned long long>(total.tm_log_forced));
+
+  // The full message/log trace for the transaction:
+  std::printf("\ntrace:\n%s", cluster.ctx().trace().Render(txn).c_str());
+
+  // And the cluster-wide operational metrics.
+  std::printf("\nmetrics:\n%s", cluster.ReportMetrics().c_str());
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "analysis/cost_model.h"
+
+#include "util/logging.h"
+
+namespace tpc::analysis {
+
+std::string_view Table3VariantName(Table3Variant variant) {
+  switch (variant) {
+    case Table3Variant::kBasic2PC: return "Basic 2PC";
+    case Table3Variant::kPaReadOnly: return "PA & Read Only";
+    case Table3Variant::kPaLastAgent: return "PA & Last Agent";
+    case Table3Variant::kPaUnsolicitedVote: return "PA & Unsolicited Vote";
+    case Table3Variant::kPaLeaveOut: return "PA & Leave-Out";
+    case Table3Variant::kPaVoteReliable: return "PA & Vote Reliable";
+    case Table3Variant::kPaWaitForOutcome: return "PA & Wait For Outcome";
+    case Table3Variant::kPaSharedLogs: return "PA & Shared Logs";
+    case Table3Variant::kPaLongLocks: return "PA & Long Locks";
+  }
+  return "?";
+}
+
+std::vector<Table3Variant> AllTable3Variants() {
+  return {Table3Variant::kBasic2PC,        Table3Variant::kPaReadOnly,
+          Table3Variant::kPaLastAgent,     Table3Variant::kPaUnsolicitedVote,
+          Table3Variant::kPaLeaveOut,      Table3Variant::kPaVoteReliable,
+          Table3Variant::kPaWaitForOutcome, Table3Variant::kPaSharedLogs,
+          Table3Variant::kPaLongLocks};
+}
+
+CostTriplet Table3Cost(Table3Variant variant, uint64_t n, uint64_t m) {
+  TPC_CHECK(n >= 1);
+  TPC_CHECK(m <= n - 1);  // the coordinator itself is not an "m member"
+  CostTriplet base;
+  base.flows = 4 * (n - 1);
+  base.writes = 3 * n - 1;
+  base.forced = 2 * n - 1;
+  switch (variant) {
+    case Table3Variant::kBasic2PC:
+      return base;
+    case Table3Variant::kPaReadOnly:
+      // An RO member skips the decision/ack flows and all three of its log
+      // writes (two of them forced).
+      return {base.flows - 2 * m, base.writes - 3 * m, base.forced - 2 * m};
+    case Table3Variant::kPaLastAgent:
+      // Prepare+vote collapse into the single YES-vote flow, and the ack is
+      // implied: two flows saved per last agent; logging unchanged.
+      return {base.flows - 2 * m, base.writes, base.forced};
+    case Table3Variant::kPaUnsolicitedVote:
+      // The Prepare flow disappears (the vote arrives on its own).
+      return {base.flows - m, base.writes, base.forced};
+    case Table3Variant::kPaLeaveOut:
+      // A left-out member exchanges nothing and logs nothing.
+      return {base.flows - 4 * m, base.writes - 3 * m, base.forced - 2 * m};
+    case Table3Variant::kPaVoteReliable:
+      // The explicit ack becomes an implied one.
+      return {base.flows - m, base.writes, base.forced};
+    case Table3Variant::kPaWaitForOutcome:
+      // Normal-case costs are unchanged; the benefit is in failure cases.
+      return base;
+    case Table3Variant::kPaSharedLogs:
+      // The member's prepared and committed records ride the shared log's
+      // forces: two forced writes per member become non-forced.
+      return {base.flows, base.writes, base.forced - 2 * m};
+    case Table3Variant::kPaLongLocks:
+      // The ack piggybacks on the next transaction's first data message.
+      return {base.flows - m, base.writes, base.forced};
+  }
+  return base;
+}
+
+std::vector<Table2Row> Table2Expected() {
+  // See DESIGN.md section 3 for the reconstruction of this table from the
+  // paper's prose (the printed table has OCR noise).
+  return {
+      {"Basic 2PC", {2, 2, 1}, {2, 3, 2}},
+      {"PN", {2, 3, 2}, {2, 4, 3}},
+      {"PA, commit", {2, 2, 1}, {2, 3, 2}},
+      {"PA, abort (NO vote)", {2, 0, 0}, {1, 0, 0}},
+      {"PA, read-only", {1, 0, 0}, {1, 0, 0}},
+      {"PA & last agent", {1, 3, 2}, {1, 2, 1}},
+      {"PA & unsolicited vote", {1, 2, 1}, {2, 3, 2}},
+      {"PA & leave-out", {0, 0, 0}, {0, 0, 0}},
+      {"PA & vote reliable", {2, 2, 1}, {1, 3, 2}},
+      {"PA & wait for outcome", {2, 2, 1}, {2, 3, 2}},
+      {"PA & shared log", {2, 2, 1}, {2, 3, 0}},
+  };
+}
+
+std::string_view Table4VariantName(Table4Variant variant) {
+  switch (variant) {
+    case Table4Variant::kBasic2PC: return "Basic 2PC";
+    case Table4Variant::kLongLocks: return "PA & Long Locks (not last agent)";
+    case Table4Variant::kLongLocksLastAgent:
+      return "PA & Long Locks (last agent)";
+  }
+  return "?";
+}
+
+CostTriplet Table4Cost(Table4Variant variant, uint64_t r) {
+  // Two members per transaction: the baseline costs 4 flows, 5 writes
+  // (2 coordinator + 3 subordinate), 3 forced (1 + 2) per transaction.
+  switch (variant) {
+    case Table4Variant::kBasic2PC:
+      return {4 * r, 5 * r, 3 * r};
+    case Table4Variant::kLongLocks:
+      // The ack piggybacks on the next transaction's data: 3 flows each.
+      return {3 * r, 5 * r, 3 * r};
+    case Table4Variant::kLongLocksLastAgent:
+      // Two transactions commit in three flows (vote-yes / commit+vote-yes /
+      // commit), per the paper.
+      return {3 * r / 2, 5 * r, 3 * r};
+  }
+  return {};
+}
+
+double GroupCommitExpectedForces(uint64_t n, uint64_t group_size,
+                                 uint64_t forces_per_txn) {
+  if (group_size == 0) group_size = 1;
+  return static_cast<double>(n * forces_per_txn) /
+         static_cast<double>(group_size);
+}
+
+}  // namespace tpc::analysis

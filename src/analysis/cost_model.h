@@ -1,0 +1,88 @@
+// Closed-form cost formulas from the paper's Section 4/5 analysis.
+//
+// The benches that reproduce Tables 2-4 print these analytic values next to
+// the counts measured from the simulation, so any divergence between the
+// implementation and the paper's accounting is immediately visible.
+
+#ifndef TPC_ANALYSIS_COST_MODEL_H_
+#define TPC_ANALYSIS_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpc::analysis {
+
+/// Total (flows, log writes, forced writes) — the triplet of Tables 3 and 4.
+struct CostTriplet {
+  uint64_t flows = 0;
+  uint64_t writes = 0;
+  uint64_t forced = 0;
+
+  bool operator==(const CostTriplet&) const = default;
+};
+
+/// The protocol variants analyzed by Table 3 (n participants, m of them
+/// using the optimization).
+enum class Table3Variant {
+  kBasic2PC,
+  kPaReadOnly,
+  kPaLastAgent,
+  kPaUnsolicitedVote,
+  kPaLeaveOut,
+  kPaVoteReliable,
+  kPaWaitForOutcome,
+  kPaSharedLogs,
+  kPaLongLocks,
+};
+
+std::string_view Table3VariantName(Table3Variant variant);
+
+/// All Table 3 variants in the paper's row order.
+std::vector<Table3Variant> AllTable3Variants();
+
+/// Paper formulas: basic 2PC costs 4(n-1) flows, 3n-1 writes, 2n-1 forced;
+/// each optimization subtracts its per-member savings for the m members
+/// that use it.
+CostTriplet Table3Cost(Table3Variant variant, uint64_t n, uint64_t m);
+
+/// Per-role cost of a two-participant transaction (Table 2): messages the
+/// role sends, and its log writes (total, forced).
+struct RoleCost {
+  uint64_t flows = 0;
+  uint64_t writes = 0;
+  uint64_t forced = 0;
+
+  bool operator==(const RoleCost&) const = default;
+};
+
+/// One Table 2 row.
+struct Table2Row {
+  std::string label;
+  RoleCost coordinator;
+  RoleCost subordinate;
+};
+
+/// The reconstructed Table 2 (see DESIGN.md for the reconstruction notes).
+std::vector<Table2Row> Table2Expected();
+
+/// Table 4: long-locks cost over r successive two-member transactions.
+enum class Table4Variant {
+  kBasic2PC,
+  kLongLocks,           ///< PA + long locks, not last agent: 3r flows
+  kLongLocksLastAgent,  ///< PA + long locks + last agent: 3r/2 flows
+};
+
+std::string_view Table4VariantName(Table4Variant variant);
+
+CostTriplet Table4Cost(Table4Variant variant, uint64_t r);
+
+/// Group commit (Section 4): expected physical forces for n transactions
+/// with group size m, assuming saturating arrivals (each transaction issues
+/// three forces in the two-participant configuration; batching divides).
+double GroupCommitExpectedForces(uint64_t n, uint64_t group_size,
+                                 uint64_t forces_per_txn = 3);
+
+}  // namespace tpc::analysis
+
+#endif  // TPC_ANALYSIS_COST_MODEL_H_

@@ -1,0 +1,231 @@
+#include "harness/cluster.h"
+
+#include <utility>
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace tpc::harness {
+
+Node::Node(sim::SimContext* ctx, net::Network* network, std::string name,
+           const NodeOptions& options, wal::LogManager* host_log)
+    : name_(std::move(name)) {
+  if (host_log != nullptr) {
+    log_ = host_log;
+  } else {
+    owned_log_ = std::make_unique<wal::LogManager>(ctx, name_,
+                                                   options.log_force_latency);
+    owned_log_->set_group_commit(options.group_commit);
+    log_ = owned_log_.get();
+  }
+  for (size_t i = 0; i < options.num_rms; ++i) {
+    rms_.push_back(std::make_unique<rm::KVResourceManager>(
+        ctx, StringPrintf("%s.rm%zu", name_.c_str(), i), log_,
+        options.rm_options));
+  }
+  tm::TmConfig tm_config = options.tm;
+  tm_config.shared_log_with_host = host_log != nullptr;
+  tm_ = std::make_unique<tm::TransactionManager>(ctx, network, log_, name_,
+                                                 tm_config);
+  for (auto& rm : rms_) tm_->AttachRm(rm.get());
+}
+
+void Node::Crash() {
+  tm_->Crash();
+  for (auto& rm : rms_) rm->Crash();
+  if (owned_log_) owned_log_->Crash();
+}
+
+void Node::Restart() { tm_->Restart(); }
+
+Status Node::Checkpoint(std::function<void()> done) {
+  if (!owns_log())
+    return Status::FailedPrecondition(name_ + " shares another node's log");
+  if (tm_->ActiveTxnCount() > 0)
+    return Status::FailedPrecondition(name_ + " has transactions in flight");
+  for (auto& rm : rms_) {
+    if (rm->ActiveCount() > 0)
+      return Status::FailedPrecondition(rm->name() + " has live state");
+  }
+  // Snapshot every RM; when all snapshots are durable, truncate everything
+  // before the first one.
+  struct CheckpointState {
+    size_t outstanding;
+    wal::Lsn first_lsn = wal::kInvalidLsn;
+    std::function<void()> done;
+  };
+  auto state = std::make_shared<CheckpointState>();
+  state->outstanding = rms_.size();
+  state->done = std::move(done);
+  wal::LogManager* log = log_;
+  if (rms_.empty()) {
+    log->DiscardPrefix(log->durable_lsn());
+    if (state->done) state->done();
+    return Status::OK();
+  }
+  for (auto& rm : rms_) {
+    Status st = rm->Checkpoint([state, log](wal::Lsn lsn) {
+      if (lsn < state->first_lsn) state->first_lsn = lsn;
+      if (--state->outstanding == 0) {
+        log->DiscardPrefix(state->first_lsn);
+        if (state->done) state->done();
+      }
+    });
+    TPC_CHECK_OK(st);  // preconditions verified above
+  }
+  return Status::OK();
+}
+
+Cluster::Cluster(uint64_t seed) : ctx_(seed), network_(&ctx_) {}
+
+Node& Cluster::AddNode(const std::string& name, const NodeOptions& options) {
+  TPC_CHECK(nodes_.find(name) == nodes_.end());
+  wal::LogManager* host_log = nullptr;
+  if (!options.shared_log_host.empty()) {
+    host_log = &node(options.shared_log_host).log();
+  }
+  auto n = std::make_unique<Node>(&ctx_, &network_, name, options, host_log);
+  Node* raw = n.get();
+  nodes_.emplace(name, std::move(n));
+  ctx_.failures().RegisterNode(name, [raw] { raw->Crash(); });
+  return *raw;
+}
+
+void Cluster::Connect(const std::string& a, const std::string& b,
+                      tm::SessionOptions a_options,
+                      tm::SessionOptions b_options) {
+  node(a).tm().Connect(b, a_options);
+  node(b).tm().Connect(a, b_options);
+}
+
+Node& Cluster::node(const std::string& name) {
+  auto it = nodes_.find(name);
+  TPC_CHECK(it != nodes_.end());
+  return *it->second;
+}
+
+uint64_t Cluster::Drain(uint64_t max_events) {
+  return ctx_.events().Run(max_events);
+}
+
+void Cluster::RunFor(sim::Time duration) {
+  ctx_.events().RunUntil(ctx_.now() + duration);
+}
+
+std::shared_ptr<DrivenCommit> Cluster::StartCommit(
+    const std::string& node_name, uint64_t txn) {
+  auto state = std::make_shared<DrivenCommit>();
+  const sim::Time start = ctx_.now();
+  tm(node_name).Commit(txn, [state, start, this](tm::CommitResult result) {
+    state->completed = true;
+    state->result = result;
+    state->latency = ctx_.now() - start;
+  });
+  return state;
+}
+
+DrivenCommit Cluster::CommitAndWait(const std::string& node_name, uint64_t txn,
+                                    sim::Time timeout) {
+  const sim::Time start = ctx_.now();
+  const sim::Time deadline = start + timeout;
+  std::shared_ptr<DrivenCommit> state = StartCommit(node_name, txn);
+  while (!state->completed && ctx_.now() <= deadline) {
+    if (!ctx_.events().Step()) break;
+  }
+  if (!state->completed) state->latency = ctx_.now() - start;
+  return *state;
+}
+
+TxnAudit Cluster::Audit(uint64_t txn) const {
+  TxnAudit audit;
+  std::vector<tm::Outcome> outcomes;
+  for (const auto& [name, n] : nodes_) {
+    tm::TxnView view = n->tm().View(txn);  // NOLINT: tm() is non-const
+    if (view.outcome == tm::Outcome::kUnknown ||
+        view.outcome == tm::Outcome::kActive ||
+        view.outcome == tm::Outcome::kReadOnly) {
+      // Read-only voters have no effects; they cannot diverge.
+      continue;
+    }
+    ++audit.participants;
+    outcomes.push_back(view.outcome);
+    if (tm::IsHeuristic(view.outcome)) audit.any_heuristic = true;
+    if (view.outcome == tm::Outcome::kInDoubt) audit.any_in_doubt = true;
+  }
+  if (audit.any_in_doubt) {
+    audit.consistent = false;
+    return audit;
+  }
+  bool any_commit = false;
+  bool any_abort = false;
+  for (tm::Outcome o : outcomes) {
+    if (tm::CommittedEffects(o)) {
+      any_commit = true;
+    } else {
+      any_abort = true;
+    }
+  }
+  if (any_commit && any_abort) {
+    audit.consistent = false;
+    audit.damage_ground_truth = true;
+  }
+  return audit;
+}
+
+tm::TxnCost Cluster::TotalCost(uint64_t txn) const {
+  tm::TxnCost total;
+  for (const auto& [name, n] : nodes_) {
+    tm::TxnCost cost = n->tm().CostOf(txn);
+    total.flows_sent += cost.flows_sent;
+    total.tm_log_writes += cost.tm_log_writes;
+    total.tm_log_forced += cost.tm_log_forced;
+  }
+  return total;
+}
+
+std::string Cluster::ReportMetrics() const {
+  std::string out;
+  const net::NetworkStats& net_stats = network_.stats();
+  StringAppendF(&out,
+                "network: %llu sent, %llu delivered, %llu dropped, "
+                "%llu bytes\n",
+                static_cast<unsigned long long>(net_stats.messages_sent),
+                static_cast<unsigned long long>(net_stats.messages_delivered),
+                static_cast<unsigned long long>(net_stats.messages_dropped),
+                static_cast<unsigned long long>(net_stats.bytes_sent));
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"node", "log writes", "forced", "device forces",
+                  "lock acquisitions", "lock waits", "mean hold (ms)"});
+  for (const auto& [name, n] : nodes_) {
+    const wal::LogWriteStats& log_stats = n->log().stats();
+    lock::LockStats lock_totals;
+    double hold_sum = 0;
+    uint64_t hold_count = 0;
+    for (size_t i = 0; i < n->rm_count(); ++i) {
+      const lock::LockStats& stats = n->rm(i).locks().stats();
+      lock_totals.acquisitions += stats.acquisitions;
+      lock_totals.waits += stats.waits;
+      hold_sum += stats.hold_time.sum();
+      hold_count += stats.hold_time.count();
+    }
+    const double mean_hold_ms =
+        hold_count == 0 ? 0.0
+                        : hold_sum / static_cast<double>(hold_count) /
+                              static_cast<double>(sim::kMillisecond);
+    rows.push_back(
+        {name,
+         StringPrintf("%llu", static_cast<unsigned long long>(log_stats.writes)),
+         StringPrintf("%llu",
+                      static_cast<unsigned long long>(log_stats.forced_writes)),
+         StringPrintf("%llu", static_cast<unsigned long long>(
+                                  n->owns_log() ? n->log().device_forces() : 0)),
+         StringPrintf("%llu",
+                      static_cast<unsigned long long>(lock_totals.acquisitions)),
+         StringPrintf("%llu", static_cast<unsigned long long>(lock_totals.waits)),
+         StringPrintf("%.2f", mean_hold_ms)});
+  }
+  out += RenderTable(rows);
+  return out;
+}
+
+}  // namespace tpc::harness

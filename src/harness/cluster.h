@@ -1,0 +1,151 @@
+// Cluster harness: assembles simulated nodes (TM + WAL + RMs + network
+// port), drives transactions to completion, and audits cluster-wide
+// consistency. Tests, benches, and examples all build on this.
+
+#ifndef TPC_HARNESS_CLUSTER_H_
+#define TPC_HARNESS_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "rm/kv_resource_manager.h"
+#include "sim/sim_context.h"
+#include "tm/transaction_manager.h"
+#include "wal/log_manager.h"
+
+namespace tpc::harness {
+
+/// Per-node construction options.
+struct NodeOptions {
+  tm::TmConfig tm;
+  size_t num_rms = 1;
+  rm::KVOptions rm_options;
+  /// Log device service time per physical force.
+  sim::Time log_force_latency = 2 * sim::kMillisecond;
+  wal::GroupCommitOptions group_commit;
+  /// Non-empty: this node appends to the named host node's log instead of
+  /// owning one (the shared-logs configuration). The host must exist.
+  std::string shared_log_host;
+};
+
+/// One simulated machine.
+class Node {
+ public:
+  Node(sim::SimContext* ctx, net::Network* network, std::string name,
+       const NodeOptions& options, wal::LogManager* host_log);
+
+  const std::string& name() const { return name_; }
+  tm::TransactionManager& tm() { return *tm_; }
+  wal::LogManager& log() { return *log_; }
+  rm::KVResourceManager& rm(size_t index = 0) { return *rms_.at(index); }
+  size_t rm_count() const { return rms_.size(); }
+  bool owns_log() const { return owned_log_ != nullptr; }
+
+  /// Whole-machine crash: TM, RMs, and (if owned) the log lose volatile
+  /// state.
+  void Crash();
+
+  /// Quiescent checkpoint: snapshots every RM into the log and truncates
+  /// the durable prefix that is no longer needed for recovery. Refuses
+  /// (FailedPrecondition) while the TM tracks any transaction or an RM has
+  /// live state; only log-owning nodes may checkpoint. `done` runs once
+  /// every snapshot is durable and the log is truncated. Note: truncation
+  /// also drops the archived verdicts of pre-checkpoint transactions, so a
+  /// later restart answers inquiries about them by presumption only.
+  Status Checkpoint(std::function<void()> done);
+
+  /// Restart and run log-driven recovery.
+  void Restart();
+
+ private:
+  std::string name_;
+  std::unique_ptr<wal::LogManager> owned_log_;  // null when sharing
+  wal::LogManager* log_;
+  std::vector<std::unique_ptr<rm::KVResourceManager>> rms_;
+  std::unique_ptr<tm::TransactionManager> tm_;
+};
+
+/// Result of driving a commit through the event loop.
+struct DrivenCommit {
+  bool completed = false;  ///< the commit callback fired
+  tm::CommitResult result;
+  sim::Time latency = 0;  ///< commit call -> callback, simulated time
+};
+
+/// Cluster-wide ground truth for one transaction.
+struct TxnAudit {
+  /// Every participant with a recorded outcome has the same effects
+  /// (commit everywhere or abort everywhere). In-doubt nodes make this
+  /// false (undecided), as do heuristic mismatches.
+  bool consistent = true;
+  /// Some participant's effects disagree with the root's outcome (the
+  /// definition of heuristic damage).
+  bool damage_ground_truth = false;
+  bool any_heuristic = false;
+  bool any_in_doubt = false;
+  size_t participants = 0;
+};
+
+/// The simulated cluster.
+class Cluster {
+ public:
+  explicit Cluster(uint64_t seed = 42);
+
+  sim::SimContext& ctx() { return ctx_; }
+  net::Network& network() { return network_; }
+
+  /// Adds a node. Nodes sharing a log must be added after their host.
+  Node& AddNode(const std::string& name, const NodeOptions& options = {});
+
+  /// Declares a session between two nodes (both directions).
+  void Connect(const std::string& a, const std::string& b,
+               tm::SessionOptions a_options = {},
+               tm::SessionOptions b_options = {});
+
+  Node& node(const std::string& name);
+  tm::TransactionManager& tm(const std::string& name) {
+    return node(name).tm();
+  }
+
+  /// Runs the event loop until it drains (only safe without armed
+  /// retry-forever timers). Returns events executed.
+  uint64_t Drain(uint64_t max_events = 2'000'000);
+
+  /// Advances simulated time by `duration`.
+  void RunFor(sim::Time duration);
+
+  /// Initiates Commit at `node_name`; the returned state fills in when the
+  /// commit callback eventually fires (safe across later event-loop runs).
+  std::shared_ptr<DrivenCommit> StartCommit(const std::string& node_name,
+                                            uint64_t txn);
+
+  /// Initiates Commit at `node_name` and runs the loop until the commit
+  /// callback fires (or `timeout` simulated time passes).
+  DrivenCommit CommitAndWait(const std::string& node_name, uint64_t txn,
+                             sim::Time timeout = 10 * 60 * sim::kSecond);
+
+  /// Audits one transaction across every node.
+  TxnAudit Audit(uint64_t txn) const;
+
+  /// Sum of per-node TM costs for a transaction (total flows and TM log
+  /// writes across the cluster — the quantities of Tables 2-4).
+  tm::TxnCost TotalCost(uint64_t txn) const;
+
+  /// Formatted cluster-wide metrics: network traffic, per-node log writes
+  /// (logical and physical), and lock statistics. For operators, examples,
+  /// and bench footers.
+  std::string ReportMetrics() const;
+
+ private:
+  sim::SimContext ctx_;
+  net::Network network_;
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace tpc::harness
+
+#endif  // TPC_HARNESS_CLUSTER_H_

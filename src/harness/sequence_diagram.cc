@@ -1,0 +1,123 @@
+#include "harness/sequence_diagram.h"
+
+#include <algorithm>
+
+#include "util/format.h"
+
+namespace tpc::harness {
+namespace {
+
+constexpr size_t kTimeWidth = 10;
+constexpr size_t kColumnWidth = 26;
+
+size_t ColumnOf(const std::vector<std::string>& nodes,
+                const std::string& name) {
+  for (size_t i = 0; i < nodes.size(); ++i)
+    if (nodes[i] == name) return i;
+  return nodes.size();
+}
+
+/// Places `text` into the lane between column `from` and column `to`
+/// (from < to), drawn as an arrow spanning the intermediate columns.
+std::string ArrowLine(size_t columns, size_t from, size_t to, bool rightward,
+                      const std::string& label) {
+  // The lane spans from the middle of column `from` to the middle of
+  // column `to` (from < to here).
+  std::string line(kTimeWidth + columns * kColumnWidth, ' ');
+  size_t start = kTimeWidth + from * kColumnWidth + kColumnWidth / 2;
+  size_t end = kTimeWidth + to * kColumnWidth + kColumnWidth / 2;
+  for (size_t i = start; i < end; ++i) line[i] = '-';
+  if (rightward) {
+    line[end - 1] = '>';
+  } else {
+    line[start] = '<';
+  }
+  // Overlay the label, centered.
+  size_t span = end - start;
+  std::string text = label;
+  if (text.size() > span - 4 && span > 7) text = text.substr(0, span - 4);
+  size_t label_at = start + (span - text.size()) / 2;
+  for (size_t i = 0; i < text.size() && label_at + i < line.size(); ++i)
+    line[label_at + i] = text[i];
+  return line;
+}
+
+std::string NoteLine(size_t columns, size_t column, const std::string& text) {
+  std::string line(kTimeWidth + columns * kColumnWidth, ' ');
+  size_t at = kTimeWidth + column * kColumnWidth + 2;
+  for (size_t i = 0; i < text.size() && at + i < line.size(); ++i)
+    line[at + i] = text[i];
+  return line;
+}
+
+void StampTime(std::string* line, sim::Time at) {
+  std::string stamp =
+      StringPrintf("%8.1f", static_cast<double>(at) / sim::kMillisecond);
+  for (size_t i = 0; i < stamp.size() && i < kTimeWidth; ++i)
+    (*line)[i] = stamp[i];
+}
+
+std::string Rstrip(std::string s) {
+  while (!s.empty() && s.back() == ' ') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::string RenderSequenceDiagram(const sim::Trace& trace, uint64_t txn,
+                                  const std::vector<std::string>& nodes) {
+  const size_t columns = nodes.size();
+  std::string out;
+
+  // Header.
+  std::string header(kTimeWidth + columns * kColumnWidth, ' ');
+  std::string rule = header;
+  const std::string time_label = "time(ms)";
+  for (size_t i = 0; i < time_label.size(); ++i) header[i] = time_label[i];
+  for (size_t i = 0; i + 2 < kTimeWidth; ++i) rule[i] = '-';
+  for (size_t c = 0; c < columns; ++c) {
+    size_t at = kTimeWidth + c * kColumnWidth + 2;
+    for (size_t i = 0; i < nodes[c].size() && at + i < header.size(); ++i)
+      header[at + i] = nodes[c][i];
+    for (size_t i = 2; i + 4 < kColumnWidth; ++i) rule[at + i - 2] = '-';
+  }
+  out += Rstrip(header) + "\n" + Rstrip(rule) + "\n";
+
+  for (const auto& entry : trace.entries()) {
+    if (entry.txn != txn) continue;
+    std::string line;
+    switch (entry.kind) {
+      case sim::TraceKind::kSend: {
+        size_t from = ColumnOf(nodes, entry.node);
+        size_t to = ColumnOf(nodes, entry.peer);
+        if (from >= columns || to >= columns) continue;
+        const bool rightward = from < to;
+        line = ArrowLine(columns, std::min(from, to), std::max(from, to),
+                         rightward, entry.detail);
+        break;
+      }
+      case sim::TraceKind::kLogForce:
+      case sim::TraceKind::kLogWrite: {
+        size_t column = ColumnOf(nodes, entry.node);
+        if (column >= columns) continue;
+        const char mark = entry.kind == sim::TraceKind::kLogForce ? '*' : '.';
+        line = NoteLine(columns, column, std::string(1, mark) + entry.detail);
+        break;
+      }
+      case sim::TraceKind::kHeuristic:
+      case sim::TraceKind::kState: {
+        size_t column = ColumnOf(nodes, entry.node);
+        if (column >= columns) continue;
+        line = NoteLine(columns, column, "[" + entry.detail + "]");
+        break;
+      }
+      default:
+        continue;
+    }
+    StampTime(&line, entry.at);
+    out += Rstrip(line) + "\n";
+  }
+  return out;
+}
+
+}  // namespace tpc::harness

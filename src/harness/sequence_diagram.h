@@ -1,0 +1,32 @@
+// Renders a transaction's trace as a paper-style time-sequence diagram:
+// one column per node, arrows for message flows, log writes annotated in
+// the acting node's column — the format of the paper's Figures 1-8.
+
+#ifndef TPC_HARNESS_SEQUENCE_DIAGRAM_H_
+#define TPC_HARNESS_SEQUENCE_DIAGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace tpc::harness {
+
+/// Renders the entries of `trace` for transaction `txn` as a sequence
+/// diagram over `nodes` (column order = vector order). Only message sends
+/// and log writes are drawn (receives are implied by the arrows). Example:
+///
+///   time(ms)   coordinator          subordinate
+///   --------   -------------------- --------------------
+///       0.0    ---PREPARE-------->
+///       1.0                         *force tm.prepared
+///       3.0    <--VOTE(YES)-------
+///
+/// Forced writes are marked '*', non-forced '.'.
+std::string RenderSequenceDiagram(const sim::Trace& trace, uint64_t txn,
+                                  const std::vector<std::string>& nodes);
+
+}  // namespace tpc::harness
+
+#endif  // TPC_HARNESS_SEQUENCE_DIAGRAM_H_

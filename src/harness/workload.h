@@ -1,0 +1,81 @@
+// Workload generator: a seeded, closed-loop stream of mixed distributed
+// transactions over a coordinator + N servers, with tunable read-only
+// fraction, hot-key contention, and fan-out — the shape of the paper's
+// "commercial environment" (reservations, banking, credit cards).
+//
+// Collects the quantities the paper argues about: outcome counts, commit
+// latency, total flows, and (forced) log writes.
+
+#ifndef TPC_HARNESS_WORKLOAD_H_
+#define TPC_HARNESS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "harness/cluster.h"
+#include "util/histogram.h"
+#include "util/random.h"
+
+namespace tpc::harness {
+
+/// Workload shape.
+struct WorkloadOptions {
+  uint64_t seed = 1;
+  size_t servers = 4;            ///< server nodes "s0".."s<N-1>"
+  uint64_t transactions = 100;
+  /// Fraction of transactions that perform no updates anywhere.
+  double read_only_fraction = 0.3;
+  /// Fraction of writes that hit the single hot key (contention knob).
+  double hot_key_fraction = 0.2;
+  uint64_t keys = 100;           ///< cold-key space per server
+  uint64_t min_participants = 1; ///< servers touched per transaction
+  uint64_t max_participants = 3;
+  /// Closed-loop think time between transactions.
+  sim::Time think_time = 10 * sim::kMillisecond;
+  /// Per-transaction completion deadline (incomplete past this).
+  sim::Time deadline = 60 * sim::kSecond;
+};
+
+/// Aggregate results.
+struct WorkloadStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t incomplete = 0;
+  Histogram commit_latency;  ///< microseconds, completed transactions only
+  uint64_t flows = 0;        ///< cluster-total protocol flows
+  uint64_t log_writes = 0;   ///< cluster-total TM log writes
+  uint64_t forced = 0;       ///< ... of which forced
+  sim::Time elapsed = 0;     ///< simulated wall time for the whole stream
+
+  /// Simulated transactions per second.
+  double Throughput() const;
+
+  /// One-paragraph summary.
+  std::string ToString() const;
+};
+
+/// Drives one workload against a cluster.
+class Workload {
+ public:
+  /// Builds the standard topology into `cluster`: node "coord" plus
+  /// "s0".."s<N-1>", all connected to the coordinator, every server with a
+  /// write/read handler driven by the payload ("w:<key>" / "r:<key>").
+  /// `node_options` applies to every node (protocol/optimization config).
+  static void BuildStandardCluster(Cluster* cluster,
+                                   const WorkloadOptions& options,
+                                   const NodeOptions& node_options);
+
+  Workload(Cluster* cluster, WorkloadOptions options);
+
+  /// Runs the closed-loop stream to completion and returns the stats.
+  WorkloadStats Run();
+
+ private:
+  Cluster* cluster_;
+  WorkloadOptions options_;
+  Random rng_;
+};
+
+}  // namespace tpc::harness
+
+#endif  // TPC_HARNESS_WORKLOAD_H_

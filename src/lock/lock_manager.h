@@ -1,0 +1,134 @@
+// Lock manager: strict two-phase locking over named resources.
+//
+// The paper's third performance metric is *resource lock time* — how long a
+// transaction holds locks, which bounds the throughput other transactions
+// can achieve. Locks here are therefore real: conflicting requests queue,
+// grants happen when holders release at commit/abort, and the manager keeps
+// a hold-time histogram that the benches report.
+
+#ifndef TPC_LOCK_LOCK_MANAGER_H_
+#define TPC_LOCK_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sim_context.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace tpc::lock {
+
+/// Lock modes, in increasing strength: intent-shared and intent-exclusive
+/// (taken on a container, e.g. a table, before locking items inside it),
+/// then shared and exclusive. Standard hierarchical compatibility:
+///
+///        IS   IX   S    X
+///   IS   ok   ok   ok   -
+///   IX   ok   ok   -    -
+///   S    ok   -    ok   -
+///   X    -    -    -    -
+enum class LockMode : uint8_t {
+  kIntentShared,
+  kIntentExclusive,
+  kShared,
+  kExclusive,
+};
+
+std::string_view LockModeToString(LockMode mode);
+
+/// True when a holder in `held` does not conflict with a request for
+/// `requested` from another transaction.
+bool LockModesCompatible(LockMode held, LockMode requested);
+
+/// True when holding `held` already satisfies a request for `requested`
+/// (same transaction): X covers everything, S covers S/IS, IX covers IX/IS.
+bool LockModeCovers(LockMode held, LockMode requested);
+
+/// The weakest single mode at least as strong as both (S+IX escalates to X;
+/// this manager does not implement SIX).
+LockMode LockModeSupremum(LockMode a, LockMode b);
+
+/// Aggregate lock statistics.
+struct LockStats {
+  uint64_t acquisitions = 0;   ///< granted requests
+  uint64_t waits = 0;          ///< requests that had to queue
+  uint64_t timeouts = 0;       ///< requests abandoned after wait_timeout
+  Histogram hold_time;         ///< grant -> release, per lock (microseconds)
+  Histogram wait_time;         ///< request -> grant, waiters only
+};
+
+/// One node's lock table.
+class LockManager {
+ public:
+  using GrantCallback = std::function<void(Status)>;
+
+  explicit LockManager(sim::SimContext* ctx, std::string node,
+                       sim::Time wait_timeout = 10 * sim::kSecond)
+      : ctx_(ctx), node_(std::move(node)), wait_timeout_(wait_timeout) {}
+
+  /// Requests `mode` on `key` for `txn`. The callback fires with OK on
+  /// grant (possibly synchronously, if there is no conflict), or TimedOut
+  /// if the wait exceeds the timeout (the caller should abort — this is the
+  /// deadlock-resolution policy). Re-requesting a held lock in the same or
+  /// weaker mode is a no-op grant; kShared -> kExclusive upgrades wait for
+  /// other holders to drain.
+  void Acquire(uint64_t txn, const std::string& key, LockMode mode,
+               GrantCallback done);
+
+  /// Releases every lock `txn` holds and grants unblocked waiters.
+  /// Strict 2PL: called only at transaction end.
+  void ReleaseAll(uint64_t txn);
+
+  /// True if `txn` currently holds `key` in at least `mode`.
+  bool Holds(uint64_t txn, const std::string& key, LockMode mode) const;
+
+  /// Number of transactions currently waiting (for blocked-work metrics).
+  size_t WaiterCount() const;
+
+  const LockStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LockStats{}; }
+
+ private:
+  struct Holder {
+    uint64_t txn;
+    LockMode mode;
+    sim::Time granted_at;
+  };
+  struct Waiter {
+    uint64_t txn;
+    LockMode mode;
+    GrantCallback done;
+    sim::Time queued_at;
+    sim::EventId timeout_event;
+    bool cancelled = false;
+  };
+  struct Entry {
+    std::vector<Holder> holders;
+    std::deque<Waiter> waiters;
+  };
+
+  static bool Compatible(LockMode held, LockMode requested) {
+    return LockModesCompatible(held, requested);
+  }
+
+  /// Grants as many queued waiters as compatibility allows.
+  void PumpWaiters(const std::string& key);
+  void Grant(const std::string& key, Entry& entry, Waiter& waiter);
+
+  sim::SimContext* ctx_;
+  std::string node_;
+  sim::Time wait_timeout_;
+  std::map<std::string, Entry> table_;
+  // txn -> keys held (for ReleaseAll)
+  std::unordered_map<uint64_t, std::vector<std::string>> held_by_txn_;
+  LockStats stats_;
+};
+
+}  // namespace tpc::lock
+
+#endif  // TPC_LOCK_LOCK_MANAGER_H_

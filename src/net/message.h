@@ -1,0 +1,27 @@
+// Network message envelope. Payload encoding is owned by the protocol layer
+// (see tm/protocol_messages.h); the network treats it as opaque bytes.
+
+#ifndef TPC_NET_MESSAGE_H_
+#define TPC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tpc::net {
+
+/// Nodes are addressed by human-readable names ("coord", "sub1", ...), which
+/// keeps traces and failure-injection points legible.
+using NodeId = std::string;
+
+/// One network message.
+struct Message {
+  NodeId from;
+  NodeId to;
+  std::string type;     ///< short type tag for traces ("PREPARE", "COMMIT", ...)
+  std::string payload;  ///< encoded body, opaque to the network
+  uint64_t txn = 0;     ///< transaction id for trace correlation (0 = none)
+};
+
+}  // namespace tpc::net
+
+#endif  // TPC_NET_MESSAGE_H_

@@ -1,0 +1,85 @@
+#include "net/network.h"
+
+#include "util/logging.h"
+
+namespace tpc::net {
+
+void Network::Register(const NodeId& id, Endpoint* endpoint) {
+  TPC_CHECK(endpoint != nullptr);
+  auto [it, inserted] = endpoints_.emplace(id, endpoint);
+  (void)it;
+  TPC_CHECK(inserted);
+}
+
+void Network::SetLinkLatency(const NodeId& a, const NodeId& b,
+                             sim::Time latency) {
+  link_latency_[LinkKey(a, b)] = latency;
+}
+
+void Network::SetLinkDown(const NodeId& a, const NodeId& b, bool down) {
+  link_down_[LinkKey(a, b)] = down;
+}
+
+bool Network::IsLinkDown(const NodeId& a, const NodeId& b) const {
+  auto it = link_down_.find(LinkKey(a, b));
+  return it != link_down_.end() && it->second;
+}
+
+sim::Time Network::LatencyBetween(const NodeId& a, const NodeId& b) const {
+  auto it = link_latency_.find(LinkKey(a, b));
+  return it != link_latency_.end() ? it->second : default_latency_;
+}
+
+Status Network::Send(Message msg) {
+  auto from_it = endpoints_.find(msg.from);
+  if (from_it == endpoints_.end())
+    return Status::InvalidArgument("unknown sender: " + msg.from);
+  if (!from_it->second->IsUp())
+    return Status::FailedPrecondition("sender is down: " + msg.from);
+  if (endpoints_.find(msg.to) == endpoints_.end())
+    return Status::InvalidArgument("unknown destination: " + msg.to);
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg.payload.size();
+  ++sent_by_[msg.from];
+
+  if (tracing_) {
+    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kSend, msg.from, msg.to,
+                       msg.txn, msg.type});
+  }
+
+  if (IsLinkDown(msg.from, msg.to)) {
+    ++stats_.messages_dropped;
+    return Status::OK();  // silent loss, like a real partition
+  }
+
+  const std::string pair = msg.from + ">" + msg.to;
+  sim::Time deliver_at = ctx_->now() + LatencyBetween(msg.from, msg.to);
+  auto floor_it = next_delivery_floor_.find(pair);
+  if (floor_it != next_delivery_floor_.end() && deliver_at < floor_it->second)
+    deliver_at = floor_it->second;  // preserve per-session FIFO order
+  next_delivery_floor_[pair] = deliver_at;
+
+  ctx_->events().ScheduleAt(deliver_at, [this, msg = std::move(msg)] {
+    auto it = endpoints_.find(msg.to);
+    if (it == endpoints_.end() || !it->second->IsUp() ||
+        IsLinkDown(msg.from, msg.to)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    if (tracing_) {
+      ctx_->trace().Add({ctx_->now(), sim::TraceKind::kReceive, msg.to,
+                         msg.from, msg.txn, msg.type});
+    }
+    it->second->OnMessage(msg);
+  });
+  return Status::OK();
+}
+
+uint64_t Network::SentBy(const NodeId& node) const {
+  auto it = sent_by_.find(node);
+  return it == sent_by_.end() ? 0 : it->second;
+}
+
+}  // namespace tpc::net

@@ -1,0 +1,100 @@
+// Simulated message-passing network.
+//
+// Models what the paper's analysis depends on: each message is a *flow* with
+// a per-link latency; sessions between a pair of nodes deliver in order (as
+// LU 6.2 conversations do); links and nodes can fail, silently dropping
+// traffic. Per-node and per-link flow counts feed the cost accounting.
+
+#ifndef TPC_NET_NETWORK_H_
+#define TPC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "net/message.h"
+#include "sim/sim_context.h"
+#include "util/status.h"
+
+namespace tpc::net {
+
+/// Receiver interface implemented by simulated nodes.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Delivery upcall. Never invoked while the endpoint reports itself down.
+  virtual void OnMessage(const Message& msg) = 0;
+
+  /// A crashed node neither sends nor receives.
+  virtual bool IsUp() const = 0;
+};
+
+/// Aggregate traffic counters.
+struct NetworkStats {
+  uint64_t messages_sent = 0;      ///< accepted into the network
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;   ///< link down, partition, or dead receiver
+  uint64_t bytes_sent = 0;
+};
+
+/// The cluster interconnect.
+class Network {
+ public:
+  explicit Network(sim::SimContext* ctx) : ctx_(ctx) {}
+
+  /// Registers a node. Names must be unique.
+  void Register(const NodeId& id, Endpoint* endpoint);
+
+  /// Latency applied when no per-link override exists.
+  void set_default_latency(sim::Time latency) { default_latency_ = latency; }
+  sim::Time default_latency() const { return default_latency_; }
+
+  /// Overrides latency for both directions of the (a, b) link.
+  void SetLinkLatency(const NodeId& a, const NodeId& b, sim::Time latency);
+
+  /// Takes both directions of the (a, b) link down or up. Messages sent
+  /// while a link is down are dropped silently (no error to the sender, as
+  /// with a real partition).
+  void SetLinkDown(const NodeId& a, const NodeId& b, bool down);
+  bool IsLinkDown(const NodeId& a, const NodeId& b) const;
+
+  /// Sends a message. The sender must be registered and up. Delivery is
+  /// in-order per directed pair. Counting: every accepted message is one
+  /// flow, even if it is later dropped (the sender did the work).
+  Status Send(Message msg);
+
+  /// Latency the next message from `a` to `b` would experience.
+  sim::Time LatencyBetween(const NodeId& a, const NodeId& b) const;
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats(); }
+
+  /// Messages accepted from `node` (its outbound flow count).
+  uint64_t SentBy(const NodeId& node) const;
+
+  /// Enables/disables trace entries for sends and deliveries (on by default;
+  /// turn off for large throughput benches).
+  void set_tracing(bool on) { tracing_ = on; }
+
+ private:
+  static std::string LinkKey(const NodeId& a, const NodeId& b) {
+    return a < b ? a + "|" + b : b + "|" + a;
+  }
+
+  sim::SimContext* ctx_;
+  sim::Time default_latency_ = sim::kMillisecond;
+  std::unordered_map<NodeId, Endpoint*> endpoints_;
+  std::unordered_map<std::string, sim::Time> link_latency_;
+  std::unordered_map<std::string, bool> link_down_;
+  // Per directed pair: earliest time the next delivery may occur (FIFO).
+  std::unordered_map<std::string, sim::Time> next_delivery_floor_;
+  std::unordered_map<NodeId, uint64_t> sent_by_;
+  NetworkStats stats_;
+  bool tracing_ = true;
+};
+
+}  // namespace tpc::net
+
+#endif  // TPC_NET_NETWORK_H_

@@ -1,0 +1,151 @@
+// Key-value resource manager: a small transactional store that plays the
+// LRM role — strict 2PL through a LockManager, undo/redo logging through a
+// LogManager, real prepare/commit/abort/recovery.
+//
+// Logging policy (the shared-log optimization, Section 4 "Sharing the Log"):
+// when `shared_log_with_tm` is set, the RM writes its prepared and committed
+// records *non-forced*. This is sound because the records go to the same log
+// the TM forces: the TM's forced prepared/committed records are appended
+// after the RM's and a log force covers every earlier record. Recovery then
+// reasons exactly as the paper describes — a lost RM prepared record implies
+// the TM never voted/committed, a lost RM committed record is re-derivable
+// from the TM's committed record.
+
+#ifndef TPC_RM_KV_RESOURCE_MANAGER_H_
+#define TPC_RM_KV_RESOURCE_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "rm/resource_manager.h"
+#include "sim/sim_context.h"
+#include "util/result.h"
+#include "wal/log_manager.h"
+
+namespace tpc::rm {
+
+/// Construction options.
+struct KVOptions {
+  /// Advertised on YES votes: heuristic decisions effectively impossible.
+  bool reliable = false;
+  /// Advertised on YES votes: may be suspended / left out of later 2PCs.
+  bool ok_to_leave_out = false;
+  /// Shared-log optimization: prepared/committed records are not forced.
+  bool shared_log_with_tm = false;
+  /// Lock-wait deadlock timeout.
+  sim::Time lock_timeout = 10 * sim::kSecond;
+};
+
+/// Transactional key-value store.
+class KVResourceManager : public ResourceManager {
+ public:
+  using ReadCallback = std::function<void(Result<std::string>)>;
+  using WriteCallback = std::function<void(Status)>;
+
+  /// `log` is the node's WAL (shared with the TM when the shared-log
+  /// optimization is on, which is also the common single-log deployment).
+  KVResourceManager(sim::SimContext* ctx, std::string name,
+                    wal::LogManager* log, KVOptions options = {});
+
+  const std::string& name() const override { return name_; }
+
+  // --- transactional data operations -------------------------------------
+
+  /// Reads `key` under a shared lock. NotFound if absent.
+  void Read(uint64_t txn, const std::string& key, ReadCallback done);
+
+  /// Writes `key` under an exclusive lock; undo/redo is logged (non-forced).
+  void Write(uint64_t txn, const std::string& key, std::string value,
+             WriteCallback done);
+
+  /// Scans every key with the given prefix under a store-level shared lock
+  /// (hierarchical locking: readers/writers of individual keys take IS/IX
+  /// on the store, so a scan waits out all writers and blocks new ones
+  /// until the transaction ends).
+  using ScanCallback =
+      std::function<void(Result<std::vector<std::pair<std::string, std::string>>>)>;
+  void Scan(uint64_t txn, const std::string& prefix, ScanCallback done);
+
+  // --- commit protocol ----------------------------------------------------
+
+  void Prepare(uint64_t txn, VoteCallback done) override;
+  void Commit(uint64_t txn, DoneCallback done) override;
+  void Abort(uint64_t txn, DoneCallback done) override;
+  void EndReadOnly(uint64_t txn) override;
+  bool HasUpdates(uint64_t txn) const override;
+
+  // --- failure & recovery --------------------------------------------------
+
+  /// Wipes volatile state (store image, active transactions, locks).
+  void Crash();
+
+  /// Rebuilds the store from the given durable log records (the node's
+  /// recovery pass hands each RM the records it owns). Returns the
+  /// transactions left in doubt (prepared, outcome unknown): the TM must
+  /// resolve each via ResolveRecovered().
+  std::vector<uint64_t> Recover(const std::vector<wal::LogRecord>& records);
+
+  /// Applies the outcome for a transaction reported in doubt by Recover().
+  void ResolveRecovered(uint64_t txn, bool commit);
+
+  // --- introspection -------------------------------------------------------
+
+  /// Committed value lookup outside any transaction (tests/verification).
+  Result<std::string> Peek(const std::string& key) const;
+
+  /// Writes a checkpoint record (a full store snapshot) to the log,
+  /// forced. Requires no active transactions (returns FailedPrecondition
+  /// otherwise). `done` receives the checkpoint record's LSN: records
+  /// before it are no longer needed to recover this RM.
+  Status Checkpoint(std::function<void(wal::Lsn)> done);
+
+  /// Number of transactions with live state (for checkpoint safety).
+  size_t ActiveCount() const { return active_.size(); }
+
+  /// Makes the next Prepare() vote NO (fault injection for abort paths).
+  void FailNextPrepare() { fail_next_prepare_ = true; }
+
+  lock::LockManager& locks() { return locks_; }
+  const KVOptions& options() const { return options_; }
+  /// True while the RM holds prepared state for `txn`.
+  bool InDoubt(uint64_t txn) const;
+
+ private:
+  struct Update {
+    std::string key;
+    std::string old_value;
+    bool had_old = false;
+    std::string new_value;
+  };
+  struct TxnState {
+    std::vector<Update> updates;
+    bool prepared = false;
+    /// Rebuilt by Recover(): updates are redo images not yet applied to the
+    /// store, so Commit must apply them and Abort must not undo them.
+    bool recovered = false;
+  };
+
+  void DoWrite(uint64_t txn, const std::string& key, std::string value,
+               WriteCallback done);
+  void LogUpdate(uint64_t txn, const Update& update);
+  void ApplyUndo(const TxnState& state);
+
+  sim::SimContext* ctx_;
+  std::string name_;
+  wal::LogManager* log_;
+  KVOptions options_;
+  lock::LockManager locks_;
+  std::map<std::string, std::string> store_;
+  std::unordered_map<uint64_t, TxnState> active_;
+  bool fail_next_prepare_ = false;
+};
+
+}  // namespace tpc::rm
+
+#endif  // TPC_RM_KV_RESOURCE_MANAGER_H_

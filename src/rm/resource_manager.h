@@ -1,0 +1,70 @@
+// Local resource manager (LRM) interface.
+//
+// LRMs (database/file managers in the paper's terminology) own local
+// resources only; a transaction manager drives them through the two phases.
+// Votes carry the protocol attributes the paper's optimizations negotiate:
+// read-only, reliable (vote-reliable optimization), and OK-to-leave-out.
+
+#ifndef TPC_RM_RESOURCE_MANAGER_H_
+#define TPC_RM_RESOURCE_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/status.h"
+
+namespace tpc::rm {
+
+/// A participant's phase-one vote.
+enum class Vote : uint8_t {
+  kYes,       ///< prepared; can commit or abort on command
+  kNo,        ///< cannot prepare; transaction must abort
+  kReadOnly,  ///< performed no updates; outcome is irrelevant to it
+};
+
+std::string_view VoteToString(Vote vote);
+
+/// Vote plus the negotiated attributes riding on a YES vote.
+struct VoteInfo {
+  Vote vote = Vote::kNo;
+  /// Vote-reliable: heuristic decisions are (near) impossible here, so the
+  /// coordinator may use early-acknowledgment semantics.
+  bool reliable = false;
+  /// OK_TO_LEAVE_OUT: the resource will stay suspended until its services
+  /// are requested again, so it may be omitted from later transactions.
+  bool ok_to_leave_out = false;
+};
+
+/// Interface the transaction manager drives during commit processing.
+class ResourceManager {
+ public:
+  using VoteCallback = std::function<void(VoteInfo)>;
+  using DoneCallback = std::function<void(Status)>;
+
+  virtual ~ResourceManager() = default;
+
+  /// Stable identifier, used as the log owner tag.
+  virtual const std::string& name() const = 0;
+
+  /// Phase one. The callback fires once the vote is durable (YES requires
+  /// the prepared state to survive a crash).
+  virtual void Prepare(uint64_t txn, VoteCallback done) = 0;
+
+  /// Phase two, commit outcome. Callback fires when locally committed.
+  virtual void Commit(uint64_t txn, DoneCallback done) = 0;
+
+  /// Phase two, abort outcome (also used before any prepare).
+  virtual void Abort(uint64_t txn, DoneCallback done) = 0;
+
+  /// Called instead of phase two when this RM voted read-only: the
+  /// transaction is over for it and locks may be released.
+  virtual void EndReadOnly(uint64_t txn) = 0;
+
+  /// True if the RM performed updates for `txn` (drives read-only voting).
+  virtual bool HasUpdates(uint64_t txn) const = 0;
+};
+
+}  // namespace tpc::rm
+
+#endif  // TPC_RM_RESOURCE_MANAGER_H_

@@ -1,0 +1,67 @@
+#include "sim/event_queue.h"
+
+#include "util/logging.h"
+
+namespace tpc::sim {
+
+EventId EventQueue::ScheduleAt(Time at, std::function<void()> fn) {
+  TPC_CHECK(at >= now_);
+  EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventQueue::Step() {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    auto c = cancelled_.find(e.id);
+    if (c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    auto it = handlers_.find(e.id);
+    TPC_CHECK(it != handlers_.end());
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = e.at;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventQueue::Run(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+uint64_t EventQueue::RunUntil(Time t) {
+  uint64_t n = 0;
+  while (!heap_.empty()) {
+    // Skip cancelled entries at the head so the time check sees a live event.
+    Entry e = heap_.top();
+    if (cancelled_.count(e.id)) {
+      heap_.pop();
+      cancelled_.erase(e.id);
+      continue;
+    }
+    if (e.at > t) break;
+    Step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace tpc::sim

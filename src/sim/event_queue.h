@@ -1,0 +1,83 @@
+// Discrete-event simulation kernel: a simulated clock and an event queue.
+//
+// All activity in the simulated cluster (message delivery, log-device I/O
+// completion, timer pops) is an event scheduled at a simulated time. The
+// kernel is single-threaded and fully deterministic: ties are broken by
+// schedule order.
+
+#ifndef TPC_SIM_EVENT_QUEUE_H_
+#define TPC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace tpc::sim {
+
+/// Simulated time in microseconds.
+using Time = int64_t;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000;
+constexpr Time kSecond = 1000 * 1000;
+
+/// Handle used to cancel a scheduled event.
+using EventId = uint64_t;
+
+/// The simulation event loop.
+class EventQueue {
+ public:
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute simulated time `at` (>= now()).
+  /// Events scheduled for the same instant run in schedule order.
+  EventId ScheduleAt(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after now().
+  EventId ScheduleAfter(Time delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled before.
+  bool Cancel(EventId id);
+
+  /// Runs a single event; returns false when the queue is empty.
+  bool Step();
+
+  /// Runs until the queue drains or `max_events` have run.
+  /// Returns the number of events executed.
+  uint64_t Run(uint64_t max_events = UINT64_MAX);
+
+  /// Runs events with time <= t, then sets now() to t.
+  uint64_t RunUntil(Time t);
+
+  /// Number of pending (non-cancelled) events.
+  size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    uint64_t seq;  // tie-breaker: FIFO within an instant
+    EventId id;
+    // Ordered as a min-heap via operator> in the priority_queue comparator.
+    bool operator>(const Entry& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace tpc::sim
+
+#endif  // TPC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,50 @@
+#include "sim/failure_injector.h"
+
+#include "util/logging.h"
+
+namespace tpc::sim {
+
+void FailureInjector::RegisterNode(const std::string& node, CrashFn crash) {
+  nodes_[node] = std::move(crash);
+}
+
+void FailureInjector::ArmCrash(const std::string& node,
+                               const std::string& point, int occurrence) {
+  TPC_CHECK(occurrence >= 1);
+  triggers_[Key(node, point)].push_back(Trigger{occurrence});
+}
+
+bool FailureInjector::CrashPoint(const std::string& node,
+                                 const std::string& point) {
+  const std::string key = Key(node, point);
+  uint64_t count = ++hit_counts_[key];
+  auto it = triggers_.find(key);
+  if (it == triggers_.end()) return false;
+  for (auto& t : it->second) {
+    if (!t.fired && count == static_cast<uint64_t>(t.occurrence)) {
+      t.fired = true;
+      CrashNow(node);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FailureInjector::CrashNow(const std::string& node) {
+  auto it = nodes_.find(node);
+  TPC_CHECK(it != nodes_.end());
+  it->second();
+}
+
+uint64_t FailureInjector::hits(const std::string& node,
+                               const std::string& point) const {
+  auto it = hit_counts_.find(Key(node, point));
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+void FailureInjector::Reset() {
+  triggers_.clear();
+  hit_counts_.clear();
+}
+
+}  // namespace tpc::sim

@@ -1,0 +1,63 @@
+// Failure injection. Protocol code is instrumented with named *crash points*
+// (e.g. "sub.after_force_prepared"); a test or bench arms triggers that crash
+// a specific node the Nth time it reaches a point. Timed crashes and
+// automatic recovery delays are also supported via the event queue.
+
+#ifndef TPC_SIM_FAILURE_INJECTOR_H_
+#define TPC_SIM_FAILURE_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace tpc::sim {
+
+/// Decides when nodes crash. The harness registers a crash callback per node;
+/// protocol code reports crash points; armed triggers fire the callback.
+class FailureInjector {
+ public:
+  using CrashFn = std::function<void()>;
+
+  /// Registers the function that crashes `node` (installed by the harness).
+  void RegisterNode(const std::string& node, CrashFn crash);
+
+  /// Arms a trigger: crash `node` on the `occurrence`-th (1-based) time it
+  /// reaches crash point `point`.
+  void ArmCrash(const std::string& node, const std::string& point,
+                int occurrence = 1);
+
+  /// Reached by protocol code. Fires an armed trigger if one matches.
+  /// Returns true if the node crashed (caller must stop touching state).
+  bool CrashPoint(const std::string& node, const std::string& point);
+
+  /// Crashes `node` immediately.
+  void CrashNow(const std::string& node);
+
+  /// Number of crash-point hits observed (armed or not), for test assertions.
+  uint64_t hits(const std::string& node, const std::string& point) const;
+
+  /// Removes all armed triggers and counters.
+  void Reset();
+
+ private:
+  struct Trigger {
+    int occurrence;
+    bool fired = false;
+  };
+
+  static std::string Key(const std::string& node, const std::string& point) {
+    return node + "#" + point;
+  }
+
+  std::unordered_map<std::string, CrashFn> nodes_;
+  std::unordered_map<std::string, std::vector<Trigger>> triggers_;
+  std::unordered_map<std::string, uint64_t> hit_counts_;
+};
+
+}  // namespace tpc::sim
+
+#endif  // TPC_SIM_FAILURE_INJECTOR_H_

@@ -1,0 +1,46 @@
+// SimContext bundles the simulation-wide services every component needs:
+// the event queue/clock, the execution trace, the failure injector, and the
+// seeded RNG. One SimContext per simulated cluster.
+
+#ifndef TPC_SIM_SIM_CONTEXT_H_
+#define TPC_SIM_SIM_CONTEXT_H_
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/failure_injector.h"
+#include "sim/trace.h"
+#include "util/random.h"
+
+namespace tpc::sim {
+
+/// Shared simulation services. Not copyable; components hold a pointer.
+class SimContext {
+ public:
+  explicit SimContext(uint64_t seed = 42) : rng_(seed) {}
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  EventQueue& events() { return events_; }
+  Trace& trace() { return trace_; }
+  FailureInjector& failures() { return failures_; }
+  Random& rng() { return rng_; }
+
+  Time now() const { return events_.now(); }
+
+  /// Cluster-unique transaction ids (ids are global across nodes, as the
+  /// paper's transaction identifiers are).
+  uint64_t NextTxnId() { return ++txn_counter_; }
+
+ private:
+  uint64_t txn_counter_ = 0;
+  EventQueue events_;
+  Trace trace_;
+  FailureInjector failures_;
+  Random rng_;
+};
+
+}  // namespace tpc::sim
+
+#endif  // TPC_SIM_SIM_CONTEXT_H_

@@ -1,0 +1,67 @@
+#include "sim/trace.h"
+
+#include "util/format.h"
+
+namespace tpc::sim {
+
+std::string_view TraceKindToString(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend: return "SEND";
+    case TraceKind::kReceive: return "RECV";
+    case TraceKind::kLogWrite: return "WRITE";
+    case TraceKind::kLogForce: return "FORCE";
+    case TraceKind::kState: return "STATE";
+    case TraceKind::kCrash: return "CRASH";
+    case TraceKind::kRecover: return "RECOVER";
+    case TraceKind::kHeuristic: return "HEURISTIC";
+    case TraceKind::kLock: return "LOCK";
+    case TraceKind::kUnlock: return "UNLOCK";
+    case TraceKind::kApp: return "APP";
+  }
+  return "?";
+}
+
+std::vector<TraceEntry> Trace::OfKind(TraceKind kind) const {
+  std::vector<TraceEntry> out;
+  for (const auto& e : entries_)
+    if (e.kind == kind) out.push_back(e);
+  return out;
+}
+
+std::vector<TraceEntry> Trace::OfTxn(uint64_t txn) const {
+  std::vector<TraceEntry> out;
+  for (const auto& e : entries_)
+    if (e.txn == txn) out.push_back(e);
+  return out;
+}
+
+size_t Trace::Count(TraceKind kind, std::string_view node) const {
+  size_t n = 0;
+  for (const auto& e : entries_)
+    if (e.kind == kind && (node.empty() || e.node == node)) ++n;
+  return n;
+}
+
+std::string Trace::RenderEntries(const std::vector<TraceEntry>& es) const {
+  std::string out;
+  for (const auto& e : es) {
+    std::string who = e.node;
+    if (!e.peer.empty()) who += " -> " + e.peer;
+    StringAppendF(&out, "[%8lldus] %-24s %-9s %-28s",
+                  static_cast<long long>(e.at), who.c_str(),
+                  std::string(TraceKindToString(e.kind)).c_str(),
+                  e.detail.c_str());
+    if (e.txn != 0)
+      StringAppendF(&out, " (txn %llu)", static_cast<unsigned long long>(e.txn));
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Trace::Render() const { return RenderEntries(entries_); }
+
+std::string Trace::Render(uint64_t txn) const {
+  return RenderEntries(OfTxn(txn));
+}
+
+}  // namespace tpc::sim

@@ -1,0 +1,77 @@
+// Execution trace: a structured record of everything that happened during a
+// simulation — message sends/receives, log writes, state transitions,
+// crashes, heuristic decisions. The benches that reproduce the paper's
+// figures print these traces as time-sequence diagrams; tests assert on them.
+
+#ifndef TPC_SIM_TRACE_H_
+#define TPC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace tpc::sim {
+
+/// Category of a trace entry.
+enum class TraceKind : unsigned char {
+  kSend,       ///< network message leaves a node
+  kReceive,    ///< network message arrives at a node
+  kLogWrite,   ///< non-forced log append
+  kLogForce,   ///< forced log append (write + wait for stable storage)
+  kState,      ///< protocol state transition
+  kCrash,      ///< node crash
+  kRecover,    ///< node restart / recovery begins
+  kHeuristic,  ///< in-doubt participant decided unilaterally
+  kLock,       ///< lock acquired
+  kUnlock,     ///< locks released (transaction end)
+  kApp,        ///< application-level event
+};
+
+std::string_view TraceKindToString(TraceKind kind);
+
+/// One observed event.
+struct TraceEntry {
+  Time at = 0;
+  TraceKind kind = TraceKind::kApp;
+  std::string node;    ///< acting node name
+  std::string peer;    ///< remote node for Send/Receive, else empty
+  uint64_t txn = 0;    ///< transaction id, 0 if not transaction-scoped
+  std::string detail;  ///< message type, record type, state name, ...
+};
+
+/// Append-only trace with simple filtering and rendering.
+class Trace {
+ public:
+  void Add(TraceEntry e) { entries_.push_back(std::move(e)); }
+  void Clear() { entries_.clear(); }
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  /// Entries of one kind, in order.
+  std::vector<TraceEntry> OfKind(TraceKind kind) const;
+
+  /// Entries for one transaction, in order.
+  std::vector<TraceEntry> OfTxn(uint64_t txn) const;
+
+  /// Count of entries matching kind (and node, if non-empty).
+  size_t Count(TraceKind kind, std::string_view node = {}) const;
+
+  /// Renders a figure-style time sequence:
+  ///   [   123us] node1 -> node2  SEND    Prepare       (txn 7)
+  ///   [   150us] node2           FORCE   prepared      (txn 7)
+  std::string Render() const;
+
+  /// Renders only one transaction's entries.
+  std::string Render(uint64_t txn) const;
+
+ private:
+  std::string RenderEntries(const std::vector<TraceEntry>& es) const;
+
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace tpc::sim
+
+#endif  // TPC_SIM_TRACE_H_

@@ -1,0 +1,132 @@
+#include "tm/protocol_messages.h"
+
+#include "util/binary_io.h"
+
+namespace tpc::tm {
+
+std::string_view PduTypeToString(PduType type) {
+  switch (type) {
+    case PduType::kAppData: return "APP_DATA";
+    case PduType::kPrepare: return "PREPARE";
+    case PduType::kVote: return "VOTE";
+    case PduType::kCommit: return "COMMIT";
+    case PduType::kAbort: return "ABORT";
+    case PduType::kAck: return "ACK";
+    case PduType::kInquiry: return "INQUIRY";
+    case PduType::kInquiryReply: return "INQUIRY_REPLY";
+  }
+  return "?";
+}
+
+namespace {
+
+// Bit positions for the flag word.
+enum : uint16_t {
+  kFlagLongLocks = 1 << 0,
+  kFlagReliable = 1 << 1,
+  kFlagOkToLeaveOut = 1 << 2,
+  kFlagUnsolicited = 1 << 3,
+  kFlagLastAgent = 1 << 4,
+  kFlagVoteLongLocks = 1 << 5,
+  kFlagHeurCommit = 1 << 6,
+  kFlagHeurAbort = 1 << 7,
+  kFlagDamage = 1 << 8,
+  kFlagOutcomePending = 1 << 9,
+  kFlagFromLastAgent = 1 << 10,
+};
+
+}  // namespace
+
+void Pdu::EncodeTo(std::string* out) const {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(type));
+  enc.PutVarint(txn);
+  uint16_t flags = 0;
+  if (long_locks) flags |= kFlagLongLocks;
+  if (reliable) flags |= kFlagReliable;
+  if (ok_to_leave_out) flags |= kFlagOkToLeaveOut;
+  if (unsolicited) flags |= kFlagUnsolicited;
+  if (last_agent) flags |= kFlagLastAgent;
+  if (vote_long_locks) flags |= kFlagVoteLongLocks;
+  if (heur_commit) flags |= kFlagHeurCommit;
+  if (heur_abort) flags |= kFlagHeurAbort;
+  if (damage) flags |= kFlagDamage;
+  if (outcome_pending) flags |= kFlagOutcomePending;
+  if (from_last_agent) flags |= kFlagFromLastAgent;
+  enc.PutU16(flags);
+  enc.PutU8(static_cast<uint8_t>(vote));
+  enc.PutU8(static_cast<uint8_t>(answer));
+  enc.PutString(data);
+  *out += enc.buffer();
+}
+
+std::string EncodePdus(const std::vector<Pdu>& pdus) {
+  Encoder enc;
+  enc.PutVarint(pdus.size());
+  std::string out = enc.Release();
+  for (const auto& pdu : pdus) pdu.EncodeTo(&out);
+  return out;
+}
+
+Result<std::vector<Pdu>> DecodePdus(std::string_view payload) {
+  Decoder dec(payload);
+  uint64_t count = 0;
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&count));
+  if (count > 1024) return Status::Corruption("pdu count implausible");
+  std::vector<Pdu> pdus;
+  pdus.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Pdu pdu;
+    uint8_t type = 0;
+    TPC_RETURN_IF_ERROR(dec.GetU8(&type));
+    if (type < 1 || type > static_cast<uint8_t>(PduType::kInquiryReply))
+      return Status::Corruption("bad pdu type");
+    pdu.type = static_cast<PduType>(type);
+    TPC_RETURN_IF_ERROR(dec.GetVarint(&pdu.txn));
+    uint16_t flags = 0;
+    TPC_RETURN_IF_ERROR(dec.GetU16(&flags));
+    pdu.long_locks = flags & kFlagLongLocks;
+    pdu.reliable = flags & kFlagReliable;
+    pdu.ok_to_leave_out = flags & kFlagOkToLeaveOut;
+    pdu.unsolicited = flags & kFlagUnsolicited;
+    pdu.last_agent = flags & kFlagLastAgent;
+    pdu.vote_long_locks = flags & kFlagVoteLongLocks;
+    pdu.heur_commit = flags & kFlagHeurCommit;
+    pdu.heur_abort = flags & kFlagHeurAbort;
+    pdu.damage = flags & kFlagDamage;
+    pdu.outcome_pending = flags & kFlagOutcomePending;
+    pdu.from_last_agent = flags & kFlagFromLastAgent;
+    uint8_t vote = 0;
+    TPC_RETURN_IF_ERROR(dec.GetU8(&vote));
+    if (vote > static_cast<uint8_t>(rm::Vote::kReadOnly))
+      return Status::Corruption("bad vote");
+    pdu.vote = static_cast<rm::Vote>(vote);
+    uint8_t answer = 0;
+    TPC_RETURN_IF_ERROR(dec.GetU8(&answer));
+    if (answer > static_cast<uint8_t>(InquiryAnswer::kInDoubt))
+      return Status::Corruption("bad inquiry answer");
+    pdu.answer = static_cast<InquiryAnswer>(answer);
+    TPC_RETURN_IF_ERROR(dec.GetString(&pdu.data));
+    pdus.push_back(std::move(pdu));
+  }
+  if (!dec.empty()) return Status::Corruption("trailing bytes after pdus");
+  return pdus;
+}
+
+std::string DescribePdus(const std::vector<Pdu>& pdus) {
+  std::string out;
+  for (size_t i = 0; i < pdus.size(); ++i) {
+    if (i) out += "+";
+    out += PduTypeToString(pdus[i].type);
+    if (pdus[i].type == PduType::kVote) {
+      out += "(";
+      out += rm::VoteToString(pdus[i].vote);
+      if (pdus[i].unsolicited) out += ",unsolicited";
+      if (pdus[i].last_agent) out += ",last-agent";
+      out += ")";
+    }
+  }
+  return out;
+}
+
+}  // namespace tpc::tm

@@ -1,0 +1,90 @@
+// Protocol data units (PDUs) exchanged between transaction managers, and
+// their wire encoding.
+//
+// A network message carries one or more PDUs: piggybacking is how the
+// long-locks optimization folds a commit acknowledgment into the first data
+// message of the next transaction, and how last-agent/long-locks pairs
+// commit two transactions in three flows.
+
+#ifndef TPC_TM_PROTOCOL_MESSAGES_H_
+#define TPC_TM_PROTOCOL_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rm/resource_manager.h"
+#include "tm/types.h"
+#include "util/result.h"
+
+namespace tpc::tm {
+
+/// PDU discriminator.
+enum class PduType : uint8_t {
+  kAppData = 1,   ///< application data; enrolls the receiver in the txn
+  kPrepare,       ///< phase-one request
+  kVote,          ///< phase-one response (or unsolicited / last-agent vote)
+  kCommit,        ///< commit decision
+  kAbort,         ///< abort decision
+  kAck,           ///< decision acknowledged (carries heuristic report)
+  kInquiry,       ///< recovery: what happened to txn?
+  kInquiryReply,  ///< recovery answer
+};
+
+std::string_view PduTypeToString(PduType type);
+
+/// Answer carried by kInquiryReply.
+enum class InquiryAnswer : uint8_t {
+  kCommitted,
+  kAborted,
+  kUnknown,  ///< no information (baseline/PN cannot presume; caller blocks)
+  kInDoubt,  ///< responder itself has not resolved the transaction
+};
+
+/// One protocol data unit. A tagged union kept flat for simplicity; only
+/// the fields relevant to `type` are meaningful.
+struct Pdu {
+  PduType type = PduType::kAppData;
+  uint64_t txn = 0;
+
+  // kPrepare
+  bool long_locks = false;  ///< coordinator requests the long-locks variation
+
+  // kVote
+  rm::Vote vote = rm::Vote::kNo;
+  bool reliable = false;        ///< whole subtree is reliable
+  bool ok_to_leave_out = false; ///< whole subtree may be suspended/left out
+  bool unsolicited = false;     ///< sent without a Prepare
+  bool last_agent = false;      ///< YES vote that transfers the commit decision
+  bool vote_long_locks = false; ///< last-agent path: sender requests long locks
+
+  // kAck / kInquiryReply heuristic report
+  bool heur_commit = false;   ///< subtree contains a heuristic commit
+  bool heur_abort = false;    ///< subtree contains a heuristic abort
+  bool damage = false;        ///< heuristic decision conflicted with outcome
+  bool outcome_pending = false;  ///< "recovery is in progress" ack
+
+  // kCommit
+  bool from_last_agent = false;  ///< decision flowing last agent -> initiator
+
+  // kInquiryReply
+  InquiryAnswer answer = InquiryAnswer::kUnknown;
+
+  // kAppData
+  std::string data;
+
+  void EncodeTo(std::string* out) const;
+};
+
+/// Encodes a bundle of PDUs into one network-message payload.
+std::string EncodePdus(const std::vector<Pdu>& pdus);
+
+/// Decodes a network-message payload.
+Result<std::vector<Pdu>> DecodePdus(std::string_view payload);
+
+/// Human-readable tag for traces: "PREPARE" or "ACK+APP_DATA".
+std::string DescribePdus(const std::vector<Pdu>& pdus);
+
+}  // namespace tpc::tm
+
+#endif  // TPC_TM_PROTOCOL_MESSAGES_H_

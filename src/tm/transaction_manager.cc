@@ -1,0 +1,1857 @@
+#include "tm/transaction_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/binary_io.h"
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace tpc::tm {
+namespace {
+
+// Body shared by the TM protocol records. Children are the peers a decision
+// must reach during recovery; upstream is where acknowledgments (or
+// inquiries) go.
+struct TmRecordBody {
+  std::string upstream;  // empty at the root
+  bool is_root = false;
+  bool heur_commit = false;  // kTmHeuristic only
+  std::vector<std::string> children;
+};
+
+std::string EncodeBody(const TmRecordBody& body) {
+  Encoder enc;
+  enc.PutString(body.upstream);
+  enc.PutBool(body.is_root);
+  enc.PutBool(body.heur_commit);
+  enc.PutVarint(body.children.size());
+  for (const auto& c : body.children) enc.PutString(c);
+  return enc.Release();
+}
+
+Status DecodeBody(std::string_view data, TmRecordBody* body) {
+  Decoder dec(data);
+  TPC_RETURN_IF_ERROR(dec.GetString(&body->upstream));
+  TPC_RETURN_IF_ERROR(dec.GetBool(&body->is_root));
+  TPC_RETURN_IF_ERROR(dec.GetBool(&body->heur_commit));
+  uint64_t n = 0;
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&n));
+  body->children.resize(n);
+  for (uint64_t i = 0; i < n; ++i)
+    TPC_RETURN_IF_ERROR(dec.GetString(&body->children[i]));
+  return Status::OK();
+}
+
+}  // namespace
+
+TransactionManager::TransactionManager(sim::SimContext* ctx,
+                                       net::Network* network,
+                                       wal::LogManager* log, std::string name,
+                                       TmConfig config)
+    : ctx_(ctx),
+      network_(network),
+      log_(log),
+      name_(std::move(name)),
+      config_(config) {
+  network_->Register(name_, this);
+}
+
+void TransactionManager::AttachRm(rm::KVResourceManager* rm) {
+  rms_.push_back(rm);
+}
+
+void TransactionManager::Connect(const net::NodeId& peer,
+                                 SessionOptions options) {
+  sessions_[peer].options = options;
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+// ---------------------------------------------------------------------------
+
+TransactionManager::Txn& TransactionManager::GetOrCreateTxn(uint64_t id) {
+  auto [it, inserted] = txns_.try_emplace(id);
+  if (inserted) it->second.id = id;
+  return it->second;
+}
+
+TransactionManager::Txn* TransactionManager::FindTxn(uint64_t id) {
+  auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+void TransactionManager::SendPdu(const net::NodeId& peer, Pdu pdu) {
+  TPC_CHECK(up_);
+  auto session_it = sessions_.find(peer);
+  TPC_CHECK(session_it != sessions_.end());
+  Session& session = session_it->second;
+
+  std::vector<Pdu> pdus;
+  // Piggyback anything buffered for this peer (long-locks acks, deferred
+  // last-agent decisions) — that is the whole point of the buffering.
+  if (!session.outbox.empty()) {
+    pdus = std::move(session.outbox);
+    session.outbox.clear();
+  }
+  const bool protocol_flow = pdu.type != PduType::kAppData;
+  const uint64_t primary_txn = pdu.txn;
+  pdus.push_back(std::move(pdu));
+
+  // Flow accounting: a message whose primary PDU is protocol traffic counts
+  // as one commit flow against that transaction. Piggybacked PDUs and app
+  // data ride for free (the packet exists anyway) — this matches how the
+  // paper credits the long-locks and implied-ack savings.
+  if (protocol_flow) ++costs_[primary_txn].flows_sent;
+
+  net::Message msg;
+  msg.from = name_;
+  msg.to = peer;
+  msg.type = DescribePdus(pdus);
+  msg.txn = primary_txn;
+  msg.payload = EncodePdus(pdus);
+  TPC_CHECK_OK(network_->Send(std::move(msg)));
+}
+
+void TransactionManager::BufferPdu(const net::NodeId& peer, Pdu pdu) {
+  auto session_it = sessions_.find(peer);
+  TPC_CHECK(session_it != sessions_.end());
+  session_it->second.outbox.push_back(std::move(pdu));
+}
+
+void TransactionManager::AppendTmRecord(uint64_t txn, wal::RecordType type,
+                                        bool force, std::string body,
+                                        std::function<void()> done) {
+  auto& cost = costs_[txn];
+  ++cost.tm_log_writes;
+  if (force) ++cost.tm_log_forced;
+  wal::LogRecord rec;
+  rec.type = type;
+  rec.txn = txn;
+  rec.owner = name_ + ".tm";
+  rec.body = std::move(body);
+  if (!done) {
+    log_->Append(rec, force);
+    return;
+  }
+  const uint64_t epoch = epoch_;
+  log_->Append(rec, force, [this, epoch, done = std::move(done)] {
+    if (up_ && epoch == epoch_) done();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Application interface
+// ---------------------------------------------------------------------------
+
+uint64_t TransactionManager::Begin() {
+  uint64_t id = ctx_->NextTxnId();
+  GetOrCreateTxn(id);
+  return id;
+}
+
+Status TransactionManager::SendWork(uint64_t txn_id, const net::NodeId& peer,
+                                    std::string payload) {
+  if (!up_) return Status::Unavailable(name_ + " is down");
+  auto session_it = sessions_.find(peer);
+  if (session_it == sessions_.end())
+    return Status::InvalidArgument("no session with " + peer);
+  Txn& txn = GetOrCreateTxn(txn_id);
+  txn.peers.insert(peer);
+  session_it->second.suspended_leave_out = false;  // data wakes the server
+
+  Pdu pdu;
+  pdu.type = PduType::kAppData;
+  pdu.txn = txn_id;
+  pdu.data = std::move(payload);
+  SendPdu(peer, std::move(pdu));
+  return Status::OK();
+}
+
+void TransactionManager::Read(uint64_t txn, size_t rm_index,
+                              const std::string& key,
+                              rm::KVResourceManager::ReadCallback done) {
+  GetOrCreateTxn(txn);
+  rms_.at(rm_index)->Read(txn, key, std::move(done));
+}
+
+void TransactionManager::Write(uint64_t txn, size_t rm_index,
+                               const std::string& key, std::string value,
+                               rm::KVResourceManager::WriteCallback done) {
+  GetOrCreateTxn(txn);
+  rms_.at(rm_index)->Write(txn, key, std::move(value), std::move(done));
+}
+
+void TransactionManager::Commit(uint64_t txn_id, CommitCallback done) {
+  TPC_CHECK(up_);
+  Txn& txn = GetOrCreateTxn(txn_id);
+  TPC_CHECK(txn.phase == Phase::kActive);
+  txn.is_root = true;
+  txn.has_app_cb = true;
+  txn.app_cb = std::move(done);
+  txn.commit_started = ctx_->now();
+  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kState, name_, "", txn_id,
+                     "commit initiated"});
+  StartPhaseOne(txn);
+}
+
+void TransactionManager::AbortTxn(uint64_t txn_id) {
+  TPC_CHECK(up_);
+  Txn& txn = GetOrCreateTxn(txn_id);
+  TPC_CHECK(txn.phase == Phase::kActive);
+  txn.is_root = true;
+  // An abort needs to reach anyone who may have done work.
+  for (const auto& peer : txn.peers) {
+    Child child;
+    child.peer = peer;
+    txn.children.push_back(std::move(child));
+  }
+  DecideAndPropagate(txn, /*commit=*/false);
+}
+
+void TransactionManager::UnsolicitedPrepare(uint64_t txn_id) {
+  TPC_CHECK(up_);
+  Txn* txn = FindTxn(txn_id);
+  TPC_CHECK(txn != nullptr);
+  TPC_CHECK(txn->has_work_source);  // a server knows who its requester is
+  TPC_CHECK(txn->phase == Phase::kActive);
+  txn->has_upstream = true;
+  txn->upstream = txn->work_source;
+  txn->unsolicited_sent = true;
+  StartPhaseOne(*txn);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator path: phase one
+// ---------------------------------------------------------------------------
+
+void TransactionManager::ComputeParticipants(Txn& txn) {
+  // Touched peers are always in. Untouched connected sessions join only in
+  // include-idle mode, and even then the leave-out optimization can exclude
+  // them (PA: any untouched server; PN: only a server that voted
+  // OK_TO_LEAVE_OUT in an earlier commit and is suspended since).
+  std::set<net::NodeId> existing;
+  for (const auto& c : txn.children) existing.insert(c.peer);
+  for (const auto& [peer, session] : sessions_) {
+    if (txn.has_upstream && peer == txn.upstream) continue;
+    if (existing.count(peer)) continue;
+    const bool touched = txn.peers.count(peer) > 0;
+    bool included = touched;
+    if (!included && config_.include_idle_sessions) {
+      const bool eligible_leave_out =
+          config_.leave_out_opt &&
+          (config_.protocol == ProtocolKind::kPresumedAbort
+               ? true
+               : session.suspended_leave_out);
+      included = !eligible_leave_out;
+    }
+    if (!included) continue;
+    Child child;
+    child.peer = peer;
+    txn.children.push_back(std::move(child));
+  }
+}
+
+void TransactionManager::StartPhaseOne(Txn& txn) {
+  txn.phase = Phase::kPreparing;
+  ComputeParticipants(txn);
+
+  // PN: a coordinator (root or cascaded, including a last agent) must
+  // remember its subordinates durably *before* any of them can become
+  // dependent on it — it is the one responsible for driving recovery and
+  // collecting heuristic-damage reports.
+  const bool needs_pre_prepare_record =
+      config_.protocol == ProtocolKind::kPresumedNothing ||
+      config_.protocol == ProtocolKind::kPresumedCommit;  // PC "collecting"
+  if (needs_pre_prepare_record && !txn.commit_pending_logged &&
+      !txn.children.empty()) {
+    txn.commit_pending_logged = true;
+    TmRecordBody body;
+    body.is_root = !txn.has_upstream;
+    if (txn.has_upstream) body.upstream = txn.upstream;
+    for (const auto& c : txn.children) body.children.push_back(c.peer);
+    const uint64_t id = txn.id;
+    AppendTmRecord(id, wal::RecordType::kTmCommitPending, /*force=*/true,
+                   EncodeBody(body), [this, id] {
+      if (Txn* t = FindTxn(id)) ContinuePhaseOne(*t);
+    });
+    return;
+  }
+  ContinuePhaseOne(txn);
+}
+
+void TransactionManager::ContinuePhaseOne(Txn& txn) {
+  const uint64_t id = txn.id;
+
+  // Select the last agent. Only a node that owns the commit decision (a
+  // root or a node the decision was delegated to) may delegate it further.
+  const bool owns_decision = !txn.has_upstream || txn.i_am_last_agent;
+  if (config_.last_agent_opt && owns_decision && !txn.children.empty()) {
+    Child* pick = nullptr;
+    sim::Time best_latency = -1;
+    for (auto& child : txn.children) {
+      if (child.voted) continue;  // vote already in hand (incl. initiator)
+      auto session_it = sessions_.find(child.peer);
+      const bool candidate = session_it != sessions_.end() &&
+                             session_it->second.options.last_agent_candidate;
+      sim::Time latency = network_->LatencyBetween(name_, child.peer);
+      if (candidate) latency += 1'000'000'000;  // candidates dominate
+      if (latency > best_latency) {
+        best_latency = latency;
+        pick = &child;
+      }
+    }
+    if (pick != nullptr) {
+      pick->is_last_agent = true;
+      txn.last_agent_peer = pick->peer;
+      txn.awaiting_last_agent = true;
+    }
+  }
+
+  // Send Prepare to everyone except the last agent and the already-voted.
+  for (auto& child : txn.children) {
+    if (child.is_last_agent || child.voted) continue;
+    child.prepare_sent = true;
+    ++txn.votes_outstanding;
+    Pdu pdu;
+    pdu.type = PduType::kPrepare;
+    pdu.txn = id;
+    auto session_it = sessions_.find(child.peer);
+    pdu.long_locks = session_it != sessions_.end() &&
+                     session_it->second.options.long_locks;
+    SendPdu(child.peer, std::move(pdu));
+  }
+
+  if (txn.votes_outstanding > 0) {
+    txn.vote_timer_armed = true;
+    const uint64_t epoch = epoch_;
+    txn.vote_timer = ctx_->events().ScheduleAfter(config_.vote_timeout,
+                                                  [this, epoch, id] {
+      if (!up_ || epoch != epoch_) return;
+      Txn* t = FindTxn(id);
+      if (t == nullptr || t->phase != Phase::kPreparing) return;
+      if (t->votes_outstanding == 0) return;
+      t->vote_timer_armed = false;
+      t->any_no = true;  // missing votes decide abort
+      t->votes_outstanding = 0;
+      MaybePhaseOneComplete(*t);
+    });
+  }
+
+  PrepareLocalRms(txn);
+}
+
+void TransactionManager::PrepareLocalRms(Txn& txn) {
+  const uint64_t id = txn.id;
+  txn.rms_outstanding = rms_.size();
+  if (rms_.empty()) {
+    MaybePhaseOneComplete(txn);
+    return;
+  }
+  const uint64_t epoch = epoch_;
+  for (auto* rm : rms_) {
+    rm->Prepare(id, [this, epoch, id](rm::VoteInfo info) {
+      if (!up_ || epoch != epoch_) return;
+      Txn* t = FindTxn(id);
+      if (t == nullptr) return;
+      TPC_CHECK(t->rms_outstanding > 0);
+      --t->rms_outstanding;
+      switch (info.vote) {
+        case rm::Vote::kNo:
+          t->any_no = true;
+          break;
+        case rm::Vote::kYes:
+          t->local_updates = true;
+          break;
+        case rm::Vote::kReadOnly:
+          break;
+      }
+      if (!info.reliable) t->all_reliable = false;
+      if (!info.ok_to_leave_out) t->all_leave_out = false;
+      MaybePhaseOneComplete(*t);
+    });
+  }
+}
+
+void TransactionManager::OnVotePdu(const net::NodeId& from, const Pdu& pdu) {
+  // Last-agent vote: the sender hands us the commit decision.
+  if (pdu.last_agent) {
+    Txn& txn = GetOrCreateTxn(pdu.txn);
+    if (txn.is_root && txn.has_app_cb) {
+      // Two initiators for one transaction: protocol violation, abort.
+      Pdu abort;
+      abort.type = PduType::kAbort;
+      abort.txn = pdu.txn;
+      abort.from_last_agent = true;
+      SendPdu(from, std::move(abort));
+      if (txn.phase == Phase::kActive || txn.phase == Phase::kPreparing) {
+        txn.any_no = true;
+        if (txn.phase == Phase::kPreparing) MaybePhaseOneComplete(txn);
+      }
+      return;
+    }
+    txn.i_am_last_agent = true;
+    txn.initiator_read_only = pdu.vote == rm::Vote::kReadOnly;
+    txn.implied_ack_peer = from;
+    txn.peers.insert(from);
+    // Represent the initiator as an already-prepared child we must send the
+    // decision to; its ack is implied by its next message.
+    Child initiator;
+    initiator.peer = from;
+    initiator.voted = true;
+    initiator.vote = pdu.vote;
+    initiator.prepare_sent = true;
+    txn.children.push_back(std::move(initiator));
+    // The initiator requests long locks on its vote: our decision message
+    // will be buffered for piggybacking.
+    txn.initiator_requested_long_locks = pdu.vote_long_locks;
+    // Now run our own phase one (we may cascade, even pick our own last
+    // agent) and then decide.
+    StartPhaseOne(txn);
+    return;
+  }
+
+  Txn& txn = GetOrCreateTxn(pdu.txn);
+  if (pdu.unsolicited && txn.phase == Phase::kActive) {
+    // Early vote stashed until commit processing starts.
+    txn.peers.insert(from);
+    Child child;
+    child.peer = from;
+    child.voted = true;
+    child.vote = pdu.vote;
+    child.reliable = pdu.reliable;
+    child.ok_leave_out = pdu.ok_to_leave_out;
+    child.unsolicited = true;
+    txn.children.push_back(std::move(child));
+    if (pdu.vote == rm::Vote::kNo) txn.any_no = true;
+    if (!pdu.reliable) txn.all_reliable = false;
+    if (!pdu.ok_to_leave_out) txn.all_leave_out = false;
+    return;
+  }
+
+  if (txn.phase != Phase::kPreparing) return;  // stale/duplicate vote
+  for (auto& child : txn.children) {
+    if (child.peer != from || child.voted) continue;
+    child.voted = true;
+    child.vote = pdu.vote;
+    child.reliable = pdu.reliable;
+    child.ok_leave_out = pdu.ok_to_leave_out;
+    if (pdu.vote == rm::Vote::kNo) txn.any_no = true;
+    if (!pdu.reliable) txn.all_reliable = false;
+    if (!pdu.ok_to_leave_out) txn.all_leave_out = false;
+    TPC_CHECK(txn.votes_outstanding > 0);
+    --txn.votes_outstanding;
+    MaybePhaseOneComplete(txn);
+    return;
+  }
+}
+
+void TransactionManager::MaybePhaseOneComplete(Txn& txn) {
+  if (txn.phase != Phase::kPreparing) return;
+  if (txn.votes_outstanding > 0 || txn.rms_outstanding > 0) return;
+  if (txn.vote_timer_armed) {
+    ctx_->events().Cancel(txn.vote_timer);
+    txn.vote_timer_armed = false;
+  }
+
+  if (txn.any_no) {
+    if (txn.has_upstream && !txn.i_am_last_agent) {
+      SendVote(txn);  // vote NO upward; abort our subtree
+      return;
+    }
+    DecideAndPropagate(txn, /*commit=*/false);
+    return;
+  }
+
+  // All votes are YES or read-only.
+  const bool children_all_ro = std::all_of(
+      txn.children.begin(), txn.children.end(), [&](const Child& c) {
+        if (c.is_last_agent) return true;  // not voted yet, not a vote
+        if (txn.i_am_last_agent && c.peer == txn.implied_ack_peer)
+          return c.vote == rm::Vote::kReadOnly;
+        return c.vote == rm::Vote::kReadOnly;
+      });
+  const bool subtree_read_only =
+      config_.read_only_opt && children_all_ro && !txn.local_updates;
+
+  if (txn.has_upstream && !txn.i_am_last_agent) {
+    // Subordinate / cascaded coordinator: vote upward.
+    SendVote(txn);
+    return;
+  }
+
+  if (txn.awaiting_last_agent) {
+    // Hand the decision to the last agent. A read-only initiator can skip
+    // the prepared force-write (it has nothing at stake).
+    const uint64_t id = txn.id;
+    auto send_vote_to_last_agent = [this, id](rm::Vote vote) {
+      Txn* t = FindTxn(id);
+      if (t == nullptr) return;
+      t->phase = Phase::kAwaitLastAgent;
+      t->my_la_vote_ro = vote == rm::Vote::kReadOnly;
+      Pdu pdu;
+      pdu.type = PduType::kVote;
+      pdu.txn = id;
+      pdu.vote = vote;
+      pdu.last_agent = true;
+      auto session_it = sessions_.find(t->last_agent_peer);
+      pdu.vote_long_locks = session_it != sessions_.end() &&
+                            session_it->second.options.long_locks;
+      SendPdu(t->last_agent_peer, std::move(pdu));
+      if (vote == rm::Vote::kYes) {
+        // We are now in doubt: arm the usual in-doubt machinery.
+        ArmHeuristicTimer(*t);
+        ArmInquiryTimer(*t);
+      }
+    };
+
+    if (subtree_read_only) {
+      // Release read-only resources now (the read-only optimization).
+      for (auto* rm : rms_) rm->EndReadOnly(txn.id);
+      for (auto& child : txn.children)
+        if (!child.is_last_agent) child.excluded = true;
+      send_vote_to_last_agent(rm::Vote::kReadOnly);
+      return;
+    }
+    TmRecordBody body;
+    body.upstream = txn.last_agent_peer;  // decisions/inquiries go there
+    body.is_root = true;
+    for (const auto& c : txn.children)
+      if (!c.is_last_agent) body.children.push_back(c.peer);
+    AppendTmRecord(txn.id, wal::RecordType::kTmPrepared, /*force=*/true,
+                   EncodeBody(body), [this, send_vote_to_last_agent] {
+      if (ctx_->failures().CrashPoint(name_, "after_prepared_force")) return;
+      send_vote_to_last_agent(rm::Vote::kYes);
+    });
+    return;
+  }
+
+  if (subtree_read_only && !txn.i_am_last_agent) {
+    // Entirely read-only transaction: commit outcome, second phase skipped
+    // for everyone, and (PA) no logging at all.
+    txn.decided = true;
+    txn.commit_decision = true;
+    txn.outcome = Outcome::kCommitted;
+    for (auto& child : txn.children) child.excluded = true;
+    for (auto* rm : rms_) rm->EndReadOnly(txn.id);
+    if (config_.protocol == ProtocolKind::kPresumedNothing &&
+        txn.commit_pending_logged) {
+      AppendTmRecord(txn.id, wal::RecordType::kTmEnd, /*force=*/false, "",
+                     nullptr);
+      txn.end_written = true;
+    }
+    CompleteApp(txn, /*pending=*/false);
+    Forget(txn);
+    return;
+  }
+
+  if (txn.i_am_last_agent && subtree_read_only && txn.initiator_read_only) {
+    // Fully read-only last-agent transaction: nothing at stake anywhere.
+    // Reply with the outcome (the initiator's app needs it) and forget;
+    // no logging, no implied-ack wait.
+    txn.decided = true;
+    txn.commit_decision = true;
+    txn.outcome = Outcome::kCommitted;
+    for (auto* rm : rms_) rm->EndReadOnly(txn.id);
+    Pdu pdu;
+    pdu.type = PduType::kCommit;
+    pdu.txn = txn.id;
+    pdu.from_last_agent = true;
+    SendPdu(txn.implied_ack_peer, std::move(pdu));
+    Forget(txn);
+    return;
+  }
+
+  DecideAndPropagate(txn, /*commit=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Decision and phase two
+// ---------------------------------------------------------------------------
+
+void TransactionManager::DecideAndPropagate(Txn& txn, bool commit) {
+  txn.decided = true;
+  txn.commit_decision = commit;
+  txn.phase = Phase::kDeciding;
+  const uint64_t id = txn.id;
+
+  if (commit) {
+    txn.outcome = Outcome::kCommitted;
+    TmRecordBody body;
+    body.is_root = !txn.has_upstream;
+    if (txn.has_upstream) body.upstream = txn.upstream;
+    for (const auto& c : txn.children)
+      if (!c.excluded) body.children.push_back(c.peer);
+    AppendTmRecord(id, wal::RecordType::kTmCommitted,
+                   /*force=*/!ForceDowngraded(), EncodeBody(body),
+                   [this, id] {
+      if (ctx_->failures().CrashPoint(name_, "after_commit_force")) return;
+      Txn* t = FindTxn(id);
+      if (t == nullptr) return;
+      SendDecision(*t, /*commit=*/true);
+    });
+    return;
+  }
+
+  txn.outcome = Outcome::kAborted;
+  if (config_.protocol == ProtocolKind::kPresumedAbort) {
+    // PA abort: the root logs nothing; absence of information means abort.
+    SendDecision(txn, /*commit=*/false);
+    return;
+  }
+  TmRecordBody body;
+  body.is_root = !txn.has_upstream;
+  if (txn.has_upstream) body.upstream = txn.upstream;
+  for (const auto& c : txn.children)
+    if (!c.excluded) body.children.push_back(c.peer);
+  AppendTmRecord(id, wal::RecordType::kTmAborted, /*force=*/true,
+                 EncodeBody(body), [this, id] {
+    Txn* t = FindTxn(id);
+    if (t == nullptr) return;
+    SendDecision(*t, /*commit=*/false);
+  });
+}
+
+void TransactionManager::SendDecision(Txn& txn, bool commit) {
+  const uint64_t id = txn.id;
+  const bool pa = config_.protocol == ProtocolKind::kPresumedAbort;
+  const bool pc = config_.protocol == ProtocolKind::kPresumedCommit;
+
+  for (auto& child : txn.children) {
+    if (child.is_last_agent) {
+      // The last agent *made* this decision; it learns nothing from us and
+      // its END waits on our implied ack (our next message to it).
+      child.ack_required = false;
+      continue;
+    }
+    const bool is_la_initiator =
+        txn.i_am_last_agent && child.peer == txn.implied_ack_peer;
+    // Read-only voters and left-out partners see no second phase — except a
+    // read-only last-agent initiator, whose app still needs the outcome.
+    if (child.voted && child.vote == rm::Vote::kReadOnly &&
+        config_.read_only_opt && !is_la_initiator) {
+      child.excluded = true;
+    }
+    if (child.excluded) continue;
+    if (child.acked) {
+      // Already resolved and acknowledged (a NO voter that aborted its
+      // subtree and acked proactively): nothing to send.
+      child.ack_required = true;
+      continue;
+    }
+    // A child that never received a Prepare (vote timeout fired before we
+    // contacted it) still gets the abort: it may hold work for the txn.
+
+    // Ack requirements: none for abort under PA, none for NO voters, none
+    // for reliable subtrees when the optimization is on, and the last
+    // agent's initiator acks implicitly.
+    bool ack_required = true;
+    if (!commit && pa) ack_required = false;
+    if (commit && pc) ack_required = false;  // commits are presumed
+    // A NO voter has nothing to resolve under PA; under PN/basic its ack
+    // still closes the late-acknowledgment loop (it may have a subtree).
+    if (child.voted && child.vote == rm::Vote::kNo && pa)
+      ack_required = false;
+    if (commit && child.reliable && config_.vote_reliable_opt)
+      ack_required = false;
+    if (is_la_initiator) ack_required = false;
+    child.ack_required = ack_required;
+
+    Pdu pdu;
+    pdu.type = commit ? PduType::kCommit : PduType::kAbort;
+    pdu.txn = id;
+    pdu.from_last_agent = is_la_initiator;
+
+    auto session_it = sessions_.find(child.peer);
+    const bool buffer_decision =
+        is_la_initiator && txn.initiator_requested_long_locks;
+    if (buffer_decision) {
+      // Last-agent + long-locks: the decision itself waits for the next
+      // message on the session (Table 4's three-flows-per-two-transactions
+      // pattern; also the paper's "no messages flow for the next
+      // transaction" application-design hazard).
+      BufferPdu(child.peer, std::move(pdu));
+    } else {
+      SendPdu(child.peer, std::move(pdu));
+    }
+    if (is_la_initiator && commit && child.vote != rm::Vote::kReadOnly) {
+      sessions_[child.peer].awaiting_implied_ack_txn = id;
+      txn.awaiting_implied_ack = true;
+    }
+    // Long-locks sessions deliberately defer the ack until the next
+    // transaction begins — retrying the decision on a timer would defeat
+    // the optimization (and the paper's "application design problem"
+    // caveat is exactly that the wait can be unbounded).
+    const bool long_locks_session =
+        session_it != sessions_.end() && session_it->second.options.long_locks;
+    if (ack_required && !long_locks_session) ArmAckTimer(txn, child);
+  }
+
+  // Second phase against local resource managers.
+  txn.rm_phase2_outstanding = rms_.size();
+  const uint64_t epoch = epoch_;
+  for (auto* rm : rms_) {
+    auto done = [this, epoch, id](Status st) {
+      TPC_CHECK(st.ok());
+      if (!up_ || epoch != epoch_) return;
+      Txn* t = FindTxn(id);
+      if (t == nullptr) return;
+      TPC_CHECK(t->rm_phase2_outstanding > 0);
+      --t->rm_phase2_outstanding;
+      MaybeComplete(*t);
+    };
+    if (commit) {
+      rm->Commit(id, std::move(done));
+    } else {
+      rm->Abort(id, std::move(done));
+    }
+  }
+  if (rms_.empty()) MaybeComplete(txn);
+}
+
+void TransactionManager::ArmAckTimer(Txn& txn, Child& child) {
+  const uint64_t id = txn.id;
+  const net::NodeId peer = child.peer;
+  const uint64_t epoch = epoch_;
+  child.ack_timer_armed = true;
+  child.ack_timer = ctx_->events().ScheduleAfter(config_.ack_timeout,
+                                                 [this, epoch, id, peer] {
+    if (!up_ || epoch != epoch_) return;
+    Txn* t = FindTxn(id);
+    if (t == nullptr) return;
+    for (auto& c : t->children) {
+      if (c.peer != peer || c.acked || !c.ack_required) continue;
+      c.ack_timer_armed = false;
+      Pdu pdu;
+      pdu.type = t->commit_decision ? PduType::kCommit : PduType::kAbort;
+      pdu.txn = id;
+      pdu.from_last_agent = t->i_am_last_agent && peer == t->implied_ack_peer;
+      if (!c.retried) {
+        // One retry (the paper's wait-for-outcome contract: one attempt to
+        // contact a failed partner before giving up the wait).
+        c.retried = true;
+        SendPdu(peer, std::move(pdu));
+        ArmAckTimer(*t, c);
+        return;
+      }
+      // Still unreachable after the retry.
+      t->subtree_pending = true;
+      if (!config_.wait_for_outcome_block) {
+        // Wait-for-outcome: stop blocking the application / the upstream
+        // ack; recovery continues in the background.
+        c.ack_required = false;
+        ScheduleRecoveryRetry(id);
+        if (!t->has_upstream || t->i_am_last_agent) {
+          CompleteApp(*t, /*pending=*/true);
+        } else if (!t->ack_sent) {
+          // "Recovery is in progress" acknowledgment to our coordinator.
+          DoSendAck(*t, /*pending=*/true);
+        }
+      } else {
+        // Classic blocking behavior: keep retrying until the peer returns.
+        SendPdu(peer, std::move(pdu));
+        ArmAckTimer(*t, c);
+      }
+      return;
+    }
+  });
+}
+
+void TransactionManager::OnAckPdu(const net::NodeId& from, const Pdu& pdu) {
+  Txn* txn = FindTxn(pdu.txn);
+  if (txn == nullptr) {
+    // Late/duplicate ack for a forgotten transaction: fold any damage
+    // report into the archive (background wait-for-outcome resolutions).
+    auto it = archive_.find(pdu.txn);
+    if (it != archive_.end() && pdu.damage)
+      it->second.damage_reported_here = true;
+    return;
+  }
+  for (auto& child : txn->children) {
+    if (child.peer != from) continue;
+    if (child.ack_timer_armed) {
+      ctx_->events().Cancel(child.ack_timer);
+      child.ack_timer_armed = false;
+    }
+    child.acked = true;
+    // Aggregate the subtree's heuristic report.
+    if (pdu.heur_commit) txn->heur_commit = true;
+    if (pdu.heur_abort) txn->heur_abort = true;
+    if (pdu.damage) txn->damage = true;
+    if (pdu.outcome_pending) txn->subtree_pending = true;
+    MaybeComplete(*txn);
+    return;
+  }
+}
+
+void TransactionManager::MaybeComplete(Txn& txn) {
+  if (!txn.decided || txn.phase != Phase::kDeciding) return;
+  if (txn.rm_phase2_outstanding > 0) return;
+  for (const auto& child : txn.children)
+    if (child.ack_required && !child.acked) return;
+  if (txn.i_am_last_agent && txn.awaiting_implied_ack) {
+    // Everything else is done, but the initiator's implied ack is still
+    // outstanding: hold the END record until its next message arrives.
+    return;
+  }
+
+  const bool pa = config_.protocol == ProtocolKind::kPresumedAbort;
+
+  if (txn.has_upstream && !txn.i_am_last_agent) {
+    // Subordinate / cascaded completion: END + ack upstream.
+    AckUpstreamIfReady(txn);
+    return;
+  }
+
+  // Root (or last-agent) completion.
+  const bool logged_something =
+      txn.commit_decision || !pa || txn.took_heuristic;
+  const uint64_t id = txn.id;
+  if (logged_something && !txn.end_written) {
+    txn.end_written = true;
+    AppendTmRecord(id, wal::RecordType::kTmEnd, /*force=*/false, "", nullptr);
+  }
+  CompleteApp(txn, txn.subtree_pending);
+  Forget(txn);
+}
+
+void TransactionManager::CompleteApp(Txn& txn, bool pending) {
+  if (txn.app_completed || !txn.has_app_cb) {
+    txn.app_completed = true;
+    return;
+  }
+  txn.app_completed = true;
+  CommitResult result;
+  result.outcome = txn.outcome;
+  result.heuristic_seen = txn.heur_commit || txn.heur_abort;
+  // Damage: a reported heuristic decision that disagrees with the outcome.
+  const bool mismatch = (txn.commit_decision && txn.heur_abort) ||
+                        (!txn.commit_decision && txn.heur_commit) ||
+                        txn.damage;
+  result.heuristic_damage = mismatch;
+  result.outcome_pending = pending;
+  ctx_->trace().Add(
+      {ctx_->now(), sim::TraceKind::kState, name_, "", txn.id,
+       StringPrintf("commit complete (%s%s%s)",
+                    std::string(OutcomeToString(txn.outcome)).c_str(),
+                    mismatch ? ", damage" : "", pending ? ", pending" : "")});
+  txn.app_cb(result);
+}
+
+void TransactionManager::WriteEndIfNeeded(Txn& txn, bool force,
+                                          std::function<void()> done) {
+  if (txn.end_written) {
+    if (done) done();
+    return;
+  }
+  txn.end_written = true;
+  AppendTmRecord(txn.id, wal::RecordType::kTmEnd, force, "", std::move(done));
+}
+
+// ---------------------------------------------------------------------------
+// Subordinate path
+// ---------------------------------------------------------------------------
+
+void TransactionManager::OnAppData(const net::NodeId& from, const Pdu& pdu) {
+  Txn& txn = GetOrCreateTxn(pdu.txn);
+  txn.peers.insert(from);
+  if (!txn.has_work_source) {
+    txn.has_work_source = true;
+    txn.work_source = from;
+  }
+  if (on_app_data_) on_app_data_(pdu.txn, from, pdu.data);
+}
+
+void TransactionManager::OnPreparePdu(const net::NodeId& from,
+                                      const Pdu& pdu) {
+  Txn& txn = GetOrCreateTxn(pdu.txn);
+
+  if (txn.is_root && txn.has_app_cb) {
+    // Two initiators (the Figure 5 hazard class): vote NO; both trees abort.
+    Pdu vote;
+    vote.type = PduType::kVote;
+    vote.txn = pdu.txn;
+    vote.vote = rm::Vote::kNo;
+    SendPdu(from, std::move(vote));
+    if (txn.phase == Phase::kPreparing) {
+      txn.any_no = true;
+      MaybePhaseOneComplete(txn);
+    }
+    return;
+  }
+
+  if (txn.voted_yes || txn.phase == Phase::kInDoubt) {
+    // Duplicate prepare (e.g. unsolicited vote raced with it): re-vote.
+    SendVote(txn);
+    return;
+  }
+  if (txn.phase != Phase::kActive) return;  // late prepare; ignore
+
+  txn.has_upstream = true;
+  txn.upstream = from;
+  txn.upstream_long_locks = pdu.long_locks;
+  txn.peers.insert(from);
+
+  if (config_.protocol == ProtocolKind::kPresumedNothing) {
+    // PN notes the coordinator's identity as soon as commit processing
+    // touches this node (non-forced; it rides the prepared force).
+    TmRecordBody body;
+    body.upstream = from;
+    AppendTmRecord(txn.id, wal::RecordType::kTmJoin, /*force=*/false,
+                   EncodeBody(body), nullptr);
+  }
+
+  // Cascade phase one to our own subtree.
+  StartPhaseOne(txn);
+}
+
+void TransactionManager::SendVote(Txn& txn) {
+  const uint64_t id = txn.id;
+  TPC_CHECK(txn.has_upstream);
+
+  if (txn.phase == Phase::kInDoubt) {
+    // Re-vote (duplicate prepare): resend YES without re-logging.
+    Pdu vote;
+    vote.type = PduType::kVote;
+    vote.txn = id;
+    vote.vote = rm::Vote::kYes;
+    vote.reliable = txn.all_reliable;
+    vote.ok_to_leave_out = config_.ok_to_leave_out && txn.all_leave_out;
+    SendPdu(txn.upstream, std::move(vote));
+    return;
+  }
+
+  if (txn.any_no) {
+    // Our subtree cannot commit: vote NO and abort everything below us.
+    txn.phase = Phase::kDeciding;
+    txn.decided = true;
+    txn.commit_decision = false;
+    txn.outcome = Outcome::kAborted;
+    Pdu vote;
+    vote.type = PduType::kVote;
+    vote.txn = id;
+    vote.vote = rm::Vote::kNo;
+    vote.unsolicited = txn.unsolicited_sent;
+    SendPdu(txn.upstream, std::move(vote));
+
+    if (config_.protocol == ProtocolKind::kPresumedAbort) {
+      // PA: forget immediately; any prepared child that asks later gets the
+      // presumed-abort answer, so nothing needs to be remembered or logged.
+      // SendDecision's RM callbacks can complete synchronously and Forget
+      // the transaction themselves, so re-look it up before touching it.
+      SendDecision(txn, /*commit=*/false);
+      Txn* survivor = FindTxn(id);
+      if (survivor != nullptr) {
+        for (auto& child : survivor->children) {
+          if (child.ack_timer_armed) {
+            ctx_->events().Cancel(child.ack_timer);
+            child.ack_timer_armed = false;
+          }
+          child.ack_required = false;
+        }
+        Forget(*survivor);
+      }
+      return;
+    }
+    // PN/basic: there is no presumption a prepared child could fall back
+    // on, so we must durably remember the abort and drive the subtree to
+    // completion ourselves (retrying through crashes). The normal
+    // completion path then acknowledges upstream.
+    TmRecordBody body;
+    body.upstream = txn.upstream;
+    for (const auto& c : txn.children)
+      if (c.prepare_sent || c.voted) body.children.push_back(c.peer);
+    AppendTmRecord(id, wal::RecordType::kTmAborted, /*force=*/true,
+                   EncodeBody(body), [this, id] {
+      Txn* t = FindTxn(id);
+      if (t == nullptr) return;
+      SendDecision(*t, /*commit=*/false);
+    });
+    return;
+  }
+
+  const bool children_all_ro = std::all_of(
+      txn.children.begin(), txn.children.end(),
+      [](const Child& c) { return c.vote == rm::Vote::kReadOnly; });
+  const bool subtree_read_only =
+      config_.read_only_opt && children_all_ro && !txn.local_updates;
+
+  if (subtree_read_only) {
+    // Read-only vote: no logs, locks released now, outcome never learned.
+    // (Early release is the serialization hazard of Section 4.)
+    txn.outcome = Outcome::kReadOnly;
+    Pdu vote;
+    vote.type = PduType::kVote;
+    vote.txn = id;
+    vote.vote = rm::Vote::kReadOnly;
+    vote.reliable = txn.all_reliable;
+    vote.ok_to_leave_out = config_.ok_to_leave_out && txn.all_leave_out;
+    vote.unsolicited = txn.unsolicited_sent;
+    SendPdu(txn.upstream, std::move(vote));
+    for (auto* rm : rms_) rm->EndReadOnly(id);
+    txn.commit_decision = true;  // archive as committed-equivalent
+    Forget(txn);
+    return;
+  }
+
+  // YES vote: force the prepared record, then vote.
+  TmRecordBody body;
+  body.upstream = txn.upstream;
+  for (const auto& c : txn.children)
+    if (!(c.voted && c.vote == rm::Vote::kReadOnly && config_.read_only_opt))
+      body.children.push_back(c.peer);
+  const bool reliable = txn.all_reliable;
+  const bool leave_out = config_.ok_to_leave_out && txn.all_leave_out;
+  AppendTmRecord(id, wal::RecordType::kTmPrepared,
+                 /*force=*/!ForceDowngraded(), EncodeBody(body),
+                 [this, id, reliable, leave_out] {
+    if (ctx_->failures().CrashPoint(name_, "after_prepared_force")) return;
+    Txn* t = FindTxn(id);
+    if (t == nullptr) return;
+    t->voted_yes = true;
+    t->my_vote_reliable = reliable;
+    t->phase = Phase::kInDoubt;
+    t->outcome = Outcome::kInDoubt;
+    Pdu vote;
+    vote.type = PduType::kVote;
+    vote.txn = id;
+    vote.vote = rm::Vote::kYes;
+    vote.reliable = reliable;
+    vote.ok_to_leave_out = leave_out;
+    vote.unsolicited = t->unsolicited_sent;
+    SendPdu(t->upstream, std::move(vote));
+    ArmHeuristicTimer(*t);
+    ArmInquiryTimer(*t);
+  });
+}
+
+void TransactionManager::OnDecisionPdu(const net::NodeId& from,
+                                       const Pdu& pdu) {
+  const bool commit = pdu.type == PduType::kCommit;
+  Txn* txn = FindTxn(pdu.txn);
+
+  if (txn == nullptr || txn->phase == Phase::kActive) {
+    // Forgotten (or never-prepared) transaction receiving a decision:
+    // abort any active work, then acknowledge from the archive so a
+    // recovering coordinator can finish collecting acks.
+    if (txn != nullptr && txn->phase == Phase::kActive) {
+      AbortLocal(*txn);
+      Forget(*txn);
+    }
+    const bool should_ack =
+        commit ? config_.protocol != ProtocolKind::kPresumedCommit
+               : config_.protocol != ProtocolKind::kPresumedAbort;
+    if (should_ack) {
+      Pdu ack;
+      ack.type = PduType::kAck;
+      ack.txn = pdu.txn;
+      auto it = archive_.find(pdu.txn);
+      if (it != archive_.end()) {
+        const Outcome o = it->second.outcome;
+        ack.heur_commit = o == Outcome::kHeuristicCommitted;
+        ack.heur_abort = o == Outcome::kHeuristicAborted;
+        ack.damage = (commit && o == Outcome::kHeuristicAborted) ||
+                     (!commit && o == Outcome::kHeuristicCommitted) ||
+                     it->second.damage_reported_here;
+      }
+      SendPdu(from, std::move(ack));
+    }
+    return;
+  }
+
+  if (txn->phase == Phase::kAwaitLastAgent) {
+    // We are the initiator; the last agent decided.
+    CancelTimers(*txn);
+    if (txn->my_la_vote_ro) {
+      // We voted read-only to the last agent: nothing to log or propagate
+      // (our subtree was read-only too); just report to the application.
+      txn->decided = true;
+      txn->commit_decision = commit;
+      txn->outcome = commit ? Outcome::kCommitted : Outcome::kAborted;
+      CompleteApp(*txn, /*pending=*/false);
+      Forget(*txn);
+      return;
+    }
+    ApplyDecision(*txn, commit);
+    return;
+  }
+
+  if (txn->phase == Phase::kInDoubt) {
+    CancelTimers(*txn);
+    if (txn->took_heuristic) {
+      // Compare the heuristic decision with the real outcome.
+      const bool we_committed = txn->outcome == Outcome::kHeuristicCommitted;
+      const bool damage = we_committed != commit;
+      txn->decided = true;
+      txn->commit_decision = commit;
+      txn->phase = Phase::kDeciding;
+      if (damage) {
+        ctx_->trace().Add({ctx_->now(), sim::TraceKind::kHeuristic, name_, "",
+                           txn->id, "heuristic damage detected"});
+      }
+      txn->heur_commit = txn->heur_commit || we_committed;
+      txn->heur_abort = txn->heur_abort || !we_committed;
+      txn->damage = txn->damage || damage;
+      // Propagate the real decision to our subtree (they are prepared and
+      // must not be left blocked by our unilateral action); then the
+      // normal completion path acks upstream with the damage report.
+      SendDecision(*txn, commit);
+      return;
+    }
+    ApplyDecision(*txn, commit);
+    return;
+  }
+
+  if (txn->phase == Phase::kPreparing && !commit) {
+    // Abort while still preparing (e.g. a sibling voted NO).
+    txn->any_no = true;
+    if (txn->votes_outstanding == 0 && txn->rms_outstanding == 0)
+      MaybePhaseOneComplete(*txn);
+    return;
+  }
+
+  if (txn->phase == Phase::kDeciding && txn->decided &&
+      !txn->commit_decision && !commit &&
+      !(txn->has_upstream && from == txn->upstream)) {
+    // Abort arriving from outside our own coordinator while we are already
+    // aborting: this happens when two initiators raced (each side thinks
+    // the other is its subordinate). Acknowledge directly — aborts are
+    // final and idempotent — or the two trees livelock waiting for each
+    // other's acks.
+    if (config_.protocol != ProtocolKind::kPresumedAbort) {
+      Pdu ack;
+      ack.type = PduType::kAck;
+      ack.txn = pdu.txn;
+      SendPdu(from, std::move(ack));
+    }
+    return;
+  }
+  // Duplicate decision from our coordinator while kDeciding: the normal
+  // completion path will acknowledge (late-ack semantics preserved).
+}
+
+void TransactionManager::ApplyDecision(Txn& txn, bool commit) {
+  const uint64_t id = txn.id;
+  txn.decided = true;
+  txn.commit_decision = commit;
+  txn.phase = Phase::kDeciding;
+
+  if (commit) {
+    txn.outcome = Outcome::kCommitted;
+    TmRecordBody body;
+    body.upstream = txn.has_upstream ? txn.upstream : "";
+    for (const auto& c : txn.children)
+      if (!c.excluded) body.children.push_back(c.peer);
+    // Presumed commit: the subordinate's commit record need not be forced —
+    // losing it leaves the transaction in doubt, and "no information"
+    // resolves to commit.
+    const bool force_commit =
+        !ForceDowngraded() &&
+        config_.protocol != ProtocolKind::kPresumedCommit;
+    AppendTmRecord(id, wal::RecordType::kTmCommitted, force_commit,
+                   EncodeBody(body), [this, id] {
+      if (ctx_->failures().CrashPoint(name_, "after_commit_force")) return;
+      Txn* t = FindTxn(id);
+      if (t == nullptr) return;
+      SendDecision(*t, /*commit=*/true);
+      // Early acknowledgment: ack upstream as soon as our own commit is
+      // durable, before the subtree acks arrive.
+      if (config_.ack_timing == AckTiming::kEarly && t->has_upstream &&
+          !t->i_am_last_agent && !t->ack_sent &&
+          config_.protocol != ProtocolKind::kPresumedCommit) {
+        DoSendAck(*t, /*pending=*/false);
+      }
+    });
+    return;
+  }
+
+  txn.outcome = Outcome::kAborted;
+  if (config_.protocol == ProtocolKind::kPresumedAbort) {
+    // Non-forced abort record; no ack will be sent.
+    AppendTmRecord(id, wal::RecordType::kTmAborted, /*force=*/false, "",
+                   nullptr);
+    SendDecision(txn, /*commit=*/false);
+    return;
+  }
+  TmRecordBody body;
+  body.upstream = txn.has_upstream ? txn.upstream : "";
+  for (const auto& c : txn.children)
+    if (!c.excluded) body.children.push_back(c.peer);
+  AppendTmRecord(id, wal::RecordType::kTmAborted, /*force=*/true,
+                 EncodeBody(body), [this, id] {
+    Txn* t = FindTxn(id);
+    if (t == nullptr) return;
+    SendDecision(*t, /*commit=*/false);
+  });
+}
+
+void TransactionManager::AckUpstreamIfReady(Txn& txn) {
+  TPC_CHECK(txn.has_upstream);
+  const bool pa = config_.protocol == ProtocolKind::kPresumedAbort;
+  const bool pn = config_.protocol == ProtocolKind::kPresumedNothing;
+  const uint64_t id = txn.id;
+
+  // PA abort: no acknowledgment at all; forget immediately.
+  if (!txn.commit_decision && pa) {
+    Forget(txn);
+    return;
+  }
+
+  // Presumed commit: commits are never acknowledged, and there is nothing
+  // to close out.
+  if (txn.commit_decision &&
+      config_.protocol == ProtocolKind::kPresumedCommit) {
+    Forget(txn);
+    return;
+  }
+
+  // A NO voter aborted on its own initiative; the acknowledgment answers
+  // the coordinator's Abort *command* ("force write an abort record before
+  // acknowledging an abort command"), which is served from the archive
+  // when that command arrives.
+  if (!txn.commit_decision && !txn.voted_yes) {
+    WriteEndIfNeeded(txn, /*force=*/false, nullptr);
+    Forget(txn);
+    return;
+  }
+
+  // Reliable subtrees skip the explicit ack: it is buffered as an "implied
+  // ack" that can ride a later message but never costs a flow of its own.
+  if (txn.commit_decision && txn.my_vote_reliable &&
+      config_.vote_reliable_opt && !txn.ack_sent) {
+    txn.ack_sent = true;
+    Pdu ack;
+    ack.type = PduType::kAck;
+    ack.txn = id;
+    BufferPdu(txn.upstream, std::move(ack));
+    WriteEndIfNeeded(txn, /*force=*/false, nullptr);
+    Forget(txn);
+    return;
+  }
+
+  if (txn.ack_sent) {
+    // Early ack (or pending ack) already went out; just close the books.
+    WriteEndIfNeeded(txn, /*force=*/false, nullptr);
+    Forget(txn);
+    return;
+  }
+
+  if (pn) {
+    // PN: force the END record *before* acknowledging. Once we ack, the
+    // coordinator may forget the transaction; with no presumption to fall
+    // back on we must never come back asking.
+    WriteEndIfNeeded(txn, /*force=*/true, [this, id] {
+      Txn* t = FindTxn(id);
+      if (t == nullptr) return;
+      DoSendAck(*t, t->subtree_pending);
+      Forget(*t);
+    });
+    return;
+  }
+
+  DoSendAck(txn, txn.subtree_pending);
+  WriteEndIfNeeded(txn, /*force=*/false, nullptr);
+  Forget(txn);
+}
+
+void TransactionManager::DoSendAck(Txn& txn, bool pending) {
+  txn.ack_sent = true;
+  Pdu ack;
+  ack.type = PduType::kAck;
+  ack.txn = txn.id;
+  ack.outcome_pending = pending;
+  // Heuristic report aggregation. PA (R*) reports damage to the immediate
+  // coordinator only: what our children reported to us stops here. PN
+  // propagates the full report toward the root.
+  const bool pn = config_.protocol == ProtocolKind::kPresumedNothing;
+  const bool own_heur_commit = txn.outcome == Outcome::kHeuristicCommitted;
+  const bool own_heur_abort = txn.outcome == Outcome::kHeuristicAborted;
+  const bool own_damage = (txn.commit_decision && own_heur_abort) ||
+                          (!txn.commit_decision && own_heur_commit);
+  if (pn) {
+    ack.heur_commit = txn.heur_commit || own_heur_commit;
+    ack.heur_abort = txn.heur_abort || own_heur_abort;
+    ack.damage = txn.damage || own_damage;
+  } else {
+    ack.heur_commit = own_heur_commit;
+    ack.heur_abort = own_heur_abort;
+    ack.damage = own_damage;
+  }
+
+  if (txn.upstream_long_locks) {
+    // Long locks: the ack rides the first message of the next transaction.
+    BufferPdu(txn.upstream, std::move(ack));
+  } else {
+    SendPdu(txn.upstream, std::move(ack));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// In-doubt handling: heuristics and recovery inquiries
+// ---------------------------------------------------------------------------
+
+void TransactionManager::ArmHeuristicTimer(Txn& txn) {
+  if (config_.heuristic_policy == HeuristicPolicy::kNever) return;
+  const uint64_t id = txn.id;
+  const uint64_t epoch = epoch_;
+  txn.heur_timer_armed = true;
+  txn.heur_timer = ctx_->events().ScheduleAfter(config_.heuristic_delay,
+                                                [this, epoch, id] {
+    if (!up_ || epoch != epoch_) return;
+    Txn* t = FindTxn(id);
+    if (t == nullptr) return;
+    t->heur_timer_armed = false;
+    if (t->phase != Phase::kInDoubt && t->phase != Phase::kAwaitLastAgent)
+      return;
+    TakeHeuristicDecision(*t);
+  });
+}
+
+void TransactionManager::TakeHeuristicDecision(Txn& txn) {
+  const bool commit = config_.heuristic_policy == HeuristicPolicy::kCommit;
+  const uint64_t id = txn.id;
+  txn.took_heuristic = true;
+  txn.outcome =
+      commit ? Outcome::kHeuristicCommitted : Outcome::kHeuristicAborted;
+  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kHeuristic, name_, "", id,
+                     commit ? "heuristic commit" : "heuristic abort"});
+  TmRecordBody body;
+  body.upstream = txn.has_upstream ? txn.upstream : "";
+  body.heur_commit = commit;
+  AppendTmRecord(id, wal::RecordType::kTmHeuristic, /*force=*/true,
+                 EncodeBody(body), [this, epoch = epoch_, id, commit] {
+    if (!up_ || epoch != epoch_) return;
+    Txn* t = FindTxn(id);
+    if (t == nullptr) return;
+    // Apply the unilateral outcome locally and release the valuable locks —
+    // the entire reason heuristics exist. We stay registered so the real
+    // decision (whenever it arrives) can be compared and damage reported.
+    for (auto* rm : rms_) {
+      if (commit) {
+        rm->Commit(id, [](Status st) { TPC_CHECK(st.ok()); });
+      } else {
+        rm->Abort(id, [](Status st) { TPC_CHECK(st.ok()); });
+      }
+    }
+    // Children (if any) get our heuristic decision as if it were real;
+    // leaving them blocked would defeat the purpose.
+    for (auto& child : t->children) {
+      child.ack_required = false;
+      if (child.excluded || !child.voted || child.vote != rm::Vote::kYes)
+        continue;
+      Pdu pdu;
+      pdu.type = commit ? PduType::kCommit : PduType::kAbort;
+      pdu.txn = id;
+      SendPdu(child.peer, std::move(pdu));
+    }
+  });
+}
+
+void TransactionManager::ArmInquiryTimer(Txn& txn) {
+  // Coordinator-driven recovery under PN: the subordinate waits.
+  if (config_.protocol == ProtocolKind::kPresumedNothing) return;
+  const uint64_t id = txn.id;
+  const uint64_t epoch = epoch_;
+  txn.inq_timer_armed = true;
+  txn.inq_timer = ctx_->events().ScheduleAfter(config_.inquiry_delay,
+                                               [this, epoch, id] {
+    if (!up_ || epoch != epoch_) return;
+    Txn* t = FindTxn(id);
+    if (t == nullptr) return;
+    t->inq_timer_armed = false;
+    if (t->phase != Phase::kInDoubt && t->phase != Phase::kAwaitLastAgent)
+      return;
+    SendInquiry(*t);
+    ArmInquiryTimer(*t);  // keep asking until resolved
+  });
+}
+
+void TransactionManager::SendInquiry(Txn& txn) {
+  const net::NodeId target =
+      txn.phase == Phase::kAwaitLastAgent ? txn.last_agent_peer : txn.upstream;
+  Pdu pdu;
+  pdu.type = PduType::kInquiry;
+  pdu.txn = txn.id;
+  SendPdu(target, std::move(pdu));
+}
+
+void TransactionManager::OnInquiryPdu(const net::NodeId& from,
+                                      const Pdu& pdu) {
+  Pdu reply;
+  reply.type = PduType::kInquiryReply;
+  reply.txn = pdu.txn;
+
+  Txn* txn = FindTxn(pdu.txn);
+  if (txn != nullptr && txn->phase == Phase::kActive) {
+    // A prepared participant thinks we own this transaction's decision,
+    // but we never even began commit processing for it — the handoff (a
+    // last-agent vote, typically) was lost with a crash and can never
+    // arrive now (sessions are FIFO and a recovered initiator only
+    // inquires or re-sends decisions). We never voted, so aborting our
+    // own work and answering "aborted" is safe and unblocks the inquirer.
+    AbortLocal(*txn);
+    Forget(*txn);
+    txn = nullptr;
+  }
+  if (txn != nullptr && txn->decided) {
+    reply.answer = txn->commit_decision ? InquiryAnswer::kCommitted
+                                        : InquiryAnswer::kAborted;
+  } else if (txn != nullptr) {
+    reply.answer = InquiryAnswer::kInDoubt;
+  } else {
+    auto it = archive_.find(pdu.txn);
+    if (it != archive_.end()) {
+      reply.answer = CommittedEffects(it->second.outcome)
+                         ? InquiryAnswer::kCommitted
+                         : InquiryAnswer::kAborted;
+    } else if (config_.protocol == ProtocolKind::kPresumedAbort) {
+      // The presumption that gives PA its name: no information => abort.
+      reply.answer = InquiryAnswer::kAborted;
+    } else if (config_.protocol == ProtocolKind::kPresumedCommit) {
+      reply.answer = InquiryAnswer::kCommitted;
+    } else {
+      // Baseline/PN cannot presume: the inquirer stays blocked.
+      reply.answer = InquiryAnswer::kUnknown;
+    }
+  }
+  SendPdu(from, std::move(reply));
+}
+
+void TransactionManager::OnInquiryReplyPdu(const net::NodeId& from,
+                                           const Pdu& pdu) {
+  (void)from;
+  Txn* txn = FindTxn(pdu.txn);
+  if (txn == nullptr) return;
+  if (txn->phase != Phase::kInDoubt && txn->phase != Phase::kAwaitLastAgent)
+    return;
+  switch (pdu.answer) {
+    case InquiryAnswer::kCommitted:
+      CancelTimers(*txn);
+      ApplyDecision(*txn, /*commit=*/true);
+      break;
+    case InquiryAnswer::kAborted:
+      CancelTimers(*txn);
+      ApplyDecision(*txn, /*commit=*/false);
+      break;
+    case InquiryAnswer::kUnknown:
+    case InquiryAnswer::kInDoubt:
+      // Stay blocked; the inquiry timer will fire again.
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+void TransactionManager::AbortLocal(Txn& txn) {
+  for (auto* rm : rms_) {
+    rm->Abort(txn.id, [](Status st) { TPC_CHECK(st.ok()); });
+  }
+  txn.outcome = Outcome::kAborted;
+}
+
+void TransactionManager::CancelTimers(Txn& txn) {
+  if (txn.heur_timer_armed) {
+    ctx_->events().Cancel(txn.heur_timer);
+    txn.heur_timer_armed = false;
+  }
+  if (txn.inq_timer_armed) {
+    ctx_->events().Cancel(txn.inq_timer);
+    txn.inq_timer_armed = false;
+  }
+  if (txn.vote_timer_armed) {
+    ctx_->events().Cancel(txn.vote_timer);
+    txn.vote_timer_armed = false;
+  }
+  for (auto& child : txn.children) {
+    if (child.ack_timer_armed) {
+      ctx_->events().Cancel(child.ack_timer);
+      child.ack_timer_armed = false;
+    }
+  }
+}
+
+void TransactionManager::Forget(Txn& txn) {
+  CancelTimers(txn);
+  TxnView view;
+  view.outcome = txn.outcome;
+  const bool mismatch = (txn.commit_decision && txn.heur_abort) ||
+                        (!txn.commit_decision && txn.heur_commit) ||
+                        txn.damage;
+  view.damage_reported_here = mismatch;
+  archive_[txn.id] = view;
+
+  // A committed transaction whose subordinate voted OK_TO_LEAVE_OUT
+  // suspends that session (leave-out bookkeeping; the vote is a protected
+  // variable — it only takes effect on commit).
+  if (txn.commit_decision) {
+    for (const auto& child : txn.children) {
+      if (child.voted && child.ok_leave_out) {
+        auto it = sessions_.find(child.peer);
+        if (it != sessions_.end()) it->second.suspended_leave_out = true;
+      }
+    }
+  }
+  txns_.erase(txn.id);
+}
+
+void TransactionManager::NoteImpliedAck(const net::NodeId& from) {
+  auto session_it = sessions_.find(from);
+  if (session_it == sessions_.end()) return;
+  Session& session = session_it->second;
+  if (session.awaiting_implied_ack_txn == 0) return;
+  const uint64_t id = session.awaiting_implied_ack_txn;
+  session.awaiting_implied_ack_txn = 0;
+  Txn* txn = FindTxn(id);
+  if (txn == nullptr) return;
+  txn->awaiting_implied_ack = false;
+  for (auto& child : txn->children)
+    if (child.peer == from) child.acked = true;
+  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kState, name_, from, id,
+                     "implied ack received"});
+  MaybeComplete(*txn);
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+void TransactionManager::OnMessage(const net::Message& msg) {
+  auto pdus = DecodePdus(msg.payload);
+  if (!pdus.ok()) {
+    // Corrupt or malformed traffic: drop it rather than crash. Protocol
+    // retries and recovery treat a dropped message like any other loss.
+    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kApp, name_, msg.from, 0,
+                       "dropped malformed message: " +
+                           std::string(pdus.status().message())});
+    return;
+  }
+  // Any traffic on a session acts as the implied acknowledgment for a
+  // last-agent decision outstanding on it.
+  NoteImpliedAck(msg.from);
+  for (const auto& pdu : *pdus) {
+    switch (pdu.type) {
+      case PduType::kAppData:
+        OnAppData(msg.from, pdu);
+        break;
+      case PduType::kPrepare:
+        OnPreparePdu(msg.from, pdu);
+        break;
+      case PduType::kVote:
+        OnVotePdu(msg.from, pdu);
+        break;
+      case PduType::kCommit:
+      case PduType::kAbort:
+        OnDecisionPdu(msg.from, pdu);
+        break;
+      case PduType::kAck:
+        OnAckPdu(msg.from, pdu);
+        break;
+      case PduType::kInquiry:
+        OnInquiryPdu(msg.from, pdu);
+        break;
+      case PduType::kInquiryReply:
+        OnInquiryReplyPdu(msg.from, pdu);
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash & recovery
+// ---------------------------------------------------------------------------
+
+void TransactionManager::Crash() {
+  TPC_CHECK(up_);
+  up_ = false;
+  ++epoch_;
+  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kCrash, name_, "", 0, ""});
+  for (auto& [id, txn] : txns_) CancelTimers(txn);
+  txns_.clear();
+  for (auto& [peer, session] : sessions_) {
+    session.outbox.clear();
+    session.awaiting_implied_ack_txn = 0;
+  }
+}
+
+void TransactionManager::Restart() {
+  TPC_CHECK(!up_);
+  up_ = true;
+  ++epoch_;
+  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kRecover, name_, "", 0, ""});
+  RecoverFromLog();
+}
+
+void TransactionManager::RecoverFromLog() {
+  const std::vector<wal::LogRecord> records = log_->Recover();
+
+  // Resource managers first (store redo; collects their in-doubt lists).
+  std::vector<std::vector<uint64_t>> rm_in_doubt;
+  rm_in_doubt.reserve(rms_.size());
+  for (auto* rm : rms_) rm_in_doubt.push_back(rm->Recover(records));
+
+  // Classify TM state per transaction.
+  struct TmTxnImage {
+    bool commit_pending = false;
+    bool prepared = false;
+    bool committed = false;
+    bool aborted = false;
+    bool end = false;
+    bool heuristic = false;
+    bool heur_commit = false;
+    TmRecordBody last_body;  // from the most recent state-bearing record
+  };
+  std::map<uint64_t, TmTxnImage> images;
+  const std::string owner = name_ + ".tm";
+  for (const auto& rec : records) {
+    if (rec.owner != owner) continue;
+    TmTxnImage& img = images[rec.txn];
+    TmRecordBody body;
+    switch (rec.type) {
+      case wal::RecordType::kTmCommitPending:
+        img.commit_pending = true;
+        TPC_CHECK_OK(DecodeBody(rec.body, &body));
+        img.last_body = body;
+        break;
+      case wal::RecordType::kTmPrepared:
+        img.prepared = true;
+        TPC_CHECK_OK(DecodeBody(rec.body, &body));
+        img.last_body = body;
+        break;
+      case wal::RecordType::kTmCommitted:
+        img.committed = true;
+        TPC_CHECK_OK(DecodeBody(rec.body, &body));
+        img.last_body = body;
+        break;
+      case wal::RecordType::kTmAborted:
+        img.aborted = true;
+        if (!rec.body.empty()) {
+          TPC_CHECK_OK(DecodeBody(rec.body, &body));
+          img.last_body = body;
+        }
+        break;
+      case wal::RecordType::kTmEnd:
+        img.end = true;
+        break;
+      case wal::RecordType::kTmHeuristic:
+        img.heuristic = true;
+        TPC_CHECK_OK(DecodeBody(rec.body, &body));
+        img.heur_commit = body.heur_commit;
+        if (img.last_body.upstream.empty())
+          img.last_body.upstream = body.upstream;
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [id, img] : images) {
+    if (img.end) {
+      // Fully resolved before the crash; restore the archive view.
+      TxnView view;
+      view.outcome = img.heuristic ? (img.heur_commit
+                                          ? Outcome::kHeuristicCommitted
+                                          : Outcome::kHeuristicAborted)
+                     : img.committed ? Outcome::kCommitted
+                     : img.aborted   ? Outcome::kAborted
+                                     : Outcome::kCommitted;
+      archive_[id] = view;
+      continue;
+    }
+
+    if (img.heuristic && !img.committed && !img.aborted) {
+      // We decided unilaterally and then crashed before seeing the real
+      // outcome. Restore the heuristic state; the coordinator's decision
+      // retry (or our inquiry under PA/basic) triggers the damage check.
+      Txn& txn = GetOrCreateTxn(id);
+      txn.phase = Phase::kInDoubt;
+      txn.took_heuristic = true;
+      txn.voted_yes = true;
+      txn.outcome = img.heur_commit ? Outcome::kHeuristicCommitted
+                                    : Outcome::kHeuristicAborted;
+      for (auto* rm : rms_) {
+        if (rm->InDoubt(id)) rm->ResolveRecovered(id, img.heur_commit);
+      }
+      if (!img.last_body.upstream.empty()) {
+        txn.has_upstream = true;
+        txn.upstream = img.last_body.upstream;
+        ArmInquiryTimer(txn);
+      }
+      continue;
+    }
+
+    if (img.committed || img.aborted) {
+      // Decision reached but END not on disk: resume the decision phase.
+      // Conservatively re-send to every child (duplicates are acknowledged
+      // idempotently via the archive).
+      const bool commit = img.committed;
+      const bool pa = config_.protocol == ProtocolKind::kPresumedAbort;
+      if (!commit && pa) {
+        // PA abort leaves nothing to resume (abort records are advisory).
+        archive_[id] = TxnView{Outcome::kAborted, false};
+        for (auto* rm : rms_)
+          if (rm->InDoubt(id)) rm->ResolveRecovered(id, false);
+        continue;
+      }
+      Txn& txn = GetOrCreateTxn(id);
+      txn.decided = true;
+      txn.commit_decision = commit;
+      txn.outcome = commit ? Outcome::kCommitted : Outcome::kAborted;
+      txn.phase = Phase::kDeciding;
+      txn.is_root = img.last_body.is_root;
+      if (!img.last_body.upstream.empty()) {
+        txn.has_upstream = true;
+        txn.upstream = img.last_body.upstream;
+      }
+      for (auto* rm : rms_) {
+        if (rm->InDoubt(id)) rm->ResolveRecovered(id, commit);
+      }
+      for (const auto& peer : img.last_body.children) {
+        Child child;
+        child.peer = peer;
+        child.voted = true;
+        child.vote = rm::Vote::kYes;
+        child.prepare_sent = true;
+        child.ack_required =
+            commit ? config_.protocol != ProtocolKind::kPresumedCommit
+                   : !pa;
+        txn.children.push_back(child);
+      }
+      for (auto& child : txn.children) {
+        Pdu pdu;
+        pdu.type = commit ? PduType::kCommit : PduType::kAbort;
+        pdu.txn = id;
+        SendPdu(child.peer, std::move(pdu));
+        if (child.ack_required) ArmAckTimer(txn, child);
+      }
+      MaybeComplete(txn);
+      continue;
+    }
+
+    if (img.prepared) {
+      // In doubt. PA/basic: inquire upstream. PN: wait for the coordinator
+      // (it logged commit-pending and will drive recovery).
+      Txn& txn = GetOrCreateTxn(id);
+      txn.phase = Phase::kInDoubt;
+      txn.outcome = Outcome::kInDoubt;
+      txn.voted_yes = true;
+      txn.has_upstream = !img.last_body.upstream.empty();
+      txn.upstream = img.last_body.upstream;
+      txn.is_root = img.last_body.is_root;
+      for (const auto& peer : img.last_body.children) {
+        Child child;
+        child.peer = peer;
+        child.voted = true;
+        child.vote = rm::Vote::kYes;
+        child.prepare_sent = true;
+        txn.children.push_back(child);
+      }
+      txn.rm_recovered_in_doubt = true;
+      ArmHeuristicTimer(txn);
+      if (txn.has_upstream &&
+          config_.protocol != ProtocolKind::kPresumedNothing) {
+        ArmInquiryTimer(txn);
+        SendInquiry(txn);
+      }
+      continue;
+    }
+
+    if (img.commit_pending) {
+      // PN coordinator crashed before the decision: presume nothing, decide
+      // abort, and drive the subordinates — the coordinator's duty in PN.
+      Txn& txn = GetOrCreateTxn(id);
+      txn.is_root = img.last_body.is_root;
+      if (!img.last_body.upstream.empty()) {
+        txn.has_upstream = true;
+        txn.upstream = img.last_body.upstream;
+      }
+      for (const auto& peer : img.last_body.children) {
+        Child child;
+        child.peer = peer;
+        child.voted = true;
+        child.vote = rm::Vote::kYes;
+        child.prepare_sent = true;
+        txn.children.push_back(child);
+      }
+      for (auto* rm : rms_) {
+        if (rm->InDoubt(id)) rm->ResolveRecovered(id, false);
+      }
+      DecideAndPropagate(txn, /*commit=*/false);
+      continue;
+    }
+  }
+
+  // RM in-doubt transactions with no TM record at all: the TM never voted
+  // (the RM's prepared force preceded the TM's), so no coordinator can have
+  // committed — abort by presumption, which is safe under every protocol.
+  for (size_t i = 0; i < rms_.size(); ++i) {
+    for (uint64_t id : rm_in_doubt[i]) {
+      if (images.count(id)) continue;
+      rms_[i]->ResolveRecovered(id, false);
+    }
+  }
+}
+
+void TransactionManager::ScheduleRecoveryRetry(uint64_t id) {
+  const uint64_t epoch = epoch_;
+  ctx_->events().ScheduleAfter(config_.recovery_retry_interval,
+                               [this, epoch, id] {
+    if (!up_ || epoch != epoch_) return;
+    Txn* txn = FindTxn(id);
+    if (txn == nullptr) return;
+    bool outstanding = false;
+    for (auto& child : txn->children) {
+      if (child.acked || child.excluded) continue;
+      // Even a child that never voted may hold prepared state (its vote
+      // may have been lost); only read-only voters are certainly done.
+      if (child.voted && child.vote == rm::Vote::kReadOnly) continue;
+      outstanding = true;
+      Pdu pdu;
+      pdu.type = txn->commit_decision ? PduType::kCommit : PduType::kAbort;
+      pdu.txn = id;
+      SendPdu(child.peer, std::move(pdu));
+    }
+    if (outstanding) ScheduleRecoveryRetry(id);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+TxnView TransactionManager::View(uint64_t id) const {
+  auto it = txns_.find(id);
+  if (it != txns_.end()) {
+    TxnView view;
+    view.outcome = it->second.outcome;
+    const Txn& txn = it->second;
+    view.damage_reported_here = txn.damage ||
+                                (txn.decided && txn.commit_decision &&
+                                 txn.heur_abort) ||
+                                (txn.decided && !txn.commit_decision &&
+                                 txn.heur_commit);
+    return view;
+  }
+  auto archived = archive_.find(id);
+  if (archived != archive_.end()) return archived->second;
+  return TxnView{};
+}
+
+TxnCost TransactionManager::CostOf(uint64_t txn) const {
+  auto it = costs_.find(txn);
+  return it == costs_.end() ? TxnCost{} : it->second;
+}
+
+bool TransactionManager::Knows(uint64_t txn) const {
+  return txns_.count(txn) > 0;
+}
+
+size_t TransactionManager::InDoubtCount() const {
+  size_t n = 0;
+  for (const auto& [id, txn] : txns_)
+    if (txn.phase == Phase::kInDoubt) ++n;
+  return n;
+}
+
+}  // namespace tpc::tm

@@ -1,0 +1,380 @@
+// TransactionManager: the commit-protocol engine — the paper's subject.
+//
+// One TransactionManager per simulated node. It coordinates the node's
+// local resource managers and its session peers (other TMs) through the
+// two-phase commit variants the paper analyzes:
+//
+//   * protocols: baseline 2PC, Presumed Abort, Presumed Nothing;
+//   * optimizations (composable via TmConfig/SessionOptions): read-only,
+//     leave-inactive-partners-out, last agent, unsolicited vote, long locks,
+//     vote reliable, wait-for-outcome, early/late acknowledgment; shared
+//     logs and group commit live in the WAL layer but are honored here;
+//   * failure handling: crash/restart with log-driven recovery,
+//     in-doubt resolution per protocol presumption, heuristic decisions
+//     with damage detection and protocol-specific reporting.
+//
+// Peer-to-peer model (PN): any participant may initiate commit; two
+// concurrent initiators abort the transaction. Trees form dynamically from
+// data flow: a peer that received APP_DATA for a transaction is in the
+// commit tree, with the sender of the eventual Prepare as its coordinator.
+
+#ifndef TPC_TM_TRANSACTION_MANAGER_H_
+#define TPC_TM_TRANSACTION_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "rm/kv_resource_manager.h"
+#include "rm/resource_manager.h"
+#include "sim/sim_context.h"
+#include "tm/protocol_messages.h"
+#include "tm/types.h"
+#include "util/status.h"
+#include "wal/log_manager.h"
+
+namespace tpc::tm {
+
+/// Per-session (conversation) attributes.
+struct SessionOptions {
+  /// Coordinator side: prefer this peer as the last agent.
+  bool last_agent_candidate = false;
+  /// Coordinator side: request the long-locks variation on this session
+  /// (the subordinate buffers its ack and piggybacks it on the first
+  /// message of the next transaction).
+  bool long_locks = false;
+};
+
+/// Node-level protocol configuration.
+struct TmConfig {
+  ProtocolKind protocol = ProtocolKind::kPresumedAbort;
+
+  // --- normal-case optimizations -----------------------------------------
+  /// Honor read-only votes (exclude RO voters from phase two, no logging).
+  bool read_only_opt = true;
+  /// Exclude suspended, untouched, OK_TO_LEAVE_OUT subtrees from the 2PC.
+  bool leave_out_opt = false;
+  /// Include connected-but-untouched sessions in commit processing (the
+  /// pre-leave-out baseline behavior; needed to measure what leave-out and
+  /// read-only save).
+  bool include_idle_sessions = false;
+  /// Delegate the commit decision to one subordinate (the last agent).
+  bool last_agent_opt = false;
+  /// Elide acknowledgments from subtrees that voted reliable.
+  bool vote_reliable_opt = false;
+  /// Cascaded-coordinator acknowledgment timing.
+  AckTiming ack_timing = AckTiming::kLate;
+  /// Block commit completion on full recovery (true = classic late ack);
+  /// false = wait-for-outcome: one contact attempt, then return with
+  /// "outcome pending" and finish recovery in the background.
+  bool wait_for_outcome_block = true;
+  /// This node advertises OK_TO_LEAVE_OUT on its YES/RO votes when its
+  /// whole subtree agrees (it acts as a suspendable server).
+  bool ok_to_leave_out = false;
+  /// Shared log with a host TM: this node's log object is owned by another
+  /// node and that node's forces cover ours, so our TM records need not be
+  /// forced. (Used by the shared-logs accounting experiments.)
+  bool shared_log_with_host = false;
+
+  // --- failure behavior ----------------------------------------------------
+  HeuristicPolicy heuristic_policy = HeuristicPolicy::kNever;
+  sim::Time heuristic_delay = 60 * sim::kSecond;
+  /// Coordinator: how long to wait for votes before deciding abort.
+  sim::Time vote_timeout = 20 * sim::kSecond;
+  /// Decision sender: per-attempt wait for an acknowledgment.
+  sim::Time ack_timeout = 10 * sim::kSecond;
+  /// PA subordinate: in-doubt duration before sending a recovery inquiry.
+  sim::Time inquiry_delay = 15 * sim::kSecond;
+  /// Background recovery retry cadence.
+  sim::Time recovery_retry_interval = 30 * sim::kSecond;
+};
+
+/// Audit view of one transaction at one node (for cluster-wide consistency
+/// checks and the reliability metrics).
+struct TxnView {
+  Outcome outcome = Outcome::kUnknown;
+  bool damage_reported_here = false;  ///< a damage report reached this node
+};
+
+/// The transaction manager.
+class TransactionManager : public net::Endpoint {
+ public:
+  TransactionManager(sim::SimContext* ctx, net::Network* network,
+                     wal::LogManager* log, std::string name,
+                     TmConfig config = {});
+
+  const std::string& name() const { return name_; }
+  const TmConfig& config() const { return config_; }
+  TmConfig& mutable_config() { return config_; }
+
+  // --- wiring ---------------------------------------------------------------
+
+  /// Attaches a local resource manager (not owned).
+  void AttachRm(rm::KVResourceManager* rm);
+
+  /// Declares a session with `peer` (call on both sides).
+  void Connect(const net::NodeId& peer, SessionOptions options = {});
+
+  /// Application upcall invoked when APP_DATA arrives (workloads use it to
+  /// perform subordinate-side updates).
+  using AppDataHandler = std::function<void(
+      uint64_t txn, const net::NodeId& from, const std::string& data)>;
+  void SetAppDataHandler(AppDataHandler handler) {
+    on_app_data_ = std::move(handler);
+  }
+
+  // --- application interface -------------------------------------------------
+
+  /// Starts a new distributed transaction rooted here. Returns the txn id.
+  uint64_t Begin();
+
+  /// Sends application data to `peer`, enrolling it (and unsuspending a
+  /// left-out session) in the transaction. Any acknowledgments buffered for
+  /// `peer` (long locks / implied acks) piggyback on this flow.
+  Status SendWork(uint64_t txn, const net::NodeId& peer,
+                  std::string payload = {});
+
+  /// Data operations against a local RM (index into attachment order).
+  void Read(uint64_t txn, size_t rm_index, const std::string& key,
+            rm::KVResourceManager::ReadCallback done);
+  void Write(uint64_t txn, size_t rm_index, const std::string& key,
+             std::string value, rm::KVResourceManager::WriteCallback done);
+
+  /// Server-side unsolicited vote: prepare now and vote YES to the peer the
+  /// work came from, without waiting for its Prepare.
+  void UnsolicitedPrepare(uint64_t txn);
+
+  /// Initiates commit processing; this node becomes the commit coordinator.
+  void Commit(uint64_t txn, CommitCallback done);
+
+  /// Aborts a transaction this node participates in.
+  void AbortTxn(uint64_t txn);
+
+  // --- failure & recovery -----------------------------------------------------
+
+  /// Crash: volatile state vanishes; the log keeps its durable prefix.
+  void Crash();
+
+  /// Restart after a crash: scans the log and resumes/resolves protocol
+  /// state (PN coordinators drive their subordinates; PA subordinates
+  /// inquire upstream; RMs redo/undo and re-acquire in-doubt locks).
+  void Restart();
+
+  bool IsUp() const override { return up_; }
+
+  // --- net::Endpoint -----------------------------------------------------------
+
+  void OnMessage(const net::Message& msg) override;
+
+  // --- introspection (tests, benches, audits) ----------------------------------
+
+  /// This node's current view of `txn`.
+  TxnView View(uint64_t txn) const;
+
+  /// Cost counters for `txn` at this node (flows sent, TM log writes).
+  TxnCost CostOf(uint64_t txn) const;
+
+  /// True if a transaction is still tracked (not forgotten).
+  bool Knows(uint64_t txn) const;
+
+  /// Number of in-doubt transactions (blocked, for lock-time analysis).
+  size_t InDoubtCount() const;
+
+  /// Number of transactions currently tracked (for checkpoint safety).
+  size_t ActiveTxnCount() const { return txns_.size(); }
+
+  rm::KVResourceManager* rm(size_t index) { return rms_.at(index); }
+  size_t rm_count() const { return rms_.size(); }
+
+ private:
+  struct Child {
+    net::NodeId peer;
+    bool prepare_sent = false;
+    bool voted = false;
+    rm::Vote vote = rm::Vote::kNo;
+    bool reliable = false;
+    bool ok_leave_out = false;
+    bool unsolicited = false;
+    bool is_last_agent = false;
+    bool excluded = false;      ///< not part of phase two (RO / left out)
+    bool ack_required = false;  ///< computed when the decision is sent
+    bool acked = false;
+    bool retried = false;       ///< wait-for-outcome single retry used
+    sim::EventId ack_timer = 0;
+    bool ack_timer_armed = false;
+  };
+
+  enum class Phase : uint8_t {
+    kActive,
+    kPreparing,       ///< phase one in progress (this node coordinates it)
+    kAwaitLastAgent,  ///< voted YES to the last agent; decision is theirs
+    kInDoubt,         ///< prepared as subordinate, outcome unknown
+    kDeciding,        ///< outcome known; phase two in progress
+    kDone,
+  };
+
+  struct Txn {
+    uint64_t id = 0;
+    Phase phase = Phase::kActive;
+    Outcome outcome = Outcome::kActive;
+    bool is_root = false;
+    bool has_upstream = false;
+    net::NodeId upstream;
+    bool has_work_source = false;
+    net::NodeId work_source;  ///< peer whose data enrolled us (requester)
+    std::vector<Child> children;
+    std::set<net::NodeId> peers;  ///< peers with data exchange this txn
+
+    // Phase-one aggregation.
+    size_t votes_outstanding = 0;
+    size_t rms_outstanding = 0;
+    bool any_no = false;
+    bool all_reliable = true;
+    bool all_leave_out = true;
+    bool local_updates = false;  ///< any local RM voted YES (has updates)
+
+    // Subordinate-side context.
+    bool upstream_long_locks = false;
+    bool voted_yes = false;           ///< sent a YES (incl. unsolicited/LA path)
+    bool unsolicited_sent = false;
+    bool my_vote_reliable = false;    ///< our YES carried reliable=true
+
+    // Decision state.
+    bool decided = false;
+    bool commit_decision = false;
+
+    // Last-agent handling.
+    bool awaiting_last_agent = false;
+    net::NodeId last_agent_peer;
+    bool i_am_last_agent = false;
+    bool initiator_read_only = false;  ///< last agent got an RO vote
+    bool my_la_vote_ro = false;        ///< initiator voted RO to its last agent
+    bool awaiting_implied_ack = false;
+    net::NodeId implied_ack_peer;
+
+    // PN bookkeeping.
+    bool commit_pending_logged = false;
+
+    /// Last agent side: the initiator's vote requested long locks, so our
+    /// decision message is buffered for piggybacking.
+    bool initiator_requested_long_locks = false;
+
+    // Heuristic aggregation (what the subtree reported to us).
+    bool heur_commit = false;
+    bool heur_abort = false;
+    bool damage = false;
+    bool subtree_pending = false;
+
+    // Heuristic state at this node.
+    bool took_heuristic = false;
+
+    // Application completion.
+    bool has_app_cb = false;
+    CommitCallback app_cb;
+    sim::Time commit_started = 0;
+    bool app_completed = false;
+
+    // Phase-two RM countdown.
+    size_t rm_phase2_outstanding = 0;
+    bool end_written = false;
+    bool ack_sent = false;  ///< subordinate: acknowledged upstream already
+
+    // Timers.
+    sim::EventId heur_timer = 0;
+    bool heur_timer_armed = false;
+    sim::EventId inq_timer = 0;
+    bool inq_timer_armed = false;
+    sim::EventId vote_timer = 0;
+    bool vote_timer_armed = false;
+
+    // Recovery: RM in-doubt transactions awaiting our outcome.
+    bool rm_recovered_in_doubt = false;
+  };
+
+  struct Session {
+    SessionOptions options;
+    /// Peer is suspended after voting OK_TO_LEAVE_OUT (may be left out).
+    bool suspended_leave_out = false;
+    /// Outbound PDUs buffered for piggybacking (long-locks acks).
+    std::vector<Pdu> outbox;
+    /// As last agent: decision sent, END awaits the peer's implied ack.
+    uint64_t awaiting_implied_ack_txn = 0;
+  };
+
+  // --- plumbing -------------------------------------------------------------
+  Txn& GetOrCreateTxn(uint64_t id);
+  Txn* FindTxn(uint64_t id);
+  void SendPdu(const net::NodeId& peer, Pdu pdu);
+  void BufferPdu(const net::NodeId& peer, Pdu pdu);
+  void AppendTmRecord(uint64_t txn, wal::RecordType type, bool force,
+                      std::string body, std::function<void()> done);
+  bool ForceDowngraded() const { return config_.shared_log_with_host; }
+
+  // --- coordinator path -------------------------------------------------------
+  void StartPhaseOne(Txn& txn);
+  void ComputeParticipants(Txn& txn);
+  void ContinuePhaseOne(Txn& txn);
+  void PrepareLocalRms(Txn& txn);
+  void OnVotePdu(const net::NodeId& from, const Pdu& pdu);
+  void MaybePhaseOneComplete(Txn& txn);
+  void DecideAndPropagate(Txn& txn, bool commit);
+  void SendDecision(Txn& txn, bool commit);
+  void ArmAckTimer(Txn& txn, Child& child);
+  void OnAckPdu(const net::NodeId& from, const Pdu& pdu);
+  void MaybeComplete(Txn& txn);
+  void CompleteApp(Txn& txn, bool pending);
+  void WriteEndIfNeeded(Txn& txn, bool force, std::function<void()> done);
+
+  // --- subordinate path ---------------------------------------------------------
+  void OnAppData(const net::NodeId& from, const Pdu& pdu);
+  void OnPreparePdu(const net::NodeId& from, const Pdu& pdu);
+  void SendVote(Txn& txn);
+  void OnDecisionPdu(const net::NodeId& from, const Pdu& pdu);
+  void ApplyDecision(Txn& txn, bool commit);
+  void AckUpstreamIfReady(Txn& txn);
+  void DoSendAck(Txn& txn, bool pending);
+  void ArmHeuristicTimer(Txn& txn);
+  void TakeHeuristicDecision(Txn& txn);
+  void ArmInquiryTimer(Txn& txn);
+  void SendInquiry(Txn& txn);
+  void OnInquiryPdu(const net::NodeId& from, const Pdu& pdu);
+  void OnInquiryReplyPdu(const net::NodeId& from, const Pdu& pdu);
+
+  // --- shared ---------------------------------------------------------------
+  void AbortLocal(Txn& txn);  ///< undo local RMs (pre-prepare abort)
+  void CancelTimers(Txn& txn);
+  void Forget(Txn& txn);
+  void NoteImpliedAck(const net::NodeId& from);
+
+  // --- recovery ----------------------------------------------------------------
+  void RecoverFromLog();
+  void ScheduleRecoveryRetry(uint64_t txn);
+
+  sim::SimContext* ctx_;
+  net::Network* network_;
+  wal::LogManager* log_;
+  std::string name_;
+  TmConfig config_;
+  bool up_ = true;
+  uint64_t epoch_ = 0;  ///< bumped on crash; stale timer closures no-op
+
+  std::vector<rm::KVResourceManager*> rms_;
+  std::map<net::NodeId, Session> sessions_;
+  std::unordered_map<uint64_t, Txn> txns_;
+
+  // Forgotten-transaction verdicts kept for audits/inquiries after END.
+  std::unordered_map<uint64_t, TxnView> archive_;
+
+  std::unordered_map<uint64_t, TxnCost> costs_;
+  AppDataHandler on_app_data_;
+};
+
+}  // namespace tpc::tm
+
+#endif  // TPC_TM_TRANSACTION_MANAGER_H_

@@ -1,0 +1,29 @@
+#include "tm/types.h"
+
+namespace tpc::tm {
+
+std::string_view ProtocolKindToString(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kBasic2PC: return "basic-2pc";
+    case ProtocolKind::kPresumedAbort: return "presumed-abort";
+    case ProtocolKind::kPresumedNothing: return "presumed-nothing";
+    case ProtocolKind::kPresumedCommit: return "presumed-commit";
+  }
+  return "?";
+}
+
+std::string_view OutcomeToString(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kUnknown: return "unknown";
+    case Outcome::kActive: return "active";
+    case Outcome::kInDoubt: return "in-doubt";
+    case Outcome::kCommitted: return "committed";
+    case Outcome::kAborted: return "aborted";
+    case Outcome::kHeuristicCommitted: return "heuristic-committed";
+    case Outcome::kHeuristicAborted: return "heuristic-aborted";
+    case Outcome::kReadOnly: return "read-only";
+  }
+  return "?";
+}
+
+}  // namespace tpc::tm

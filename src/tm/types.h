@@ -1,0 +1,96 @@
+// Core vocabulary for the commit-protocol engine.
+
+#ifndef TPC_TM_TYPES_H_
+#define TPC_TM_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/event_queue.h"
+
+namespace tpc::tm {
+
+/// Which commit protocol a transaction manager runs.
+enum class ProtocolKind : uint8_t {
+  kBasic2PC,        ///< Section 2 baseline
+  kPresumedAbort,   ///< PA (R*, ISO-OSI, X/Open)
+  kPresumedNothing, ///< PN (LU 6.2 sync point)
+  /// Extension (not in the paper): Presumed Commit, PA's sibling from the
+  /// R* work. The coordinator forces a *collecting* record before the
+  /// first Prepare; commits are not acknowledged and the subordinate's
+  /// commit record is not forced (no information presumes commit); aborts
+  /// are explicit, forced, and acknowledged.
+  kPresumedCommit,
+};
+
+std::string_view ProtocolKindToString(ProtocolKind kind);
+
+/// Commit-acknowledgment timing for cascaded coordinators (Section 4,
+/// "Commit Acknowledgment").
+enum class AckTiming : uint8_t {
+  kLate,   ///< ack upstream only after the whole subtree acked
+  kEarly,  ///< ack upstream right after the local commit is durable
+};
+
+/// What an in-doubt participant does when blocked too long.
+enum class HeuristicPolicy : uint8_t {
+  kNever,   ///< wait (possibly forever) for resolution
+  kCommit,  ///< heuristically commit after heuristic_delay
+  kAbort,   ///< heuristically abort after heuristic_delay
+};
+
+/// A participant's final local view of a transaction.
+enum class Outcome : uint8_t {
+  kUnknown,  ///< no record of the transaction
+  kActive,
+  kInDoubt,  ///< prepared, outcome not yet known
+  kCommitted,
+  kAborted,
+  kHeuristicCommitted,
+  kHeuristicAborted,
+  /// Voted read-only: the outcome is immaterial to this participant (it
+  /// has no effects either way) and it was never told what it was.
+  kReadOnly,
+};
+
+std::string_view OutcomeToString(Outcome outcome);
+
+/// True for the two heuristic outcomes.
+inline bool IsHeuristic(Outcome o) {
+  return o == Outcome::kHeuristicCommitted || o == Outcome::kHeuristicAborted;
+}
+
+/// True if the participant's data reflects a commit.
+inline bool CommittedEffects(Outcome o) {
+  return o == Outcome::kCommitted || o == Outcome::kHeuristicCommitted;
+}
+
+/// Result delivered to the application that initiated commit processing.
+struct CommitResult {
+  Outcome outcome = Outcome::kUnknown;
+  /// Heuristic damage was *reported to this node*. Under PN this is
+  /// reliable; under PA damage deeper in the tree may go unreported here —
+  /// exactly the reliability tradeoff the paper analyzes.
+  bool heuristic_damage = false;
+  /// Heuristic decisions happened somewhere in the subtree (reported ones).
+  bool heuristic_seen = false;
+  /// Wait-for-outcome: the call completed before all acknowledgments, with
+  /// recovery continuing in the background.
+  bool outcome_pending = false;
+};
+
+using CommitCallback = std::function<void(CommitResult)>;
+
+/// Per-transaction cost counters kept by each TM node — the quantities the
+/// paper's tables report.
+struct TxnCost {
+  uint64_t flows_sent = 0;       ///< network messages this node sent
+  uint64_t tm_log_writes = 0;    ///< TM protocol records written
+  uint64_t tm_log_forced = 0;    ///< ... of which forced
+};
+
+}  // namespace tpc::tm
+
+#endif  // TPC_TM_TYPES_H_

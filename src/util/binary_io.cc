@@ -1,0 +1,100 @@
+#include "util/binary_io.h"
+
+#include <cstring>
+
+namespace tpc {
+
+void Encoder::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+Status Decoder::GetU8(uint8_t* v) {
+  if (data_.empty()) return Status::Corruption("decode underflow (u8)");
+  *v = static_cast<uint8_t>(data_[0]);
+  data_.remove_prefix(1);
+  return Status::OK();
+}
+
+Status Decoder::GetU16(uint16_t* v) {
+  if (data_.size() < 2) return Status::Corruption("decode underflow (u16)");
+  uint16_t out = 0;
+  std::memcpy(&out, data_.data(), 2);
+  *v = out;  // assumes little-endian host; fine for this codebase's targets
+  data_.remove_prefix(2);
+  return Status::OK();
+}
+
+Status Decoder::GetU32(uint32_t* v) {
+  if (data_.size() < 4) return Status::Corruption("decode underflow (u32)");
+  uint32_t out = 0;
+  std::memcpy(&out, data_.data(), 4);
+  *v = out;
+  data_.remove_prefix(4);
+  return Status::OK();
+}
+
+Status Decoder::GetU64(uint64_t* v) {
+  if (data_.size() < 8) return Status::Corruption("decode underflow (u64)");
+  uint64_t out = 0;
+  std::memcpy(&out, data_.data(), 8);
+  *v = out;
+  data_.remove_prefix(8);
+  return Status::OK();
+}
+
+Status Decoder::GetVarint(uint64_t* v) {
+  uint64_t out = 0;
+  int shift = 0;
+  while (true) {
+    if (data_.empty()) return Status::Corruption("decode underflow (varint)");
+    if (shift >= 64) return Status::Corruption("varint too long");
+    uint8_t byte = static_cast<uint8_t>(data_[0]);
+    data_.remove_prefix(1);
+    out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) break;
+    shift += 7;
+  }
+  *v = out;
+  return Status::OK();
+}
+
+Status Decoder::GetBool(bool* v) {
+  uint8_t b = 0;
+  TPC_RETURN_IF_ERROR(GetU8(&b));
+  if (b > 1) return Status::Corruption("bool out of range");
+  *v = b != 0;
+  return Status::OK();
+}
+
+Status Decoder::GetString(std::string* s) {
+  uint64_t n = 0;
+  TPC_RETURN_IF_ERROR(GetVarint(&n));
+  if (data_.size() < n) return Status::Corruption("decode underflow (string)");
+  s->assign(data_.data(), n);
+  data_.remove_prefix(n);
+  return Status::OK();
+}
+
+}  // namespace tpc

@@ -1,0 +1,58 @@
+// Binary encoding/decoding for log records and network message payloads.
+// Little-endian fixed-width integers, LEB128 varints, length-prefixed strings.
+
+#ifndef TPC_UTIL_BINARY_IO_H_
+#define TPC_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace tpc {
+
+/// Appends encoded fields to an owned buffer.
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutVarint(uint64_t v);
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  /// Length-prefixed (varint) byte string.
+  void PutString(std::string_view s);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Consumes fields from a borrowed buffer. All getters return
+/// Status::Corruption on underflow or malformed input.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU16(uint16_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetVarint(uint64_t* v);
+  Status GetBool(bool* v);
+  Status GetString(std::string* s);
+
+  size_t remaining() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+ private:
+  std::string_view data_;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_UTIL_BINARY_IO_H_

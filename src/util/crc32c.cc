@@ -1,0 +1,33 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace tpc::crc32c {
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected CRC32C polynomial
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k)
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i)
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace tpc::crc32c

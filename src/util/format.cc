@@ -1,0 +1,87 @@
+#include "util/format.h"
+
+#include <cstdio>
+
+namespace tpc {
+namespace {
+
+void AppendV(std::string* dst, const char* fmt, va_list ap) {
+  va_list ap2;
+  va_copy(ap2, ap);
+  char buf[256];
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  if (n < 0) {
+    va_end(ap2);
+    return;
+  }
+  if (static_cast<size_t>(n) < sizeof(buf)) {
+    dst->append(buf, static_cast<size_t>(n));
+  } else {
+    std::string big(static_cast<size_t>(n) + 1, '\0');
+    std::vsnprintf(big.data(), big.size(), fmt, ap2);
+    big.resize(static_cast<size_t>(n));
+    dst->append(big);
+  }
+  va_end(ap2);
+}
+
+}  // namespace
+
+std::string StringPrintf(const char* fmt, ...) {
+  std::string out;
+  va_list ap;
+  va_start(ap, fmt);
+  AppendV(&out, fmt, ap);
+  va_end(ap);
+  return out;
+}
+
+void StringAppendF(std::string* dst, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  AppendV(dst, fmt, ap);
+  va_end(ap);
+}
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  size_t cols = 0;
+  for (const auto& r : rows) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  for (const auto& r : rows)
+    for (size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::string out;
+  auto render_row = [&](const std::vector<std::string>& r) {
+    out += "|";
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      out += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  auto render_rule = [&] {
+    out += "+";
+    for (size_t c = 0; c < cols; ++c) out += std::string(width[c] + 2, '-') + "+";
+    out += "\n";
+  };
+
+  render_rule();
+  render_row(rows[0]);
+  render_rule();
+  for (size_t i = 1; i < rows.size(); ++i) render_row(rows[i]);
+  render_rule();
+  return out;
+}
+
+}  // namespace tpc

@@ -1,0 +1,28 @@
+// Small string-formatting helpers (GCC 12 lacks std::format).
+
+#ifndef TPC_UTIL_FORMAT_H_
+#define TPC_UTIL_FORMAT_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace tpc {
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Appends printf-style formatted text to *dst.
+void StringAppendF(std::string* dst, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Renders a monospace table: first row is the header. Column widths auto-fit.
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace tpc
+
+#endif  // TPC_UTIL_FORMAT_H_

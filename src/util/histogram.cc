@@ -1,0 +1,67 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/format.h"
+
+namespace tpc {
+
+void Histogram::Add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+  sum_ += v;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+  sum_ += other.sum_;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0;
+}
+
+void Histogram::Sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Mean() const {
+  return samples_.empty() ? 0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::Min() const {
+  Sort();
+  return samples_.empty() ? 0 : samples_.front();
+}
+
+double Histogram::Max() const {
+  Sort();
+  return samples_.empty() ? 0 : samples_.back();
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  Sort();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+std::string Histogram::ToString() const {
+  return StringPrintf("count=%llu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+                      static_cast<unsigned long long>(count()), Mean(),
+                      Percentile(50), Percentile(95), Percentile(99), Max());
+}
+
+}  // namespace tpc

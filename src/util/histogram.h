@@ -1,0 +1,43 @@
+// Simple value histogram for latency / hold-time statistics.
+
+#ifndef TPC_UTIL_HISTOGRAM_H_
+#define TPC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpc {
+
+/// Collects double samples; supports mean/min/max and percentile queries.
+/// Percentiles are exact (samples are retained and sorted lazily); suitable
+/// for simulation-scale sample counts.
+class Histogram {
+ public:
+  void Add(double v);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  /// p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// One-line summary: "count=... mean=... p50=... p99=... max=...".
+  std::string ToString() const;
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,41 @@
+// Invariant checking. TPC_CHECK aborts the process with a message on
+// violation; it is always on (database code prefers loud failure over silent
+// corruption). TPC_DCHECK compiles out in NDEBUG builds.
+
+#ifndef TPC_UTIL_LOGGING_H_
+#define TPC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpc::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace tpc::internal
+
+#define TPC_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) ::tpc::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+#define TPC_CHECK_OK(expr)                                                  \
+  do {                                                                      \
+    ::tpc::Status _st = (expr);                                             \
+    if (!_st.ok())                                                          \
+      ::tpc::internal::CheckFailed(__FILE__, __LINE__, _st.ToString().c_str()); \
+  } while (0)
+
+#ifdef NDEBUG
+#define TPC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define TPC_DCHECK(expr) TPC_CHECK(expr)
+#endif
+
+#endif  // TPC_UTIL_LOGGING_H_

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation. All randomness in the
+// simulator flows through a seeded Random so that every run is reproducible.
+
+#ifndef TPC_UTIL_RANDOM_H_
+#define TPC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace tpc {
+
+/// xoshiro256** generator seeded via SplitMix64. Deterministic, fast, and
+/// good enough statistically for workload generation.
+class Random {
+ public:
+  explicit Random(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Zipfian-ish skewed pick in [0, n) using theta in (0,1); theta=0 uniform.
+  uint64_t Skewed(uint64_t n, double theta);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace tpc
+
+#endif  // TPC_UTIL_RANDOM_H_

@@ -1,0 +1,73 @@
+// Result<T>: a Status or a value, for functions that produce something on
+// success. Mirrors arrow::Result / absl::StatusOr.
+
+#ifndef TPC_UTIL_RESULT_H_
+#define TPC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace tpc {
+
+/// Holds either an OK Status and a T, or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK Status: failure. Constructing from an OK Status
+  /// is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK Status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when not ok.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace tpc
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define TPC_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  TPC_ASSIGN_OR_RETURN_IMPL_(                     \
+      TPC_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define TPC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define TPC_CONCAT_(a, b) TPC_CONCAT_IMPL_(a, b)
+#define TPC_CONCAT_IMPL_(a, b) a##b
+
+#endif  // TPC_UTIL_RESULT_H_

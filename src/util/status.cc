@@ -1,0 +1,36 @@
+#include "util/status.h"
+
+namespace tpc {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kTimedOut: return "TimedOut";
+    case StatusCode::kBlocked: return "Blocked";
+    case StatusCode::kHeuristicDamage: return "HeuristicDamage";
+    case StatusCode::kHeuristicMixed: return "HeuristicMixed";
+    case StatusCode::kOutcomePending: return "OutcomePending";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  if (rep_ && !rep_->empty()) {
+    out += ": ";
+    out += *rep_;
+  }
+  return out;
+}
+
+}  // namespace tpc

@@ -1,0 +1,152 @@
+// Status: lightweight error propagation without exceptions, in the style used
+// throughout database C++ codebases (LevelDB/RocksDB/Arrow).
+//
+// Library functions that can fail return a Status (or a Result<T>, see
+// result.h). A Status is cheap to copy in the OK case (no allocation).
+
+#ifndef TPC_UTIL_STATUS_H_
+#define TPC_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tpc {
+
+/// Error categories used across the library.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something nonsensical
+  kNotFound,          ///< named entity does not exist
+  kAlreadyExists,     ///< named entity already exists
+  kCorruption,        ///< stored data failed validation (e.g. bad CRC)
+  kIOError,           ///< (simulated) device error
+  kFailedPrecondition,///< operation illegal in the current state
+  kAborted,           ///< transaction/protocol aborted
+  kUnavailable,       ///< peer or resource unreachable (e.g. partition)
+  kTimedOut,          ///< operation exceeded its deadline
+  kBlocked,           ///< commit outcome unresolved (in-doubt, blocking)
+  kHeuristicDamage,   ///< heuristic decision conflicted with the outcome
+  kHeuristicMixed,    ///< some participants committed, some aborted
+  kOutcomePending,    ///< wait-for-outcome: recovery still in progress
+  kInternal,          ///< invariant violation (a bug)
+};
+
+/// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation: a code plus an optional message.
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() noexcept = default;
+
+  Status(const Status& other)
+      : code_(other.code_),
+        rep_(other.rep_ ? std::make_unique<std::string>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      code_ = other.code_;
+      rep_ = other.rep_ ? std::make_unique<std::string>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(StatusCode::kAborted, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+  static Status TimedOut(std::string_view msg) {
+    return Status(StatusCode::kTimedOut, msg);
+  }
+  static Status Blocked(std::string_view msg) {
+    return Status(StatusCode::kBlocked, msg);
+  }
+  static Status HeuristicDamage(std::string_view msg) {
+    return Status(StatusCode::kHeuristicDamage, msg);
+  }
+  static Status HeuristicMixed(std::string_view msg) {
+    return Status(StatusCode::kHeuristicMixed, msg);
+  }
+  static Status OutcomePending(std::string_view msg) {
+    return Status(StatusCode::kOutcomePending, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsBlocked() const { return code_ == StatusCode::kBlocked; }
+  bool IsHeuristicDamage() const { return code_ == StatusCode::kHeuristicDamage; }
+  bool IsHeuristicMixed() const { return code_ == StatusCode::kHeuristicMixed; }
+  bool IsOutcomePending() const { return code_ == StatusCode::kOutcomePending; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// Message supplied at construction; empty for OK.
+  std::string_view message() const {
+    return rep_ ? std::string_view(*rep_) : std::string_view();
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code),
+        rep_(msg.empty() ? nullptr : std::make_unique<std::string>(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::unique_ptr<std::string> rep_;  // null for OK / empty-message statuses
+};
+
+}  // namespace tpc
+
+/// Propagates a non-OK Status to the caller.
+#define TPC_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::tpc::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#endif  // TPC_UTIL_STATUS_H_

@@ -1,0 +1,126 @@
+#include "wal/log_manager.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tpc::wal {
+
+LogManager::LogManager(sim::SimContext* ctx, std::string node,
+                       sim::Time force_latency)
+    : ctx_(ctx), node_(std::move(node)), storage_(ctx, force_latency) {}
+
+Lsn LogManager::Append(const LogRecord& record, bool force,
+                       AppendCallback done) {
+  std::string encoded = record.Encode();
+  Lsn lsn = next_lsn_;
+  next_lsn_ += encoded.size();
+  buffer_ += encoded;
+
+  ++stats_.writes;
+  auto& ts = txn_stats_[record.txn];
+  ++ts.writes;
+  auto& os = owner_stats_[record.owner];
+  ++os.writes;
+
+  ctx_->trace().Add({ctx_->now(),
+                     force ? sim::TraceKind::kLogForce : sim::TraceKind::kLogWrite,
+                     node_, "", record.txn,
+                     std::string(RecordTypeToString(record.type))});
+
+  if (force) {
+    ++stats_.forced_writes;
+    ++ts.forced_writes;
+    ++os.forced_writes;
+    RequestForce(std::move(done));
+  } else if (done) {
+    done();
+  }
+  return lsn;
+}
+
+void LogManager::ForceAll(AppendCallback done) { RequestForce(std::move(done)); }
+
+void LogManager::RequestForce(AppendCallback done) {
+  if (done) pending_force_.push_back(std::move(done));
+  ++pending_force_requests_;
+
+  if (!group_.enabled) {
+    Flush();
+    return;
+  }
+  if (pending_force_requests_ >= group_.group_size) {
+    Flush();
+    return;
+  }
+  if (!group_timer_armed_) {
+    group_timer_armed_ = true;
+    const uint64_t epoch = epoch_;
+    group_timer_ = ctx_->events().ScheduleAfter(group_.group_timeout,
+                                                [this, epoch] {
+      if (epoch != epoch_) return;
+      group_timer_armed_ = false;
+      if (pending_force_requests_ > 0) Flush();
+    });
+  }
+}
+
+void LogManager::Flush() {
+  if (group_timer_armed_) {
+    ctx_->events().Cancel(group_timer_);
+    group_timer_armed_ = false;
+  }
+  pending_force_requests_ = 0;
+  std::vector<AppendCallback> callbacks = std::move(pending_force_);
+  pending_force_.clear();
+  std::string bytes = std::move(buffer_);
+  buffer_.clear();
+  if (bytes.empty() && callbacks.empty()) return;
+  // Even when the buffer is empty (everything already handed to the device)
+  // we must not ack the callbacks until the device confirms prior queued
+  // writes are durable, so we still enqueue a (possibly empty) write.
+  const uint64_t epoch = epoch_;
+  storage_.Write(std::move(bytes),
+                 [this, epoch, cbs = std::move(callbacks)]() mutable {
+    if (epoch != epoch_) return;
+    for (auto& cb : cbs) cb();
+  });
+}
+
+void LogManager::Crash() {
+  ++epoch_;
+  buffer_.clear();
+  pending_force_.clear();
+  pending_force_requests_ = 0;
+  if (group_timer_armed_) {
+    ctx_->events().Cancel(group_timer_);
+    group_timer_armed_ = false;
+  }
+  storage_.Crash();
+  // LSN space continues from the durable prefix after restart.
+  next_lsn_ = storage_.durable_bytes();
+}
+
+void LogManager::DiscardPrefix(Lsn lsn) {
+  TPC_CHECK(lsn <= storage_.durable_bytes());
+  if (lsn <= storage_.base_offset()) return;
+  storage_.Truncate(lsn - storage_.base_offset());
+}
+
+LogWriteStats LogManager::StatsForTxn(uint64_t txn) const {
+  auto it = txn_stats_.find(txn);
+  return it == txn_stats_.end() ? LogWriteStats{} : it->second;
+}
+
+LogWriteStats LogManager::StatsForOwner(const std::string& owner) const {
+  auto it = owner_stats_.find(owner);
+  return it == owner_stats_.end() ? LogWriteStats{} : it->second;
+}
+
+void LogManager::ResetStats() {
+  stats_ = LogWriteStats{};
+  txn_stats_.clear();
+  owner_stats_.clear();
+}
+
+}  // namespace tpc::wal

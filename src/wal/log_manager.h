@@ -1,0 +1,123 @@
+// Log manager: append-only WAL with forced / non-forced writes and group
+// commit.
+//
+// Semantics (matching Section 2 of the paper):
+//  * A non-forced append returns immediately; the record sits in the log
+//    buffer and reaches stable storage when the next force (or any later
+//    device flush) covers it. It is lost if the node crashes first.
+//  * A forced append suspends the caller (its continuation runs only once
+//    the record is durable).
+//  * Group commit (Section 4) delays the physical force until either
+//    `group_size` force requests have accumulated or `group_timeout`
+//    expires, amortizing one device write across many transactions.
+//
+// Several components (the node's TM and any LRMs using the shared-log
+// optimization) may append to one LogManager under distinct owner tags.
+
+#ifndef TPC_WAL_LOG_MANAGER_H_
+#define TPC_WAL_LOG_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sim_context.h"
+#include "wal/log_record.h"
+#include "wal/stable_storage.h"
+
+namespace tpc::wal {
+
+/// Group-commit tuning.
+struct GroupCommitOptions {
+  bool enabled = false;
+  /// Physical force fires once this many force requests are pending.
+  uint32_t group_size = 8;
+  /// ... or once this much time has passed since the first pending request.
+  sim::Time group_timeout = 5 * sim::kMillisecond;
+};
+
+/// Logical write counters (what the paper's tables count).
+struct LogWriteStats {
+  uint64_t writes = 0;         ///< total log records appended
+  uint64_t forced_writes = 0;  ///< appended with force semantics
+};
+
+/// Per-node write-ahead log.
+class LogManager {
+ public:
+  using AppendCallback = std::function<void()>;
+
+  /// `node` names the owning node in traces. `force_latency` is the log
+  /// device service time per physical write.
+  LogManager(sim::SimContext* ctx, std::string node,
+             sim::Time force_latency = 2 * sim::kMillisecond);
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  void set_group_commit(const GroupCommitOptions& opts) { group_ = opts; }
+  const GroupCommitOptions& group_commit() const { return group_; }
+
+  /// Appends a record. If `force`, `done` runs when the record is durable;
+  /// otherwise `done` runs immediately (before returning). `done` may be
+  /// null. Returns the record's LSN.
+  Lsn Append(const LogRecord& record, bool force, AppendCallback done = nullptr);
+
+  /// Forces everything currently buffered (used by checkpoints and by tests).
+  void ForceAll(AppendCallback done);
+
+  /// Crash: buffered records and pending force callbacks are lost; stable
+  /// storage keeps completed writes only.
+  void Crash();
+
+  /// Checkpoint-driven truncation: discards all durable log content before
+  /// `lsn`. The caller is responsible for ensuring nothing before `lsn` is
+  /// still needed for recovery (see Node::Checkpoint).
+  void DiscardPrefix(Lsn lsn);
+
+  /// Recovery scan of durable content.
+  std::vector<LogRecord> Recover() const { return ScanLog(storage_.durable()); }
+
+  /// First LSN not yet guaranteed durable.
+  Lsn durable_lsn() const { return storage_.durable_bytes(); }
+  Lsn next_lsn() const { return next_lsn_; }
+
+  const LogWriteStats& stats() const { return stats_; }
+  /// Logical writes attributed to one transaction (0 entries prune to {}).
+  LogWriteStats StatsForTxn(uint64_t txn) const;
+  /// Logical writes attributed to one owner tag.
+  LogWriteStats StatsForOwner(const std::string& owner) const;
+  /// Physical device writes completed (group commit reduces this).
+  uint64_t device_forces() const { return storage_.completed_writes(); }
+
+  void ResetStats();
+
+  StableStorage& storage() { return storage_; }
+
+ private:
+  void RequestForce(AppendCallback done);
+  void Flush();
+
+  sim::SimContext* ctx_;
+  std::string node_;
+  StableStorage storage_;
+  GroupCommitOptions group_;
+
+  std::string buffer_;  // encoded records not yet handed to the device
+  Lsn next_lsn_ = 0;
+  std::vector<AppendCallback> pending_force_;
+  uint32_t pending_force_requests_ = 0;
+  sim::EventId group_timer_ = 0;
+  bool group_timer_armed_ = false;
+  uint64_t epoch_ = 0;
+
+  LogWriteStats stats_;
+  std::unordered_map<uint64_t, LogWriteStats> txn_stats_;
+  std::unordered_map<std::string, LogWriteStats> owner_stats_;
+};
+
+}  // namespace tpc::wal
+
+#endif  // TPC_WAL_LOG_MANAGER_H_

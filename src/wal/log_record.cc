@@ -1,0 +1,83 @@
+#include "wal/log_record.h"
+
+#include "util/binary_io.h"
+#include "util/crc32c.h"
+
+namespace tpc::wal {
+
+std::string_view RecordTypeToString(RecordType type) {
+  switch (type) {
+    case RecordType::kTmJoin: return "tm.join";
+    case RecordType::kTmCommitPending: return "tm.commit-pending";
+    case RecordType::kTmPrepared: return "tm.prepared";
+    case RecordType::kTmCommitted: return "tm.committed";
+    case RecordType::kTmAborted: return "tm.aborted";
+    case RecordType::kTmEnd: return "tm.end";
+    case RecordType::kTmHeuristic: return "tm.heuristic";
+    case RecordType::kRmUpdate: return "rm.update";
+    case RecordType::kRmPrepared: return "rm.prepared";
+    case RecordType::kRmCommitted: return "rm.committed";
+    case RecordType::kRmAborted: return "rm.aborted";
+    case RecordType::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+bool IsTmRecord(RecordType type) {
+  return static_cast<uint8_t>(type) < static_cast<uint8_t>(RecordType::kRmUpdate);
+}
+
+std::string LogRecord::Encode() const {
+  Encoder body_enc;
+  body_enc.PutU8(static_cast<uint8_t>(type));
+  body_enc.PutVarint(txn);
+  body_enc.PutString(owner);
+  body_enc.PutString(body);
+  const std::string& inner = body_enc.buffer();
+
+  Encoder out;
+  out.PutU32(crc32c::Mask(crc32c::Value(inner)));
+  out.PutU32(static_cast<uint32_t>(inner.size()));
+  std::string buf = out.Release();
+  buf += inner;
+  return buf;
+}
+
+Result<LogRecord> DecodeRecord(std::string_view data, size_t* offset) {
+  size_t pos = *offset;
+  if (data.size() - pos < 8) return Status::Corruption("truncated header");
+  Decoder hdr(data.substr(pos, 8));
+  uint32_t masked_crc = 0, len = 0;
+  TPC_RETURN_IF_ERROR(hdr.GetU32(&masked_crc));
+  TPC_RETURN_IF_ERROR(hdr.GetU32(&len));
+  if (data.size() - pos - 8 < len) return Status::Corruption("truncated body");
+  std::string_view inner = data.substr(pos + 8, len);
+  if (crc32c::Unmask(masked_crc) != crc32c::Value(inner))
+    return Status::Corruption("crc mismatch");
+
+  Decoder dec(inner);
+  LogRecord rec;
+  uint8_t type = 0;
+  TPC_RETURN_IF_ERROR(dec.GetU8(&type));
+  rec.type = static_cast<RecordType>(type);
+  uint64_t txn = 0;
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&txn));
+  rec.txn = txn;
+  TPC_RETURN_IF_ERROR(dec.GetString(&rec.owner));
+  TPC_RETURN_IF_ERROR(dec.GetString(&rec.body));
+  *offset = pos + 8 + len;
+  return rec;
+}
+
+std::vector<LogRecord> ScanLog(std::string_view data) {
+  std::vector<LogRecord> out;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    auto rec = DecodeRecord(data, &offset);
+    if (!rec.ok()) break;  // torn tail: stop at first bad record
+    out.push_back(std::move(rec).value());
+  }
+  return out;
+}
+
+}  // namespace tpc::wal

@@ -1,0 +1,77 @@
+// Log record model and on-disk encoding.
+//
+// The paper's accounting counts *log writes*, split into forced and
+// non-forced. Records here carry a type, the transaction id, an owner tag
+// (which TM or LRM wrote it — several components can share one log, see the
+// shared-log optimization), and an opaque body encoded by the owner.
+//
+// Disk format per record:
+//   [u32 masked crc][u32 len][u8 type][varint txn][string owner][string body]
+// CRC covers everything after the crc field. A recovery scan stops at the
+// first record whose CRC does not verify (torn tail after a crash).
+
+#ifndef TPC_WAL_LOG_RECORD_H_
+#define TPC_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tpc::wal {
+
+/// Log sequence number: byte offset of the record start in the log.
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = ~0ULL;
+
+/// Record types written by transaction managers and resource managers.
+enum class RecordType : uint8_t {
+  // Transaction-manager records.
+  kTmJoin = 1,        ///< PN: subordinate notes its coordinator's identity
+  kTmCommitPending,   ///< PN: coordinator remembers subordinates pre-Prepare
+  kTmPrepared,        ///< participant is prepared (in doubt)
+  kTmCommitted,       ///< commit decision / commit performed
+  kTmAborted,         ///< abort decision / abort performed
+  kTmEnd,             ///< transaction forgotten (all acks collected)
+  kTmHeuristic,       ///< heuristic decision taken while in doubt
+
+  // Resource-manager records.
+  kRmUpdate = 32,     ///< undo/redo for one store mutation
+  kRmPrepared,        ///< LRM prepared (updates stable)
+  kRmCommitted,       ///< LRM committed
+  kRmAborted,         ///< LRM aborted (undo applied)
+
+  // Infrastructure.
+  kCheckpoint = 64,   ///< recovery checkpoint (not in the paper's counts)
+};
+
+std::string_view RecordTypeToString(RecordType type);
+
+/// True for the TM record types (used to split per-role accounting).
+bool IsTmRecord(RecordType type);
+
+/// A decoded log record.
+struct LogRecord {
+  RecordType type = RecordType::kTmEnd;
+  uint64_t txn = 0;
+  std::string owner;  ///< writer tag, e.g. "coord.tm" or "sub1.rm0"
+  std::string body;   ///< owner-defined payload
+
+  /// Serializes to the on-disk format.
+  std::string Encode() const;
+};
+
+/// Decodes one record starting at data[*offset]; advances *offset past it.
+/// Corruption (bad CRC, truncation) is reported, leaving *offset untouched.
+Result<LogRecord> DecodeRecord(std::string_view data, size_t* offset);
+
+/// Scans a log image, returning all intact records; a corrupt or torn tail
+/// terminates the scan silently (that is the expected crash artifact).
+std::vector<LogRecord> ScanLog(std::string_view data);
+
+}  // namespace tpc::wal
+
+#endif  // TPC_WAL_LOG_RECORD_H_

@@ -1,0 +1,42 @@
+#include "wal/stable_storage.h"
+
+#include <utility>
+
+namespace tpc::wal {
+
+void StableStorage::Write(std::string data, WriteCallback done) {
+  queue_.push_back(Pending{std::move(data), std::move(done)});
+  if (!busy_) StartNext();
+}
+
+void StableStorage::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  const uint64_t epoch = epoch_;
+  ctx_->events().ScheduleAfter(write_latency_, [this, epoch] {
+    if (epoch != epoch_) return;  // crashed while in flight: write lost
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    durable_ += p.data;
+    ++completed_writes_;
+    if (p.done) p.done();
+    StartNext();
+  });
+}
+
+void StableStorage::Crash() {
+  ++epoch_;
+  queue_.clear();
+  busy_ = false;
+}
+
+void StableStorage::Truncate(uint64_t bytes) {
+  if (bytes > durable_.size()) bytes = durable_.size();
+  durable_.erase(0, bytes);
+  base_offset_ += bytes;
+}
+
+}  // namespace tpc::wal

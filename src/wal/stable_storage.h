@@ -1,0 +1,76 @@
+// Simulated stable storage (the log device).
+//
+// Writes are serialized through a single device queue with a configurable
+// service time, so force-write latency and I/O queueing — the effects group
+// commit exists to mitigate — are actually modeled. Bytes become durable
+// when their device write *completes*; an in-flight write is lost on crash.
+
+#ifndef TPC_WAL_STABLE_STORAGE_H_
+#define TPC_WAL_STABLE_STORAGE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/sim_context.h"
+
+namespace tpc::wal {
+
+/// One simulated log device.
+class StableStorage {
+ public:
+  using WriteCallback = std::function<void()>;
+
+  StableStorage(sim::SimContext* ctx, sim::Time write_latency)
+      : ctx_(ctx), write_latency_(write_latency) {}
+
+  /// Queues `data` for durable append; `done` runs at completion time.
+  /// FIFO; one write in service at a time.
+  void Write(std::string data, WriteCallback done);
+
+  /// Crash: in-flight and queued writes are lost; completed writes survive.
+  void Crash();
+
+  /// Durable contents (what a recovery scan reads), starting at
+  /// base_offset().
+  const std::string& durable() const { return durable_; }
+
+  /// Discards the first `bytes` of durable content (checkpoint-driven log
+  /// truncation) and advances base_offset() accordingly.
+  void Truncate(uint64_t bytes);
+
+  /// Offset of durable()[0] in the log's LSN space (grows with Truncate).
+  uint64_t base_offset() const { return base_offset_; }
+
+  /// Completed device writes (the physical-force count for group-commit
+  /// accounting).
+  uint64_t completed_writes() const { return completed_writes_; }
+
+  /// End of the durable log in LSN space (base offset + retained bytes).
+  uint64_t durable_bytes() const { return base_offset_ + durable_.size(); }
+
+  sim::Time write_latency() const { return write_latency_; }
+  void set_write_latency(sim::Time t) { write_latency_ = t; }
+
+ private:
+  struct Pending {
+    std::string data;
+    WriteCallback done;
+  };
+
+  void StartNext();
+
+  sim::SimContext* ctx_;
+  sim::Time write_latency_;
+  std::string durable_;
+  uint64_t base_offset_ = 0;
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  uint64_t epoch_ = 0;  // bumped on crash to invalidate in-flight completions
+  uint64_t completed_writes_ = 0;
+};
+
+}  // namespace tpc::wal
+
+#endif  // TPC_WAL_STABLE_STORAGE_H_

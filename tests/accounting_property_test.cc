@@ -1,0 +1,85 @@
+// Property tests: the simulation's measured costs equal the paper's
+// closed-form formulas across the (variant, n, m) parameter space, not just
+// at the paper's example point; and Table 4 holds for every even r.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/cost_model.h"
+#include "harness/scenarios.h"
+
+namespace tpc {
+namespace {
+
+using analysis::CostTriplet;
+using analysis::Table3Cost;
+using analysis::Table3Variant;
+using analysis::Table3VariantName;
+using analysis::Table4Cost;
+using analysis::Table4Variant;
+
+class Table3PropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<Table3Variant, uint64_t, uint64_t>> {};
+
+TEST_P(Table3PropertyTest, MeasuredEqualsFormula) {
+  auto [variant, n, m] = GetParam();
+  if (m > n - 1) GTEST_SKIP() << "m must not exceed n-1";
+  harness::ScenarioResult run = harness::RunTable3Scenario(variant, n, m);
+  ASSERT_TRUE(run.completed) << Table3VariantName(variant);
+  EXPECT_EQ(run.result.outcome, tm::Outcome::kCommitted);
+  CostTriplet paper = Table3Cost(variant, n, m);
+  EXPECT_EQ(run.measured.flows, paper.flows) << Table3VariantName(variant);
+  EXPECT_EQ(run.measured.writes, paper.writes) << Table3VariantName(variant);
+  EXPECT_EQ(run.measured.forced, paper.forced) << Table3VariantName(variant);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Table3PropertyTest,
+    ::testing::Combine(
+        ::testing::Values(Table3Variant::kBasic2PC, Table3Variant::kPaReadOnly,
+                          Table3Variant::kPaLastAgent,
+                          Table3Variant::kPaUnsolicitedVote,
+                          Table3Variant::kPaLeaveOut,
+                          Table3Variant::kPaVoteReliable,
+                          Table3Variant::kPaWaitForOutcome,
+                          Table3Variant::kPaSharedLogs,
+                          Table3Variant::kPaLongLocks),
+        ::testing::Values<uint64_t>(2, 3, 5, 11),
+        ::testing::Values<uint64_t>(0, 1, 4)));
+
+class Table4PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Table4PropertyTest, AllVariantsMatchFormulas) {
+  const uint64_t r = GetParam();
+  for (auto variant : {Table4Variant::kBasic2PC, Table4Variant::kLongLocks,
+                       Table4Variant::kLongLocksLastAgent}) {
+    CostTriplet measured = harness::RunTable4Scenario(variant, r);
+    CostTriplet paper = Table4Cost(variant, r);
+    EXPECT_EQ(measured.flows, paper.flows)
+        << analysis::Table4VariantName(variant) << " r=" << r;
+    EXPECT_EQ(measured.writes, paper.writes)
+        << analysis::Table4VariantName(variant) << " r=" << r;
+    EXPECT_EQ(measured.forced, paper.forced)
+        << analysis::Table4VariantName(variant) << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Table4PropertyTest,
+                         ::testing::Values<uint64_t>(2, 4, 12));
+
+TEST(Table2PropertyTest, AllRowsMatchReconstructedTable) {
+  auto expected = analysis::Table2Expected();
+  auto measured = harness::RunTable2Scenarios();
+  ASSERT_EQ(expected.size(), measured.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(measured[i].coordinator, expected[i].coordinator)
+        << expected[i].label;
+    EXPECT_EQ(measured[i].subordinate, expected[i].subordinate)
+        << expected[i].label;
+  }
+}
+
+}  // namespace
+}  // namespace tpc

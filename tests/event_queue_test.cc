@@ -1,0 +1,112 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tpc::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, FifoWithinSameInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(5, [&] { order.push_back(1); });
+  q.ScheduleAt(5, [&] { order.push_back(2); });
+  q.ScheduleAt(5, [&] { order.push_back(3); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesNow) {
+  EventQueue q;
+  Time seen = -1;
+  q.ScheduleAt(100, [&] {
+    q.ScheduleAfter(50, [&] { seen = q.now(); });
+  });
+  q.Run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // already cancelled
+  q.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelAfterRunFails) {
+  EventQueue q;
+  EventId id = q.ScheduleAt(1, [] {});
+  q.Run();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  std::vector<Time> fired;
+  q.ScheduleAt(10, [&] { fired.push_back(10); });
+  q.ScheduleAt(20, [&] { fired.push_back(20); });
+  q.ScheduleAt(30, [&] { fired.push_back(30); });
+  q.RunUntil(25);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(q.now(), 25);
+  q.Run();
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20, 30}));
+}
+
+TEST(EventQueueTest, EventsScheduledDuringRunExecute) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.ScheduleAfter(1, recurse);
+  };
+  q.ScheduleAt(0, recurse);
+  q.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.now(), 4);
+}
+
+TEST(EventQueueTest, MaxEventsBoundsRun) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) q.ScheduleAt(i, [&] { ++count; });
+  EXPECT_EQ(q.Run(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueueTest, PendingExcludesCancelled) {
+  EventQueue q;
+  EventId a = q.ScheduleAt(1, [] {});
+  q.ScheduleAt(2, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilSkipsCancelledHead) {
+  EventQueue q;
+  bool ran = false;
+  EventId a = q.ScheduleAt(5, [&] { ran = true; });
+  q.Cancel(a);
+  q.RunUntil(10);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.now(), 10);
+}
+
+}  // namespace
+}  // namespace tpc::sim

@@ -1,0 +1,218 @@
+// Hierarchical (intent) locking: the compatibility matrix, covers/supremum
+// algebra, and the store-level scan semantics they enable in the KV RM.
+
+#include <gtest/gtest.h>
+
+#include "lock/lock_manager.h"
+#include "rm/kv_resource_manager.h"
+#include "sim/sim_context.h"
+#include "wal/log_manager.h"
+
+namespace tpc {
+namespace {
+
+using lock::LockMode;
+
+// --- Mode algebra --------------------------------------------------------------
+
+TEST(LockModeTest, CompatibilityMatrixIsTheTextbookOne) {
+  using lock::LockModesCompatible;
+  const LockMode kAll[] = {LockMode::kIntentShared, LockMode::kIntentExclusive,
+                           LockMode::kShared, LockMode::kExclusive};
+  // X conflicts with everything.
+  for (LockMode m : kAll) {
+    EXPECT_FALSE(LockModesCompatible(LockMode::kExclusive, m));
+    EXPECT_FALSE(LockModesCompatible(m, LockMode::kExclusive));
+  }
+  // Intent modes are mutually compatible.
+  EXPECT_TRUE(LockModesCompatible(LockMode::kIntentShared,
+                                  LockMode::kIntentExclusive));
+  EXPECT_TRUE(LockModesCompatible(LockMode::kIntentExclusive,
+                                  LockMode::kIntentExclusive));
+  // S is compatible with S and IS only.
+  EXPECT_TRUE(LockModesCompatible(LockMode::kShared, LockMode::kShared));
+  EXPECT_TRUE(LockModesCompatible(LockMode::kShared, LockMode::kIntentShared));
+  EXPECT_FALSE(
+      LockModesCompatible(LockMode::kShared, LockMode::kIntentExclusive));
+  // Symmetry.
+  for (LockMode a : kAll)
+    for (LockMode b : kAll)
+      EXPECT_EQ(LockModesCompatible(a, b), LockModesCompatible(b, a));
+}
+
+TEST(LockModeTest, CoversIsAPartialOrder) {
+  using lock::LockModeCovers;
+  for (LockMode m : {LockMode::kIntentShared, LockMode::kIntentExclusive,
+                     LockMode::kShared, LockMode::kExclusive}) {
+    EXPECT_TRUE(LockModeCovers(m, m));                      // reflexive
+    EXPECT_TRUE(LockModeCovers(LockMode::kExclusive, m));   // X is top
+  }
+  EXPECT_TRUE(LockModeCovers(LockMode::kShared, LockMode::kIntentShared));
+  EXPECT_TRUE(
+      LockModeCovers(LockMode::kIntentExclusive, LockMode::kIntentShared));
+  EXPECT_FALSE(LockModeCovers(LockMode::kShared, LockMode::kIntentExclusive));
+  EXPECT_FALSE(LockModeCovers(LockMode::kIntentExclusive, LockMode::kShared));
+  EXPECT_FALSE(LockModeCovers(LockMode::kIntentShared, LockMode::kShared));
+}
+
+TEST(LockModeTest, SupremumEscalatesIncomparablePairsToX) {
+  using lock::LockModeSupremum;
+  EXPECT_EQ(LockModeSupremum(LockMode::kShared, LockMode::kIntentExclusive),
+            LockMode::kExclusive);
+  EXPECT_EQ(LockModeSupremum(LockMode::kIntentShared, LockMode::kShared),
+            LockMode::kShared);
+  EXPECT_EQ(
+      LockModeSupremum(LockMode::kIntentShared, LockMode::kIntentExclusive),
+      LockMode::kIntentExclusive);
+}
+
+// --- Lock manager with intent modes ----------------------------------------------
+
+class IntentLockTest : public ::testing::Test {
+ protected:
+  Status Acquire(uint64_t txn, const std::string& key, LockMode mode) {
+    Status out = Status::Internal("pending");
+    locks_.Acquire(txn, key, mode, [&](Status st) { out = std::move(st); });
+    return out;
+  }
+
+  sim::SimContext ctx_;
+  lock::LockManager locks_{&ctx_, "node", 10 * sim::kSecond};
+};
+
+TEST_F(IntentLockTest, ManyIntentHoldersCoexist) {
+  for (uint64_t txn = 1; txn <= 5; ++txn) {
+    EXPECT_TRUE(Acquire(txn, "table", txn % 2 ? LockMode::kIntentShared
+                                              : LockMode::kIntentExclusive)
+                    .ok());
+  }
+}
+
+TEST_F(IntentLockTest, SharedBlocksBehindIntentExclusive) {
+  EXPECT_TRUE(Acquire(1, "table", LockMode::kIntentExclusive).ok());
+  bool granted = false;
+  locks_.Acquire(2, "table", LockMode::kShared,
+                 [&](Status st) { granted = st.ok(); });
+  EXPECT_FALSE(granted);
+  locks_.ReleaseAll(1);
+  EXPECT_TRUE(granted);
+}
+
+TEST_F(IntentLockTest, IntentUpgradesInPlace) {
+  EXPECT_TRUE(Acquire(1, "table", LockMode::kIntentShared).ok());
+  EXPECT_TRUE(Acquire(2, "table", LockMode::kIntentShared).ok());
+  // IS -> IX succeeds immediately: IX is compatible with the other IS.
+  EXPECT_TRUE(Acquire(1, "table", LockMode::kIntentExclusive).ok());
+  EXPECT_TRUE(locks_.Holds(1, "table", LockMode::kIntentExclusive));
+}
+
+TEST_F(IntentLockTest, SharedPlusIntentExclusiveEscalatesToExclusive) {
+  EXPECT_TRUE(Acquire(1, "table", LockMode::kShared).ok());
+  // Re-request IX: the supremum is X; no other holders, so in place.
+  EXPECT_TRUE(Acquire(1, "table", LockMode::kIntentExclusive).ok());
+  EXPECT_TRUE(locks_.Holds(1, "table", LockMode::kExclusive));
+}
+
+// --- Scan semantics in the KV RM ---------------------------------------------------
+
+class ScanTest : public ::testing::Test {
+ protected:
+  ScanTest() : log_(&ctx_, "node"), rm_(&ctx_, "node.rm0", &log_) {}
+
+  void CommitWrite(uint64_t txn, const std::string& key,
+                   const std::string& value) {
+    rm_.Write(txn, key, value, [](Status st) { ASSERT_TRUE(st.ok()); });
+    rm_.Prepare(txn, [](rm::VoteInfo) {});
+    rm_.Commit(txn, [](Status st) { ASSERT_TRUE(st.ok()); });
+    ctx_.events().Run();
+  }
+
+  sim::SimContext ctx_;
+  wal::LogManager log_;
+  rm::KVResourceManager rm_;
+};
+
+TEST_F(ScanTest, ScanReturnsPrefixRangeInOrder) {
+  CommitWrite(1, "user:alice", "1");
+  CommitWrite(2, "user:bob", "2");
+  CommitWrite(3, "order:77", "x");
+  std::vector<std::pair<std::string, std::string>> rows;
+  rm_.Scan(4, "user:", [&](auto result) {
+    ASSERT_TRUE(result.ok());
+    rows = *result;
+  });
+  ctx_.events().Run();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "user:alice");
+  EXPECT_EQ(rows[1].first, "user:bob");
+}
+
+TEST_F(ScanTest, ScanWaitsForInFlightWriters) {
+  rm_.Write(1, "user:alice", "dirty", [](Status st) {
+    ASSERT_TRUE(st.ok());
+  });
+  bool scanned = false;
+  rm_.Scan(2, "user:", [&](auto result) {
+    ASSERT_TRUE(result.ok());
+    scanned = true;
+    // The writer resolved before we ran: no dirty data visible mid-flight.
+    ASSERT_EQ(result->size(), 1u);
+    EXPECT_EQ((*result)[0].second, "final");
+  });
+  ctx_.events().RunUntil(ctx_.now() + 10 * sim::kMillisecond);
+  EXPECT_FALSE(scanned);  // blocked on the store lock (IX held by txn 1)
+  rm_.Write(1, "user:alice", "final", [](Status st) {
+    ASSERT_TRUE(st.ok());
+  });
+  rm_.Prepare(1, [](rm::VoteInfo) {});
+  rm_.Commit(1, [](Status st) { ASSERT_TRUE(st.ok()); });
+  ctx_.events().RunUntil(ctx_.now() + sim::kSecond);
+  EXPECT_TRUE(scanned);
+}
+
+TEST_F(ScanTest, WritersQueueBehindAScanningTransaction) {
+  CommitWrite(1, "user:alice", "1");
+  bool scanned = false;
+  rm_.Scan(2, "user:", [&](auto result) {
+    ASSERT_TRUE(result.ok());
+    scanned = true;
+  });
+  ctx_.events().Run();
+  ASSERT_TRUE(scanned);
+  // txn 2 holds S on the store until it ends: a writer queues.
+  bool wrote = false;
+  rm_.Write(3, "user:carol", "3", [&](Status st) { wrote = st.ok(); });
+  ctx_.events().RunUntil(ctx_.now() + 10 * sim::kMillisecond);
+  EXPECT_FALSE(wrote);
+  rm_.EndReadOnly(2);  // the scanning transaction ends
+  ctx_.events().RunUntil(ctx_.now() + sim::kSecond);
+  EXPECT_TRUE(wrote);
+}
+
+TEST_F(ScanTest, ConcurrentScansShareTheStoreLock) {
+  CommitWrite(1, "k", "v");
+  int scans = 0;
+  rm_.Scan(2, "", [&](auto result) {
+    ASSERT_TRUE(result.ok());
+    ++scans;
+  });
+  rm_.Scan(3, "", [&](auto result) {
+    ASSERT_TRUE(result.ok());
+    ++scans;
+  });
+  ctx_.events().Run();
+  EXPECT_EQ(scans, 2);
+}
+
+TEST_F(ScanTest, ScanningTxnVotesReadOnly) {
+  CommitWrite(1, "k", "v");
+  rm_.Scan(2, "", [](auto) {});
+  ctx_.events().Run();
+  rm::VoteInfo info;
+  rm_.Prepare(2, [&](rm::VoteInfo v) { info = v; });
+  ctx_.events().Run();
+  EXPECT_EQ(info.vote, rm::Vote::kReadOnly);
+}
+
+}  // namespace
+}  // namespace tpc

@@ -1,0 +1,154 @@
+// Simulated network: latency, ordering, partitions, crash-drop semantics,
+// and traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "sim/sim_context.h"
+
+namespace tpc::net {
+namespace {
+
+class RecordingEndpoint : public Endpoint {
+ public:
+  explicit RecordingEndpoint(sim::SimContext* ctx) : ctx_(ctx) {}
+
+  void OnMessage(const Message& msg) override {
+    received.push_back({ctx_->now(), msg});
+  }
+  bool IsUp() const override { return up; }
+
+  struct Delivery {
+    sim::Time at;
+    Message msg;
+  };
+  std::vector<Delivery> received;
+  bool up = true;
+
+ private:
+  sim::SimContext* ctx_;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(&ctx_), a_(&ctx_), b_(&ctx_) {
+    network_.Register("a", &a_);
+    network_.Register("b", &b_);
+  }
+
+  Message Make(const std::string& from, const std::string& to,
+               std::string type = "PING") {
+    Message msg;
+    msg.from = from;
+    msg.to = to;
+    msg.type = std::move(type);
+    msg.txn = 1;
+    return msg;
+  }
+
+  sim::SimContext ctx_;
+  Network network_;
+  RecordingEndpoint a_, b_;
+};
+
+TEST_F(NetworkTest, DeliversWithDefaultLatency) {
+  ASSERT_TRUE(network_.Send(Make("a", "b")).ok());
+  ctx_.events().Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].at, sim::kMillisecond);
+  EXPECT_EQ(b_.received[0].msg.from, "a");
+}
+
+TEST_F(NetworkTest, PerLinkLatencyOverride) {
+  network_.SetLinkLatency("a", "b", 50 * sim::kMillisecond);
+  ASSERT_TRUE(network_.Send(Make("a", "b")).ok());
+  ctx_.events().Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].at, 50 * sim::kMillisecond);
+}
+
+TEST_F(NetworkTest, SessionOrderPreservedWhenLatencyDrops) {
+  // First message at 50ms latency, second at 1ms: FIFO still holds.
+  network_.SetLinkLatency("a", "b", 50 * sim::kMillisecond);
+  ASSERT_TRUE(network_.Send(Make("a", "b", "FIRST")).ok());
+  network_.SetLinkLatency("a", "b", sim::kMillisecond);
+  ASSERT_TRUE(network_.Send(Make("a", "b", "SECOND")).ok());
+  ctx_.events().Run();
+  ASSERT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(b_.received[0].msg.type, "FIRST");
+  EXPECT_EQ(b_.received[1].msg.type, "SECOND");
+  EXPECT_GE(b_.received[1].at, b_.received[0].at);
+}
+
+TEST_F(NetworkTest, UnknownSenderOrDestinationRejected) {
+  EXPECT_TRUE(network_.Send(Make("ghost", "b")).IsInvalidArgument());
+  EXPECT_TRUE(network_.Send(Make("a", "ghost")).IsInvalidArgument());
+}
+
+TEST_F(NetworkTest, DeadSenderRejected) {
+  a_.up = false;
+  EXPECT_TRUE(network_.Send(Make("a", "b")).IsFailedPrecondition());
+}
+
+TEST_F(NetworkTest, DeadReceiverDropsSilently) {
+  b_.up = false;
+  ASSERT_TRUE(network_.Send(Make("a", "b")).ok());  // sender sees no error
+  ctx_.events().Run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(network_.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, ReceiverCrashAfterSendStillDrops) {
+  ASSERT_TRUE(network_.Send(Make("a", "b")).ok());
+  b_.up = false;  // crashes while the message is in flight
+  ctx_.events().Run();
+  EXPECT_TRUE(b_.received.empty());
+}
+
+TEST_F(NetworkTest, LinkDownDropsBothDirections) {
+  network_.SetLinkDown("a", "b", true);
+  ASSERT_TRUE(network_.Send(Make("a", "b")).ok());
+  ASSERT_TRUE(network_.Send(Make("b", "a")).ok());
+  ctx_.events().Run();
+  EXPECT_TRUE(a_.received.empty());
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(network_.stats().messages_dropped, 2u);
+
+  network_.SetLinkDown("a", "b", false);
+  ASSERT_TRUE(network_.Send(Make("a", "b")).ok());
+  ctx_.events().Run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, StatsCountFlowsAndBytes) {
+  Message msg = Make("a", "b");
+  msg.payload = "12345";
+  ASSERT_TRUE(network_.Send(msg).ok());
+  ASSERT_TRUE(network_.Send(Make("b", "a")).ok());
+  ctx_.events().Run();
+  EXPECT_EQ(network_.stats().messages_sent, 2u);
+  EXPECT_EQ(network_.stats().messages_delivered, 2u);
+  EXPECT_EQ(network_.stats().bytes_sent, 5u);
+  EXPECT_EQ(network_.SentBy("a"), 1u);
+  EXPECT_EQ(network_.SentBy("b"), 1u);
+  EXPECT_EQ(network_.SentBy("ghost"), 0u);
+}
+
+TEST_F(NetworkTest, TraceRecordsSendAndReceive) {
+  ASSERT_TRUE(network_.Send(Make("a", "b")).ok());
+  ctx_.events().Run();
+  EXPECT_EQ(ctx_.trace().Count(sim::TraceKind::kSend, "a"), 1u);
+  EXPECT_EQ(ctx_.trace().Count(sim::TraceKind::kReceive, "b"), 1u);
+}
+
+TEST_F(NetworkTest, TracingCanBeDisabled) {
+  network_.set_tracing(false);
+  ASSERT_TRUE(network_.Send(Make("a", "b")).ok());
+  ctx_.events().Run();
+  EXPECT_EQ(ctx_.trace().Count(sim::TraceKind::kSend), 0u);
+}
+
+}  // namespace
+}  // namespace tpc::net

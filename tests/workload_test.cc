@@ -1,0 +1,95 @@
+// The workload generator itself: determinism, outcome accounting, the
+// read-only knob, and contention behavior.
+
+#include <gtest/gtest.h>
+
+#include "harness/workload.h"
+
+namespace tpc::harness {
+namespace {
+
+WorkloadStats RunStandard(WorkloadOptions options,
+                          NodeOptions node_options = {}) {
+  Cluster cluster(options.seed + 1000);
+  Workload::BuildStandardCluster(&cluster, options, node_options);
+  Workload workload(&cluster, options);
+  return workload.Run();
+}
+
+TEST(WorkloadTest, AllTransactionsResolveWithoutFailures) {
+  WorkloadOptions options;
+  options.transactions = 50;
+  WorkloadStats stats = RunStandard(options);
+  EXPECT_EQ(stats.incomplete, 0u);
+  EXPECT_EQ(stats.committed + stats.aborted, 50u);
+  EXPECT_GT(stats.committed, 0u);
+  EXPECT_GT(stats.flows, 0u);
+  EXPECT_GT(stats.Throughput(), 0.0);
+}
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadOptions options;
+  options.transactions = 30;
+  options.seed = 9;
+  WorkloadStats a = RunStandard(options);
+  WorkloadStats b = RunStandard(options);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.aborted, b.aborted);
+  EXPECT_EQ(a.flows, b.flows);
+  EXPECT_EQ(a.forced, b.forced);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+TEST(WorkloadTest, ReadOnlyFractionReducesForcedWrites) {
+  WorkloadOptions mostly_writes;
+  mostly_writes.transactions = 60;
+  mostly_writes.read_only_fraction = 0.0;
+  WorkloadOptions mostly_reads = mostly_writes;
+  mostly_reads.read_only_fraction = 0.9;
+  WorkloadStats writes = RunStandard(mostly_writes);
+  WorkloadStats reads = RunStandard(mostly_reads);
+  EXPECT_LT(reads.forced, writes.forced);
+  EXPECT_LT(reads.flows, writes.flows);
+}
+
+TEST(WorkloadTest, HotKeyContentionSlowsTheStream) {
+  WorkloadOptions uniform;
+  uniform.transactions = 60;
+  uniform.read_only_fraction = 0.0;
+  uniform.hot_key_fraction = 0.0;
+  WorkloadOptions hot = uniform;
+  hot.hot_key_fraction = 1.0;  // every write hits the same key
+  WorkloadStats cool_stats = RunStandard(uniform);
+  WorkloadStats hot_stats = RunStandard(hot);
+  // Contention can only slow things down (lock queues serialize commits).
+  EXPECT_LE(hot_stats.Throughput(), cool_stats.Throughput() * 1.05);
+  EXPECT_EQ(hot_stats.incomplete, 0u);
+}
+
+TEST(WorkloadTest, StatsSummaryIsReadable) {
+  WorkloadOptions options;
+  options.transactions = 10;
+  WorkloadStats stats = RunStandard(options);
+  std::string summary = stats.ToString();
+  EXPECT_NE(summary.find("committed"), std::string::npos);
+  EXPECT_NE(summary.find("txn/s"), std::string::npos);
+}
+
+TEST(WorkloadTest, RunsUnderEveryProtocol) {
+  for (auto protocol :
+       {tm::ProtocolKind::kBasic2PC, tm::ProtocolKind::kPresumedAbort,
+        tm::ProtocolKind::kPresumedNothing,
+        tm::ProtocolKind::kPresumedCommit}) {
+    WorkloadOptions options;
+    options.transactions = 20;
+    NodeOptions node_options;
+    node_options.tm.protocol = protocol;
+    WorkloadStats stats = RunStandard(options, node_options);
+    EXPECT_EQ(stats.incomplete, 0u)
+        << tm::ProtocolKindToString(protocol);
+    EXPECT_GT(stats.committed, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace tpc::harness

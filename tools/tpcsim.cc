@@ -1,0 +1,38 @@
+// tpcsim: run a scenario script against the simulator.
+//
+//   tpcsim scenarios/last_agent.tpc
+//
+// Exits 0 when every expectation in the script held, 1 on expectation
+// failures, 2 on script errors. See src/harness/scenario_script.h for the
+// command reference and scenarios/ for examples.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/scenario_script.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <scenario-file>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto report = tpc::harness::RunScenarioScript(buffer.str());
+  if (!report.ok()) {
+    std::fprintf(stderr, "script error: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", report->output.c_str());
+  std::printf("%d commands, %d expectation(s) failed\n", report->commands,
+              report->expect_failed);
+  return report->expect_failed == 0 ? 0 : 1;
+}
