@@ -4,13 +4,19 @@
 // with one far-away partner, last agent turns two slow round trips into
 // one.
 //
-// Usage: latency_sweep
+// The (far-latency x configuration) grid runs as a parallel sweep — one
+// cluster per cell, no shared state — and emits BENCH_latency_sweep.json.
+//
+// Usage: latency_sweep [threads]
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "harness/bench_report.h"
 #include "harness/cluster.h"
+#include "harness/sweep.h"
 #include "util/logging.h"
 #include "util/format.h"
 
@@ -29,12 +35,7 @@ struct Config {
 
 // One coordinator, one near subordinate (1ms), one far subordinate
 // (configurable). Reports commit latency and the far node's lock hold.
-struct Sample {
-  sim::Time commit_latency;
-  double far_lock_hold_mean;
-};
-
-Sample RunOne(const Config& config, sim::Time far_latency) {
+harness::SweepCell RunOne(const Config& config, sim::Time far_latency) {
   Cluster c;
   NodeOptions options;
   options.tm.protocol = tm::ProtocolKind::kPresumedAbort;
@@ -77,15 +78,27 @@ Sample RunOne(const Config& config, sim::Time far_latency) {
   TPC_CHECK(c.tm("coord").SendWork(next_txn, "far").ok());
   c.RunFor(30 * sim::kSecond);
 
-  Sample sample;
-  sample.commit_latency = commit.latency;
-  sample.far_lock_hold_mean = c.node("far").rm().locks().stats().hold_time.Mean();
-  return sample;
+  harness::SweepCell cell;
+  cell.label = config.label +
+               StringPrintf(" @%lldms", static_cast<long long>(
+                                            far_latency / sim::kMillisecond));
+  cell.events = c.ctx().events().executed();
+  cell.txns = 1;  // one driven commit per cell
+  cell.sim_time = c.ctx().now();
+  cell.Add("commit_latency_ms",
+           static_cast<double>(commit.latency) / sim::kMillisecond);
+  cell.Add("far_lock_hold_ms",
+           c.node("far").rm().locks().stats().hold_time.Mean() /
+               sim::kMillisecond);
+  return cell;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads =
+      argc > 1 ? static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10))
+               : 0;
   std::printf(
       "Commit latency and far-node lock-hold time vs. link delay to one\n"
       "far partner (near partner fixed at 1ms; PA base protocol).\n\n");
@@ -96,22 +109,33 @@ int main() {
       {"PA + vote reliable", false, /*vote_reliable=*/true},
       {"PA + unsolicited vote", false, false, /*unsolicited=*/true},
   };
+  const std::vector<sim::Time> far_delays = {
+      5 * sim::kMillisecond, 50 * sim::kMillisecond,
+      300 * sim::kMillisecond /* satellite hop */};
 
-  for (sim::Time far : {5 * sim::kMillisecond, 50 * sim::kMillisecond,
-                        300 * sim::kMillisecond /* satellite hop */}) {
+  harness::BenchReport report("latency_sweep");
+  const std::vector<harness::SweepCell> cells = harness::RunSweep(
+      far_delays.size() * configs.size(),
+      [&](size_t i) {
+        return RunOne(configs[i % configs.size()],
+                      far_delays[i / configs.size()]);
+      },
+      threads);
+  report.AddCells(cells);
+  report.set_threads(
+      harness::ResolveThreads(threads, far_delays.size() * configs.size()));
+
+  for (size_t d = 0; d < far_delays.size(); ++d) {
     std::printf("far-link one-way delay: %lldms\n",
-                static_cast<long long>(far / sim::kMillisecond));
+                static_cast<long long>(far_delays[d] / sim::kMillisecond));
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"configuration", "commit latency (ms)",
                     "far lock hold (ms, incl. 1s work phase)"});
-    for (const auto& config : configs) {
-      Sample sample = RunOne(config, far);
-      rows.push_back(
-          {config.label,
-           StringPrintf("%.1f", static_cast<double>(sample.commit_latency) /
-                                    sim::kMillisecond),
-           StringPrintf("%.1f", sample.far_lock_hold_mean /
-                                    sim::kMillisecond)});
+    for (size_t k = 0; k < configs.size(); ++k) {
+      const harness::SweepCell& cell = cells[d * configs.size() + k];
+      rows.push_back({configs[k].label,
+                      StringPrintf("%.1f", cell.Get("commit_latency_ms")),
+                      StringPrintf("%.1f", cell.Get("far_lock_hold_ms"))});
     }
     std::printf("%s\n", RenderTable(rows).c_str());
   }
@@ -120,5 +144,7 @@ int main() {
       "configuration wins — communication with the far partner collapses\n"
       "to one slow round trip, so commit latency drops by roughly one\n"
       "far-link round trip versus the baseline.\n");
+  std::printf("\n%s\n", report.Summary().c_str());
+  std::printf("wrote %s\n", report.WriteJson().c_str());
   return 0;
 }

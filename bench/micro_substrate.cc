@@ -146,7 +146,7 @@ void BM_NetworkSendDeliver(benchmark::State& state) {
   net::Message msg;
   msg.from = "a";
   msg.to = "b";
-  msg.type = "PING";
+  msg.kind = net::MsgKind::kApp;
   msg.payload = std::string(64, 'm');
   for (auto _ : state) {
     benchmark::DoNotOptimize(network.Send(msg));

@@ -4,13 +4,18 @@
 // mixed transaction stream grows, with the read-only optimization on and
 // off.
 //
-// Usage: readonly_fraction [txns]
+// The (fraction x on/off) grid runs as a parallel sweep — one cluster per
+// cell — and emits BENCH_readonly_fraction.json.
+//
+// Usage: readonly_fraction [txns] [threads]
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "harness/bench_report.h"
 #include "harness/cluster.h"
+#include "harness/sweep.h"
 #include "util/format.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -21,13 +26,8 @@ using namespace tpc;
 using harness::Cluster;
 using harness::NodeOptions;
 
-struct Totals {
-  uint64_t flows = 0;
-  uint64_t forced = 0;
-};
-
-Totals RunMix(bool read_only_opt, double ro_fraction, uint64_t txns,
-              uint64_t seed) {
+harness::SweepCell RunMix(bool read_only_opt, double ro_fraction,
+                          uint64_t txns, uint64_t seed) {
   Cluster c(seed);
   Random rng(seed);
   NodeOptions options;
@@ -53,7 +53,8 @@ Totals RunMix(bool read_only_opt, double ro_fraction, uint64_t txns,
         });
   }
 
-  Totals totals;
+  uint64_t flows = 0;
+  uint64_t forced = 0;
   for (uint64_t i = 0; i < txns; ++i) {
     const bool read_only = rng.Bernoulli(ro_fraction);
     const std::string op = read_only ? "r" : "w";
@@ -70,46 +71,72 @@ Totals RunMix(bool read_only_opt, double ro_fraction, uint64_t txns,
     harness::DrivenCommit commit = c.CommitAndWait("coord", txn);
     TPC_CHECK(commit.completed);
     tm::TxnCost cost = c.TotalCost(txn);
-    totals.flows += cost.flows_sent;
-    totals.forced += cost.tm_log_forced;
+    flows += cost.flows_sent;
+    forced += cost.tm_log_forced;
   }
-  return totals;
+
+  harness::SweepCell cell;
+  cell.label = StringPrintf("ro=%.2f opt=%s", ro_fraction,
+                            read_only_opt ? "on" : "off");
+  cell.events = c.ctx().events().executed();
+  cell.txns = txns;
+  cell.sim_time = c.ctx().now();
+  cell.Add("flows", static_cast<double>(flows));
+  cell.Add("forced", static_cast<double>(forced));
+  return cell;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const uint64_t txns = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  const unsigned threads =
+      argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10))
+               : 0;
   std::printf(
       "Mixed workload (coordinator + 2 subordinates, %llu transactions):\n"
       "totals with the read-only optimization OFF vs ON, as the fraction\n"
       "of fully read-only transactions grows.\n\n",
       static_cast<unsigned long long>(txns));
 
+  const std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75, 0.9, 1.0};
+
+  // Cell layout: pairs of (off, on) per fraction.
+  harness::BenchReport report("readonly_fraction");
+  const std::vector<harness::SweepCell> cells = harness::RunSweep(
+      fractions.size() * 2,
+      [&](size_t i) {
+        return RunMix(/*read_only_opt=*/(i % 2) == 1, fractions[i / 2], txns,
+                      /*seed=*/7);
+      },
+      threads);
+  report.AddCells(cells);
+  report.set_threads(harness::ResolveThreads(threads, fractions.size() * 2));
+
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"RO fraction", "flows (off)", "flows (on)", "forced (off)",
                   "forced (on)", "savings"});
-  for (double fraction : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
-    Totals off = RunMix(false, fraction, txns, /*seed=*/7);
-    Totals on = RunMix(true, fraction, txns, /*seed=*/7);
-    double savings =
-        off.flows == 0
+  for (size_t f = 0; f < fractions.size(); ++f) {
+    const harness::SweepCell& off = cells[f * 2];
+    const harness::SweepCell& on = cells[f * 2 + 1];
+    const double off_total = off.Get("flows") + off.Get("forced");
+    const double savings =
+        off.Get("flows") == 0
             ? 0.0
-            : 100.0 * (1.0 - static_cast<double>(on.flows + on.forced) /
-                                 static_cast<double>(off.flows + off.forced));
-    rows.push_back(
-        {tpc::StringPrintf("%.2f", fraction),
-         tpc::StringPrintf("%llu", static_cast<unsigned long long>(off.flows)),
-         tpc::StringPrintf("%llu", static_cast<unsigned long long>(on.flows)),
-         tpc::StringPrintf("%llu",
-                           static_cast<unsigned long long>(off.forced)),
-         tpc::StringPrintf("%llu", static_cast<unsigned long long>(on.forced)),
-         tpc::StringPrintf("%.0f%%", savings)});
+            : 100.0 * (1.0 - (on.Get("flows") + on.Get("forced")) / off_total);
+    rows.push_back({tpc::StringPrintf("%.2f", fractions[f]),
+                    tpc::StringPrintf("%.0f", off.Get("flows")),
+                    tpc::StringPrintf("%.0f", on.Get("flows")),
+                    tpc::StringPrintf("%.0f", off.Get("forced")),
+                    tpc::StringPrintf("%.0f", on.Get("forced")),
+                    tpc::StringPrintf("%.0f%%", savings)});
   }
   std::printf("%s", tpc::RenderTable(rows).c_str());
   std::printf(
       "\nShape check (paper): the savings scale with the read-only\n"
       "fraction, reaching 'enormous' (zero logging, one round trip) when\n"
       "the environment is read-only dominated.\n");
+  std::printf("\n%s\n", report.Summary().c_str());
+  std::printf("wrote %s\n", report.WriteJson().c_str());
   return 0;
 }

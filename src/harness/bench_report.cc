@@ -1,0 +1,153 @@
+#include "harness/bench_report.h"
+
+#include <cstdio>
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace tpc::harness {
+
+namespace {
+
+// Minimal JSON string escaping (labels are plain ASCII in practice).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  // %.17g round-trips doubles; trim to %g for readability where exact.
+  std::string s = StringPrintf("%.12g", v);
+  if (s == "inf" || s == "-inf" || s == "nan") return "0";
+  return s;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+void BenchReport::AddCell(const SweepCell& cell) { cells_.push_back(cell); }
+
+void BenchReport::AddCells(const std::vector<SweepCell>& cells) {
+  cells_.insert(cells_.end(), cells.begin(), cells.end());
+}
+
+void BenchReport::StopTimer() {
+  if (wall_seconds_ >= 0.0) return;
+  wall_seconds_ = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+}
+
+double BenchReport::wall_seconds() {
+  StopTimer();
+  return wall_seconds_;
+}
+
+uint64_t BenchReport::total_events() const {
+  uint64_t n = 0;
+  for (const auto& c : cells_) n += c.events;
+  return n;
+}
+
+uint64_t BenchReport::total_txns() const {
+  uint64_t n = 0;
+  for (const auto& c : cells_) n += c.txns;
+  return n;
+}
+
+double BenchReport::events_per_sec() {
+  const double w = wall_seconds();
+  return w > 0 ? static_cast<double>(total_events()) / w : 0.0;
+}
+
+double BenchReport::sim_txns_per_sec() {
+  const double w = wall_seconds();
+  return w > 0 ? static_cast<double>(total_txns()) / w : 0.0;
+}
+
+std::string BenchReport::ToJson() {
+  StopTimer();
+  std::string out = "{\n";
+  out += StringPrintf("  \"bench\": \"%s\",\n", JsonEscape(name_).c_str());
+  out += StringPrintf("  \"threads\": %u,\n", threads_);
+  out += StringPrintf("  \"wall_seconds\": %s,\n",
+                      JsonNumber(wall_seconds_).c_str());
+  out += StringPrintf("  \"events\": %llu,\n",
+                      static_cast<unsigned long long>(total_events()));
+  out += StringPrintf("  \"events_per_sec\": %s,\n",
+                      JsonNumber(events_per_sec()).c_str());
+  out += StringPrintf("  \"sim_txns\": %llu,\n",
+                      static_cast<unsigned long long>(total_txns()));
+  out += StringPrintf("  \"sim_txns_per_sec\": %s,\n",
+                      JsonNumber(sim_txns_per_sec()).c_str());
+  out += "  \"cells\": [\n";
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const SweepCell& c = cells_[i];
+    out += "    {";
+    out += StringPrintf("\"label\": \"%s\", ", JsonEscape(c.label).c_str());
+    out += StringPrintf("\"events\": %llu, ",
+                        static_cast<unsigned long long>(c.events));
+    out += StringPrintf("\"txns\": %llu, ",
+                        static_cast<unsigned long long>(c.txns));
+    out += StringPrintf("\"sim_seconds\": %s",
+                        JsonNumber(static_cast<double>(c.sim_time) /
+                                   sim::kSecond)
+                            .c_str());
+    for (const auto& [key, value] : c.metrics) {
+      out += StringPrintf(", \"%s\": %s", JsonEscape(key).c_str(),
+                          JsonNumber(value).c_str());
+    }
+    out += i + 1 < cells_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string BenchReport::WriteJson(const std::string& dir) {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    return path;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+std::string BenchReport::Summary() {
+  StopTimer();
+  return StringPrintf(
+      "[%s] %zu cells, %.3fs wall, %.2fM events/s, %.0f simulated txn/s "
+      "(%u threads)",
+      name_.c_str(), cells_.size(), wall_seconds_, events_per_sec() / 1e6,
+      sim_txns_per_sec(), threads_);
+}
+
+}  // namespace tpc::harness

@@ -1,0 +1,56 @@
+// Machine-readable benchmark output: every bench writes a BENCH_<name>.json
+// next to its human-readable table so a perf trajectory exists across
+// commits (wall time, simulator events/sec, simulated txns/sec, and the
+// per-cell metrics of the sweep it ran).
+
+#ifndef TPC_HARNESS_BENCH_REPORT_H_
+#define TPC_HARNESS_BENCH_REPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.h"
+
+namespace tpc::harness {
+
+/// Collects sweep cells and timing for one bench run, then renders JSON.
+/// Construct before the work starts (it starts the wall-clock timer).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  void AddCell(const SweepCell& cell);
+  void AddCells(const std::vector<SweepCell>& cells);
+  void set_threads(unsigned threads) { threads_ = threads; }
+
+  /// Stops the wall timer (first call only) and returns the JSON document.
+  std::string ToJson();
+
+  /// Writes BENCH_<name>.json into `dir` and returns its path.
+  std::string WriteJson(const std::string& dir = ".");
+
+  /// One-line human summary: wall time, events/sec, simulated txns/sec.
+  std::string Summary();
+
+  // Derived totals (valid once cells are added; timer stops on first use).
+  double wall_seconds();
+  uint64_t total_events() const;
+  uint64_t total_txns() const;
+  double events_per_sec();
+  double sim_txns_per_sec();
+
+ private:
+  void StopTimer();
+
+  std::string name_;
+  unsigned threads_ = 1;
+  std::vector<SweepCell> cells_;
+  std::chrono::steady_clock::time_point start_;
+  double wall_seconds_ = -1.0;  // <0: still running
+};
+
+}  // namespace tpc::harness
+
+#endif  // TPC_HARNESS_BENCH_REPORT_H_

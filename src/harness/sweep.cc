@@ -1,0 +1,78 @@
+#include "harness/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/format.h"
+
+namespace tpc::harness {
+
+double SweepCell::Get(std::string_view name, double fallback) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+std::string SweepCell::ToString() const {
+  std::string out = label;
+  out += StringPrintf("|events=%llu|txns=%llu|sim_time=%lld",
+                      static_cast<unsigned long long>(events),
+                      static_cast<unsigned long long>(txns),
+                      static_cast<long long>(sim_time));
+  for (const auto& [key, value] : metrics) {
+    out += StringPrintf("|%s=%.17g", key.c_str(), value);
+  }
+  return out;
+}
+
+unsigned ResolveThreads(unsigned threads, size_t cells) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (cells > 0 && threads > cells) threads = static_cast<unsigned>(cells);
+  return threads;
+}
+
+std::vector<SweepCell> RunSweep(size_t cells,
+                                const std::function<SweepCell(size_t)>& fn,
+                                unsigned threads) {
+  std::vector<SweepCell> results(cells);
+  if (cells == 0) return results;
+  threads = ResolveThreads(threads, cells);
+
+  if (threads == 1) {
+    for (size_t i = 0; i < cells; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells) return;
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> hold(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+}  // namespace tpc::harness

@@ -1,0 +1,57 @@
+// Parallel sweep runner: executes N independent (config, seed) simulation
+// cells across a thread pool and collects per-cell results in grid order.
+//
+// Concurrency contract: one SimContext (and Cluster) per cell, constructed
+// inside the cell function on whichever worker thread runs it. Cells share
+// no mutable state, so a parallel sweep is byte-identical to a serial run of
+// the same grid — sweep_test.cc asserts this, and determinism inside a cell
+// is untouched (the per-cell simulation is still single-threaded).
+
+#ifndef TPC_HARNESS_SWEEP_H_
+#define TPC_HARNESS_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace tpc::harness {
+
+/// Result of one sweep cell.
+struct SweepCell {
+  std::string label;      ///< cell identity ("PA baseline @5ms", ...)
+  uint64_t events = 0;    ///< simulator events executed in the cell
+  uint64_t txns = 0;      ///< simulated transactions completed
+  sim::Time sim_time = 0; ///< simulated duration of the cell
+  /// Named measurements, in insertion order (kept stable for output).
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void Add(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+  /// Value of a metric, or `fallback`.
+  double Get(std::string_view name, double fallback = 0.0) const;
+
+  /// Canonical serialization (label + every field, fixed formatting).
+  /// Two cells produced by identical simulations compare equal.
+  std::string ToString() const;
+};
+
+/// Runs `fn(i)` for every i in [0, cells) across `threads` workers
+/// (0 = hardware concurrency) and returns results in index order. `fn` must
+/// be safe to call concurrently with itself — build all simulation state
+/// locally. Exceptions from a cell are rethrown on the calling thread.
+std::vector<SweepCell> RunSweep(size_t cells,
+                                const std::function<SweepCell(size_t)>& fn,
+                                unsigned threads = 0);
+
+/// The worker count RunSweep(cells, ..., threads) would actually use
+/// (0 resolves to hardware concurrency, clamped to the cell count).
+unsigned ResolveThreads(unsigned threads, size_t cells);
+
+}  // namespace tpc::harness
+
+#endif  // TPC_HARNESS_SWEEP_H_

@@ -6,21 +6,54 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace tpc::net {
 
 /// Nodes are addressed by human-readable names ("coord", "sub1", ...), which
-/// keeps traces and failure-injection points legible.
+/// keeps traces and failure-injection points legible. The network interns
+/// these into dense uint32 ids internally (see Network).
 using NodeId = std::string;
+
+/// Coarse message classification. Dispatch is driven by the payload, never
+/// by this tag; it only labels traffic when no per-message trace tag was
+/// computed (senders skip building one while tracing is off).
+enum class MsgKind : unsigned char {
+  kPdu,    ///< protocol PDU bundle (tm/protocol_messages.h)
+  kApp,    ///< application traffic
+  kOther,  ///< anything else (tests, fuzzed garbage)
+};
+
+std::string_view MsgKindName(MsgKind kind);
 
 /// One network message.
 struct Message {
   NodeId from;
   NodeId to;
-  std::string type;     ///< short type tag for traces ("PREPARE", "COMMIT", ...)
-  std::string payload;  ///< encoded body, opaque to the network
-  uint64_t txn = 0;     ///< transaction id for trace correlation (0 = none)
+  MsgKind kind = MsgKind::kOther;
+  std::string trace_tag;  ///< human tag for traces ("PREPARE+..."); may be
+                          ///< empty — senders only fill it while tracing
+  std::string payload;    ///< encoded body, opaque to the network
+  uint64_t txn = 0;       ///< transaction id for trace correlation (0 = none)
+
+  /// Tag recorded in traces: the per-message string when present, else the
+  /// static kind name.
+  std::string_view TraceTag() const {
+    return trace_tag.empty() ? MsgKindName(kind) : std::string_view(trace_tag);
+  }
 };
+
+inline std::string_view MsgKindName(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kPdu:
+      return "PDU";
+    case MsgKind::kApp:
+      return "APP";
+    case MsgKind::kOther:
+      return "MSG";
+  }
+  return "MSG";
+}
 
 }  // namespace tpc::net
 

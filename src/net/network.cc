@@ -1,85 +1,162 @@
 #include "net/network.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace tpc::net {
 
+uint32_t Network::Intern(const NodeId& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  endpoints_.push_back(nullptr);
+  sent_by_.push_back(0);
+  if (names_.size() > cap_) GrowTables(static_cast<uint32_t>(names_.size()));
+  return id;
+}
+
+uint32_t Network::Find(const NodeId& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kNoNode : it->second;
+}
+
+void Network::GrowTables(uint32_t min_nodes) {
+  uint32_t new_cap = cap_ == 0 ? 8 : cap_;
+  while (new_cap < min_nodes) new_cap *= 2;
+  if (new_cap == cap_) return;
+  std::vector<sim::Time> latency(size_t{new_cap} * new_cap, kDefaultLatency);
+  std::vector<unsigned char> down(size_t{new_cap} * new_cap, 0);
+  std::vector<sim::Time> floor(size_t{new_cap} * new_cap, 0);
+  for (uint32_t a = 0; a < cap_; ++a) {
+    for (uint32_t b = 0; b < cap_; ++b) {
+      latency[size_t{a} * new_cap + b] = latency_[LinkIndex(a, b)];
+      down[size_t{a} * new_cap + b] = down_[LinkIndex(a, b)];
+      floor[size_t{a} * new_cap + b] = delivery_floor_[LinkIndex(a, b)];
+    }
+  }
+  latency_ = std::move(latency);
+  down_ = std::move(down);
+  delivery_floor_ = std::move(floor);
+  cap_ = new_cap;
+}
+
 void Network::Register(const NodeId& id, Endpoint* endpoint) {
   TPC_CHECK(endpoint != nullptr);
-  auto [it, inserted] = endpoints_.emplace(id, endpoint);
-  (void)it;
-  TPC_CHECK(inserted);
+  const uint32_t node = Intern(id);
+  TPC_CHECK(endpoints_[node] == nullptr);  // names must be unique
+  endpoints_[node] = endpoint;
 }
 
 void Network::SetLinkLatency(const NodeId& a, const NodeId& b,
                              sim::Time latency) {
-  link_latency_[LinkKey(a, b)] = latency;
+  const uint32_t ia = Intern(a), ib = Intern(b);
+  latency_[LinkIndex(ia, ib)] = latency;
+  latency_[LinkIndex(ib, ia)] = latency;
 }
 
 void Network::SetLinkDown(const NodeId& a, const NodeId& b, bool down) {
-  link_down_[LinkKey(a, b)] = down;
+  const uint32_t ia = Intern(a), ib = Intern(b);
+  down_[LinkIndex(ia, ib)] = down ? 1 : 0;
+  down_[LinkIndex(ib, ia)] = down ? 1 : 0;
 }
 
 bool Network::IsLinkDown(const NodeId& a, const NodeId& b) const {
-  auto it = link_down_.find(LinkKey(a, b));
-  return it != link_down_.end() && it->second;
+  const uint32_t ia = Find(a), ib = Find(b);
+  if (ia == kNoNode || ib == kNoNode) return false;
+  return down_[LinkIndex(ia, ib)] != 0;
 }
 
 sim::Time Network::LatencyBetween(const NodeId& a, const NodeId& b) const {
-  auto it = link_latency_.find(LinkKey(a, b));
-  return it != link_latency_.end() ? it->second : default_latency_;
+  const uint32_t ia = Find(a), ib = Find(b);
+  if (ia == kNoNode || ib == kNoNode) return default_latency_;
+  const sim::Time t = latency_[LinkIndex(ia, ib)];
+  return t == kDefaultLatency ? default_latency_ : t;
+}
+
+uint32_t Network::AcquireSlab(Message&& msg) {
+  if (!slab_free_.empty()) {
+    const uint32_t idx = slab_free_.back();
+    slab_free_.pop_back();
+    slab_[idx] = std::move(msg);
+    return idx;
+  }
+  slab_.push_back(std::move(msg));
+  return static_cast<uint32_t>(slab_.size() - 1);
 }
 
 Status Network::Send(Message msg) {
-  auto from_it = endpoints_.find(msg.from);
-  if (from_it == endpoints_.end())
+  const uint32_t from = Find(msg.from);
+  if (from == kNoNode || endpoints_[from] == nullptr) {
+    ++stats_.messages_rejected;
     return Status::InvalidArgument("unknown sender: " + msg.from);
-  if (!from_it->second->IsUp())
+  }
+  if (!endpoints_[from]->IsUp()) {
+    ++stats_.messages_rejected;
     return Status::FailedPrecondition("sender is down: " + msg.from);
-  if (endpoints_.find(msg.to) == endpoints_.end())
+  }
+  const uint32_t to = Find(msg.to);
+  if (to == kNoNode || endpoints_[to] == nullptr) {
+    ++stats_.messages_rejected;
     return Status::InvalidArgument("unknown destination: " + msg.to);
+  }
 
   ++stats_.messages_sent;
   stats_.bytes_sent += msg.payload.size();
-  ++sent_by_[msg.from];
+  ++sent_by_[from];
 
   if (tracing_) {
     ctx_->trace().Add({ctx_->now(), sim::TraceKind::kSend, msg.from, msg.to,
-                       msg.txn, msg.type});
+                       msg.txn, std::string(msg.TraceTag())});
   }
 
-  if (IsLinkDown(msg.from, msg.to)) {
+  const size_t link = LinkIndex(from, to);
+  if (down_[link] != 0) {
     ++stats_.messages_dropped;
     return Status::OK();  // silent loss, like a real partition
   }
 
-  const std::string pair = msg.from + ">" + msg.to;
-  sim::Time deliver_at = ctx_->now() + LatencyBetween(msg.from, msg.to);
-  auto floor_it = next_delivery_floor_.find(pair);
-  if (floor_it != next_delivery_floor_.end() && deliver_at < floor_it->second)
-    deliver_at = floor_it->second;  // preserve per-session FIFO order
-  next_delivery_floor_[pair] = deliver_at;
+  const sim::Time link_latency = latency_[link];
+  sim::Time deliver_at =
+      ctx_->now() +
+      (link_latency == kDefaultLatency ? default_latency_ : link_latency);
+  if (deliver_at < delivery_floor_[link])
+    deliver_at = delivery_floor_[link];  // preserve per-session FIFO order
+  delivery_floor_[link] = deliver_at;
 
-  ctx_->events().ScheduleAt(deliver_at, [this, msg = std::move(msg)] {
-    auto it = endpoints_.find(msg.to);
-    if (it == endpoints_.end() || !it->second->IsUp() ||
-        IsLinkDown(msg.from, msg.to)) {
-      ++stats_.messages_dropped;
-      return;
-    }
-    ++stats_.messages_delivered;
-    if (tracing_) {
-      ctx_->trace().Add({ctx_->now(), sim::TraceKind::kReceive, msg.to,
-                         msg.from, msg.txn, msg.type});
-    }
-    it->second->OnMessage(msg);
-  });
+  // Park the message and capture only (this, index, ids): 16 bytes, which
+  // the event queue stores inline — no allocation on the send path.
+  const uint32_t idx = AcquireSlab(std::move(msg));
+  ctx_->events().ScheduleAt(deliver_at,
+                            [this, idx, from, to] { Deliver(idx, from, to); });
   return Status::OK();
 }
 
+void Network::Deliver(uint32_t slab_index, uint32_t from, uint32_t to) {
+  // Move the message out and recycle the slot first: the OnMessage upcall
+  // may Send (and so re-acquire slab slots) reentrantly.
+  Message msg = std::move(slab_[slab_index]);
+  slab_free_.push_back(slab_index);
+
+  Endpoint* endpoint = endpoints_[to];
+  if (endpoint == nullptr || !endpoint->IsUp() ||
+      down_[LinkIndex(from, to)] != 0) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  ++stats_.messages_delivered;
+  if (tracing_) {
+    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kReceive, msg.to, msg.from,
+                       msg.txn, std::string(msg.TraceTag())});
+  }
+  endpoint->OnMessage(msg);
+}
+
 uint64_t Network::SentBy(const NodeId& node) const {
-  auto it = sent_by_.find(node);
-  return it == sent_by_.end() ? 0 : it->second;
+  const uint32_t id = Find(node);
+  return id == kNoNode ? 0 : sent_by_[id];
 }
 
 }  // namespace tpc::net

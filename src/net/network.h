@@ -4,14 +4,21 @@
 // a per-link latency; sessions between a pair of nodes deliver in order (as
 // LU 6.2 conversations do); links and nodes can fail, silently dropping
 // traffic. Per-node and per-link flow counts feed the cost accounting.
+//
+// Hot-path design: node names are interned into dense uint32 ids, and all
+// per-link state (latency override, link-down flag, FIFO delivery floor)
+// plus per-node counters live in flat vectors indexed by those ids — a Send
+// performs no string building and no tree walks. In-flight messages are
+// parked in a reusable slab so the scheduled delivery closure captures only
+// 16 bytes and fits in the event queue's inline buffer (no allocation).
 
 #ifndef TPC_NET_NETWORK_H_
 #define TPC_NET_NETWORK_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "net/message.h"
 #include "sim/sim_context.h"
@@ -31,11 +38,15 @@ class Endpoint {
   virtual bool IsUp() const = 0;
 };
 
-/// Aggregate traffic counters.
+/// Aggregate traffic counters. Invariant: every *accepted* message is one
+/// flow (messages_sent), and ends up delivered or dropped (or still in
+/// flight). Sends that never enter the network — unknown sender or
+/// destination, sender down — are counted as rejected, not sent.
 struct NetworkStats {
   uint64_t messages_sent = 0;      ///< accepted into the network
   uint64_t messages_delivered = 0;
   uint64_t messages_dropped = 0;   ///< link down, partition, or dead receiver
+  uint64_t messages_rejected = 0;  ///< refused at the send API; not a flow
   uint64_t bytes_sent = 0;
 };
 
@@ -62,7 +73,8 @@ class Network {
 
   /// Sends a message. The sender must be registered and up. Delivery is
   /// in-order per directed pair. Counting: every accepted message is one
-  /// flow, even if it is later dropped (the sender did the work).
+  /// flow, even if it is later dropped (the sender did the work); a send
+  /// that fails validation is rejected and never enters the network.
   Status Send(Message msg);
 
   /// Latency the next message from `a` to `b` would experience.
@@ -75,22 +87,49 @@ class Network {
   uint64_t SentBy(const NodeId& node) const;
 
   /// Enables/disables trace entries for sends and deliveries (on by default;
-  /// turn off for large throughput benches).
+  /// turn off for large throughput benches). Senders may also consult this
+  /// to skip building per-message trace tags.
   void set_tracing(bool on) { tracing_ = on; }
+  bool tracing() const { return tracing_; }
 
  private:
-  static std::string LinkKey(const NodeId& a, const NodeId& b) {
-    return a < b ? a + "|" + b : b + "|" + a;
-  }
+  static constexpr uint32_t kNoNode = UINT32_MAX;
+  static constexpr sim::Time kDefaultLatency = -1;  // sentinel in latency_
+
+  /// Interns `name`, growing the link tables if needed. Interning does not
+  /// register: link state may be configured before nodes attach.
+  uint32_t Intern(const NodeId& name);
+  /// Id of `name`, or kNoNode. Never allocates.
+  uint32_t Find(const NodeId& name) const;
+
+  size_t LinkIndex(uint32_t a, uint32_t b) const { return a * cap_ + b; }
+  void GrowTables(uint32_t min_nodes);
+
+  uint32_t AcquireSlab(Message&& msg);
+  void Deliver(uint32_t slab_index, uint32_t from, uint32_t to);
 
   sim::SimContext* ctx_;
   sim::Time default_latency_ = sim::kMillisecond;
-  std::unordered_map<NodeId, Endpoint*> endpoints_;
-  std::unordered_map<std::string, sim::Time> link_latency_;
-  std::unordered_map<std::string, bool> link_down_;
-  // Per directed pair: earliest time the next delivery may occur (FIFO).
-  std::unordered_map<std::string, sim::Time> next_delivery_floor_;
-  std::unordered_map<NodeId, uint64_t> sent_by_;
+
+  // Interning: name -> dense id, and id -> name for trace rendering.
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+
+  // Indexed by node id.
+  std::vector<Endpoint*> endpoints_;  // nullptr: interned but not registered
+  std::vector<uint64_t> sent_by_;
+
+  // cap_ x cap_ matrices indexed by LinkIndex(a, b); cap_ grows geometrically
+  // so ids stay stable while tables are rebuilt in place.
+  uint32_t cap_ = 0;
+  std::vector<sim::Time> latency_;  // kDefaultLatency = use default_latency_
+  std::vector<unsigned char> down_;
+  std::vector<sim::Time> delivery_floor_;  // per directed pair (FIFO)
+
+  // Parking slab for in-flight messages (delivery closures capture an index).
+  std::vector<Message> slab_;
+  std::vector<uint32_t> slab_free_;
+
   NetworkStats stats_;
   bool tracing_ = true;
 };

@@ -1,0 +1,143 @@
+// Event-loop microbenchmark kernel, shared by bench/event_queue_bench and
+// tests/event_queue_bench_test.
+//
+// The kernel drives a queue implementation through the simulator's real
+// hot-path mix: batches of message-delivery-like events whose closures are
+// too big for std::function's small-buffer store (a network delivery
+// captures ~16-32 bytes), plus armed-then-cancelled timers (the TM arms a
+// timeout per send and nearly always cancels it). LegacyEventQueue is a
+// frozen copy of the seed implementation so the speedup of the slab kernel
+// is measured in-process and reported in BENCH_event_loop.json.
+
+#ifndef TPC_SIM_EVENT_LOOP_KERNEL_H_
+#define TPC_SIM_EVENT_LOOP_KERNEL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace tpc::sim {
+
+/// The seed event queue (two hash-map lookups per Step, std::function
+/// handlers, cancellation via an unordered_set). Kept verbatim as the
+/// benchmark baseline; production code uses EventQueue.
+class LegacyEventQueue {
+ public:
+  Time now() const { return now_; }
+
+  EventId ScheduleAt(Time at, std::function<void()> fn) {
+    EventId id = next_id_++;
+    heap_.push(Entry{at, next_seq_++, id});
+    handlers_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  EventId ScheduleAfter(Time delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  bool Cancel(EventId id) {
+    auto it = handlers_.find(id);
+    if (it == handlers_.end()) return false;
+    handlers_.erase(it);
+    cancelled_.insert(id);
+    return true;
+  }
+
+  bool Step() {
+    while (!heap_.empty()) {
+      Entry e = heap_.top();
+      heap_.pop();
+      auto c = cancelled_.find(e.id);
+      if (c != cancelled_.end()) {
+        cancelled_.erase(c);
+        continue;
+      }
+      auto it = handlers_.find(e.id);
+      std::function<void()> fn = std::move(it->second);
+      handlers_.erase(it);
+      now_ = e.at;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  uint64_t Run(uint64_t max_events = UINT64_MAX) {
+    uint64_t n = 0;
+    while (n < max_events && Step()) ++n;
+    return n;
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+struct EventLoopKernelResult {
+  uint64_t events = 0;      ///< handlers actually executed
+  uint64_t cancelled = 0;   ///< timers armed and cancelled
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+};
+
+/// Runs the mixed schedule/cancel/run workload until ~`total_events`
+/// handlers have executed. Works with EventQueue and LegacyEventQueue.
+template <typename Queue>
+EventLoopKernelResult RunEventLoopKernel(Queue& q, uint64_t total_events) {
+  EventLoopKernelResult r;
+  // Delivery-closure ballast: the size of a network delivery capture.
+  struct Ballast {
+    uint64_t a = 0, b = 0, c = 0;
+  };
+  Ballast ballast;
+  uint64_t done = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (done < total_events) {
+    // A burst of deliveries at staggered times...
+    for (int i = 0; i < 64; ++i) {
+      q.ScheduleAfter(i % 7, [&done, ballast] {
+        ++done;
+        (void)ballast;
+      });
+    }
+    // ...each send also arms a timeout that is cancelled on the ack.
+    EventId timers[16];
+    for (auto& t : timers)
+      t = q.ScheduleAfter(1000000, [&done] { ++done; });
+    for (auto& t : timers) {
+      if (q.Cancel(t)) ++r.cancelled;
+    }
+    q.Run();
+  }
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  r.events = done;
+  r.events_per_sec =
+      r.wall_seconds > 0 ? static_cast<double>(done) / r.wall_seconds : 0;
+  return r;
+}
+
+}  // namespace tpc::sim
+
+#endif  // TPC_SIM_EVENT_LOOP_KERNEL_H_

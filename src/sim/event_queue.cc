@@ -1,62 +1,292 @@
 #include "sim/event_queue.h"
 
-#include "util/logging.h"
+#include <algorithm>
+#include <bit>
 
 namespace tpc::sim {
 
-EventId EventQueue::ScheduleAt(Time at, std::function<void()> fn) {
-  TPC_CHECK(at >= now_);
-  EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+namespace {
+constexpr uint64_t kSlotMask = (uint64_t{1} << 32) - 1;
+}  // namespace
+
+EventQueue::EventQueue() : wheel_(kWheelSize) {}
+
+uint32_t EventQueue::AllocSlot() {
+  if (!free_.empty()) {
+    uint32_t s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  TPC_CHECK(slots_.size() < kSlotMask);
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::Push(Time at, uint32_t slot, uint32_t gen) {
+  if (at < wheel_base_ + static_cast<Time>(kWheelSize)) {
+    // The cursor may already have drained and passed this instant's bucket
+    // (at == now is legal); step it back so the event is found. Rewinding
+    // re-enters the cursor's bucket from position 0, so its consumed prefix
+    // (entries whose slots were already freed) must be dropped first or it
+    // would be scanned a second time.
+    if (at < cursor_time_) {
+      if (bucket_pos_ > 0) {
+        std::vector<WheelEntry>& cb =
+            wheel_[static_cast<size_t>(cursor_time_) & kWheelMask];
+        cb.erase(cb.begin(),
+                 cb.begin() + static_cast<ptrdiff_t>(bucket_pos_));
+      }
+      cursor_time_ = at;
+      bucket_pos_ = 0;
+    }
+    const size_t idx = static_cast<size_t>(at) & kWheelMask;
+    wheel_[idx].push_back(WheelEntry{slot, gen});
+    SetBit(idx);
+    ++wheel_count_;
+  } else {
+    heap_.push_back(Entry{at, next_seq_++, slot, gen});
+    SiftUp(heap_.size() - 1);
+  }
+}
+
+size_t EventQueue::ScanFrom(size_t idx) const {
+  size_t w = idx >> 6;
+  uint64_t word = occupied_[w] & (~uint64_t{0} << (idx & 63));
+  for (size_t steps = 0; steps <= kBitmapWords; ++steps) {
+    if (word != 0)
+      return (w << 6) + static_cast<size_t>(std::countr_zero(word));
+    w = (w + 1) & (kBitmapWords - 1);
+    word = occupied_[w];
+  }
+  return kWheelSize;
+}
+
+bool EventQueue::NextLiveTime(Time* at) {
+  for (;;) {
+    if (wheel_count_ > 0) {
+      const size_t cursor_idx = static_cast<size_t>(cursor_time_) & kWheelMask;
+      const size_t found = ScanFrom(cursor_idx);
+      TPC_CHECK(found != kWheelSize);
+      const Time t =
+          cursor_time_ + static_cast<Time>((found - cursor_idx) & kWheelMask);
+      if (found != cursor_idx) {
+        cursor_time_ = t;
+        bucket_pos_ = 0;
+      }
+      std::vector<WheelEntry>& b = wheel_[found];
+      while (bucket_pos_ < b.size()) {
+        const WheelEntry we = b[bucket_pos_];
+        if (slots_[we.slot].armed) {
+          *at = t;
+          return true;
+        }
+        // Tombstone: reclaim in place.
+        free_.push_back(we.slot);
+        --tombstones_;
+        --wheel_count_;
+        ++bucket_pos_;
+      }
+      b.clear();  // keeps capacity: steady-state buckets stop allocating
+      bucket_pos_ = 0;
+      ClearBit(found);
+      cursor_time_ = t + 1;
+      continue;
+    }
+    if (!heap_.empty()) {
+      const Entry& e = heap_.front();
+      if (!slots_[e.slot].armed) {
+        free_.push_back(e.slot);
+        PopHeapTop();
+        --tombstones_;
+        continue;
+      }
+      *at = e.at;
+      return true;
+    }
+    return false;
+  }
+}
+
+void EventQueue::AdvanceWheelTo(Time base) {
+  TPC_CHECK(wheel_count_ == 0);
+  // No counted entries remain, but the cursor's bucket may still hold its
+  // consumed prefix (Step leaves executed entries in place) and the bitmap
+  // may carry stale bits for buckets emptied by Compact. Reset both so the
+  // re-based window starts genuinely clean.
+  wheel_[static_cast<size_t>(cursor_time_) & kWheelMask].clear();
+  occupied_.fill(0);
+  wheel_base_ = base;
+  cursor_time_ = base;
+  bucket_pos_ = 0;
+  const Time end = base + static_cast<Time>(kWheelSize);
+  while (!heap_.empty() && heap_.front().at < end) {
+    const Entry e = heap_.front();
+    PopHeapTop();
+    if (!slots_[e.slot].armed) {
+      free_.push_back(e.slot);
+      --tombstones_;
+      continue;
+    }
+    // Heap pop order is (at, seq), so same-instant FIFO order is preserved
+    // bucket by bucket.
+    const size_t idx = static_cast<size_t>(e.at) & kWheelMask;
+    wheel_[idx].push_back(WheelEntry{e.slot, e.gen});
+    SetBit(idx);
+    ++wheel_count_;
+  }
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  cancelled_.insert(id);
+  const uint32_t slot = static_cast<uint32_t>(id & kSlotMask);
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.gen != gen || !s.armed) return false;
+  s.armed = false;
+  s.fn.reset();  // release the closure's resources now, not at pop time
+  --live_;
+  ++tombstones_;
+  // Keep storage from filling with dead entries under schedule-then-cancel
+  // heavy loads (armed timers that almost never fire).
+  if (tombstones_ > 64 && tombstones_ > live_) Compact();
   return true;
 }
 
-bool EventQueue::Step() {
-  while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    auto c = cancelled_.find(e.id);
-    if (c != cancelled_.end()) {
-      cancelled_.erase(c);
-      continue;
-    }
-    auto it = handlers_.find(e.id);
-    TPC_CHECK(it != handlers_.end());
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
-    now_ = e.at;
-    fn();
-    return true;
+void EventQueue::Compact() {
+  size_t removed = 0;
+  // Overflow heap: drop entries of un-armed slots and re-heapify.
+  auto dead = [this](const Entry& e) { return !slots_[e.slot].armed; };
+  for (const Entry& e : heap_) {
+    if (dead(e)) free_.push_back(e.slot);
   }
-  return false;
+  const size_t heap_before = heap_.size();
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  removed += heap_before - heap_.size();
+  for (size_t i = heap_.size() / 4 + 1; i-- > 0;) {
+    if (i < heap_.size()) SiftDown(i);
+  }
+  // Wheel buckets, except the cursor's current one (its consumed prefix is
+  // tracked by bucket_pos_, which filtering would invalidate).
+  const size_t cursor_idx = static_cast<size_t>(cursor_time_) & kWheelMask;
+  for (size_t w = 0; w < kBitmapWords; ++w) {
+    uint64_t word = occupied_[w];
+    while (word != 0) {
+      const size_t idx =
+          (w << 6) + static_cast<size_t>(std::countr_zero(word));
+      word &= word - 1;
+      if (idx == cursor_idx) continue;
+      std::vector<WheelEntry>& b = wheel_[idx];
+      auto keep = b.begin();
+      for (const WheelEntry& we : b) {
+        if (slots_[we.slot].armed) {
+          *keep++ = we;
+        } else {
+          free_.push_back(we.slot);
+          ++removed;
+          --wheel_count_;
+        }
+      }
+      b.erase(keep, b.end());
+    }
+  }
+  TPC_CHECK(tombstones_ >= removed);
+  tombstones_ -= removed;
+}
+
+void EventQueue::SiftUp(size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!Before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  const Entry e = heap_[i];
+  while (true) {
+    const size_t first = i * 4 + 1;
+    if (first >= n) break;
+    size_t best = first;
+    const size_t last = first + 4 < n ? first + 4 : n;
+    for (size_t c = first + 1; c < last; ++c) {
+      if (Before(heap_[c], heap_[best])) best = c;
+    }
+    if (!Before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::PopHeapTop() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+bool EventQueue::Step() {
+  Time t;
+  if (!NextLiveTime(&t)) return false;
+  // The next live event is either already under the cursor, or is the
+  // overflow-heap head with the wheel empty — move the window to it.
+  if (wheel_count_ == 0) AdvanceWheelTo(t);
+  std::vector<WheelEntry>& b =
+      wheel_[static_cast<size_t>(cursor_time_) & kWheelMask];
+  const WheelEntry we = b[bucket_pos_++];
+  --wheel_count_;
+  Slot& s = slots_[we.slot];
+  // Move the closure out before invoking: the handler may schedule events,
+  // growing slots_ and reusing this slot.
+  Callback fn = std::move(s.fn);
+  s.armed = false;
+  --live_;
+  free_.push_back(we.slot);
+  now_ = t;
+  ++executed_;
+  fn();
+  return true;
 }
 
 uint64_t EventQueue::Run(uint64_t max_events) {
   uint64_t n = 0;
-  while (n < max_events && Step()) ++n;
+  Time t;
+  while (n < max_events && NextLiveTime(&t)) {
+    if (wheel_count_ == 0) AdvanceWheelTo(t);
+    // Drain the cursor's bucket without a bitmap rescan per event. Handlers
+    // may append same-instant events (at == now) to this very bucket, so the
+    // vector is re-indexed and its size re-read every pass; they cannot
+    // schedule earlier, so the cursor cannot move under us.
+    const size_t idx = static_cast<size_t>(cursor_time_) & kWheelMask;
+    now_ = t;  // NextLiveTime guarantees an armed entry at bucket_pos_
+    while (n < max_events && bucket_pos_ < wheel_[idx].size()) {
+      const WheelEntry we = wheel_[idx][bucket_pos_++];
+      --wheel_count_;
+      Slot& s = slots_[we.slot];
+      if (!s.armed) {
+        free_.push_back(we.slot);
+        --tombstones_;
+        continue;
+      }
+      Callback fn = std::move(s.fn);
+      s.armed = false;
+      --live_;
+      free_.push_back(we.slot);
+      ++executed_;
+      ++n;
+      fn();
+    }
+  }
   return n;
 }
 
 uint64_t EventQueue::RunUntil(Time t) {
   uint64_t n = 0;
-  while (!heap_.empty()) {
-    // Skip cancelled entries at the head so the time check sees a live event.
-    Entry e = heap_.top();
-    if (cancelled_.count(e.id)) {
-      heap_.pop();
-      cancelled_.erase(e.id);
-      continue;
-    }
-    if (e.at > t) break;
+  Time next;
+  while (NextLiveTime(&next) && next <= t) {
     Step();
     ++n;
   }

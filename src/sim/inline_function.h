@@ -1,0 +1,119 @@
+// InlineFunction: a move-only std::function<void()> replacement with a
+// small-buffer store, so scheduling an event whose closure fits in the
+// buffer performs no heap allocation. The simulation kernel schedules
+// millions of small closures (message deliveries, timer pops), which makes
+// the std::function control-block allocation a measurable hot-path cost.
+//
+// Closures larger than the buffer fall back to a single heap allocation,
+// preserving std::function semantics for cold paths.
+
+#ifndef TPC_SIM_INLINE_FUNCTION_H_
+#define TPC_SIM_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tpc::sim {
+
+template <size_t BufSize>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit by design, like std::function
+    emplace(std::forward<F>(f));
+  }
+
+  /// Destroys the current target (if any) and constructs `f` in place —
+  /// lets callers skip the move-construct a temporary would cost.
+  template <typename F>
+  void emplace(F&& f) {
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= BufSize && alignof(Fn) <= kAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::table;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::table;
+    }
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept : ops_(o.ops_) {
+    if (ops_) ops_->relocate(buf_, o.buf_);
+    o.ops_ = nullptr;
+  }
+
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      if (ops_) ops_->destroy(buf_);
+      ops_ = o.ops_;
+      if (ops_) ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() {
+    if (ops_) ops_->destroy(buf_);
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_) ops_->destroy(buf_);
+    ops_ = nullptr;
+  }
+
+ private:
+  static constexpr size_t kAlign = alignof(std::max_align_t);
+
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct into dst from src, then destroy src's residue.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void Relocate(void* dst, void* src) {
+      Fn* s = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void Destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops table{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* ptr(void* p) { return *static_cast<Fn**>(p); }
+    static void Invoke(void* p) { (*ptr(p))(); }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) Fn*(ptr(src));
+    }
+    static void Destroy(void* p) { delete ptr(p); }
+    static constexpr Ops table{&Invoke, &Relocate, &Destroy};
+  };
+
+  alignas(kAlign) unsigned char buf_[BufSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace tpc::sim
+
+#endif  // TPC_SIM_INLINE_FUNCTION_H_

@@ -107,7 +107,10 @@ void TransactionManager::SendPdu(const net::NodeId& peer, Pdu pdu) {
   net::Message msg;
   msg.from = name_;
   msg.to = peer;
-  msg.type = DescribePdus(pdus);
+  msg.kind = net::MsgKind::kPdu;
+  // The describe string exists only for traces; skip building it (one
+  // allocation per send) when tracing is off.
+  if (network_->tracing()) msg.trace_tag = DescribePdus(pdus);
   msg.txn = primary_txn;
   msg.payload = EncodePdus(pdus);
   TPC_CHECK_OK(network_->Send(std::move(msg)));

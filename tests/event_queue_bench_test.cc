@@ -1,0 +1,63 @@
+// Correctness coverage for the event-loop microbenchmark kernel shared with
+// bench/event_queue_bench: both the optimized queue and the frozen seed
+// copy must execute the same number of handlers, cancel the same timers,
+// and agree on clock semantics — otherwise the reported speedup compares
+// different work.
+
+#include "sim/event_loop_kernel.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tpc::sim {
+namespace {
+
+TEST(EventLoopKernelTest, OptimizedQueueExecutesRequestedEvents) {
+  EventQueue q;
+  EventLoopKernelResult r = RunEventLoopKernel(q, 10'000);
+  // The kernel rounds up to whole 64-delivery batches.
+  EXPECT_GE(r.events, 10'000u);
+  EXPECT_LT(r.events, 10'000u + 64);
+  EXPECT_GT(r.events_per_sec, 0.0);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.executed(), r.events);
+}
+
+TEST(EventLoopKernelTest, LegacyQueueExecutesRequestedEvents) {
+  LegacyEventQueue q;
+  EventLoopKernelResult r = RunEventLoopKernel(q, 10'000);
+  EXPECT_GE(r.events, 10'000u);
+  EXPECT_LT(r.events, 10'000u + 64);
+  EXPECT_GT(r.events_per_sec, 0.0);
+}
+
+TEST(EventLoopKernelTest, BothQueuesDoIdenticalWork) {
+  EventQueue fast;
+  LegacyEventQueue slow;
+  EventLoopKernelResult opt = RunEventLoopKernel(fast, 5'000);
+  EventLoopKernelResult legacy = RunEventLoopKernel(slow, 5'000);
+  EXPECT_EQ(opt.events, legacy.events);
+  EXPECT_EQ(opt.cancelled, legacy.cancelled);
+  // Every armed timer is cancelled before it can fire.
+  EXPECT_GT(opt.cancelled, 0u);
+}
+
+TEST(EventLoopKernelTest, LegacyQueueMatchesOptimizedOrdering) {
+  // The legacy copy is the baseline for a like-for-like comparison: drive
+  // both with an order-sensitive script and require identical traces.
+  std::vector<int> fast_order;
+  std::vector<int> slow_order;
+  EventQueue fast;
+  LegacyEventQueue slow;
+  for (int i = 0; i < 10; ++i) {
+    fast.ScheduleAt((i * 7) % 5, [&fast_order, i] { fast_order.push_back(i); });
+    slow.ScheduleAt((i * 7) % 5, [&slow_order, i] { slow_order.push_back(i); });
+  }
+  fast.Run();
+  slow.Run();
+  EXPECT_EQ(fast_order, slow_order);
+}
+
+}  // namespace
+}  // namespace tpc::sim

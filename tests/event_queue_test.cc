@@ -108,5 +108,92 @@ TEST(EventQueueTest, RunUntilSkipsCancelledHead) {
   EXPECT_EQ(q.now(), 10);
 }
 
+TEST(EventQueueTest, MassCancelledTimersDoNotLeakStorage) {
+  // The seed leaked one tombstone per cancelled far-future timer until the
+  // clock reached it. Compaction must keep stored entries bounded even when
+  // every timer is cancelled long before it would fire.
+  EventQueue q;
+  for (int round = 0; round < 1000; ++round) {
+    EventId ids[8];
+    for (auto& id : ids)
+      id = q.ScheduleAfter(1000 * kSecond, [] { FAIL() << "timer fired"; });
+    for (auto& id : ids) EXPECT_TRUE(q.Cancel(id));
+  }
+  EXPECT_EQ(q.pending(), 0u);
+  // 8000 cancelled timers; far fewer than that may remain stored.
+  EXPECT_LT(q.queued(), 200u);
+  EXPECT_EQ(q.Run(), 0u);
+}
+
+TEST(EventQueueTest, StaleIdCannotCancelSlotReuser) {
+  EventQueue q;
+  EventId first = q.ScheduleAt(1, [] {});
+  q.Run();
+  // The slot is free; a new event may reuse it under a new generation.
+  bool ran = false;
+  q.ScheduleAt(2, [&] { ran = true; });
+  EXPECT_FALSE(q.Cancel(first));
+  q.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, FarEventsCrossTheWheelHorizon) {
+  // Events beyond the wheel's near horizon overflow to the heap and must
+  // still run in exact (time, schedule) order when the clock reaches them.
+  EventQueue q;
+  std::vector<Time> fired;
+  const Time far = 10 * kSecond;  // far beyond the 16.4ms wheel span
+  q.ScheduleAt(far + 3, [&] { fired.push_back(far + 3); });
+  q.ScheduleAt(5, [&] { fired.push_back(5); });
+  q.ScheduleAt(far + 1, [&] { fired.push_back(far + 1); });
+  q.ScheduleAt(far + 1, [&] { fired.push_back(-(far + 1)); });  // FIFO tie
+  q.Run();
+  EXPECT_EQ(fired, (std::vector<Time>{5, far + 1, -(far + 1), far + 3}));
+  EXPECT_EQ(q.now(), far + 3);
+}
+
+TEST(EventQueueTest, SameInstantScheduleFromMidBucketHandler) {
+  // A handler scheduling at the current instant re-enters the bucket the
+  // cursor is part-way through; the already-consumed prefix must not be
+  // seen again (its slots may have been recycled into the new events).
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(7, [&] {
+    order.push_back(1);
+    q.ScheduleAfter(0, [&] { order.push_back(3); });
+  });
+  q.ScheduleAt(7, [&] { order.push_back(2); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, WheelRebaseAfterDrainIsClean) {
+  // Drain the wheel completely (leaving a consumed bucket behind), then let
+  // a far event re-base the window onto the same bucket indices: the stale
+  // consumed entries must not resurface as ghost events.
+  EventQueue q;
+  int near_runs = 0;
+  for (int i = 0; i < 32; ++i) q.ScheduleAt(100, [&] { ++near_runs; });
+  const Time far = 100 + (1 << 14);  // same bucket index, next wheel turn
+  int far_runs = 0;
+  q.ScheduleAt(far, [&] { ++far_runs; });
+  q.Run();
+  EXPECT_EQ(near_runs, 32);
+  EXPECT_EQ(far_runs, 1);
+  EXPECT_EQ(q.executed(), 33u);
+  EXPECT_EQ(q.now(), far);
+}
+
+TEST(EventQueueTest, ExecutedCountsLifetimeEvents) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.ScheduleAt(i, [] {});
+  q.Run();
+  EventId id = q.ScheduleAt(10, [] {});
+  q.Cancel(id);
+  q.Run();
+  EXPECT_EQ(q.executed(), 5u);  // cancelled events never count
+}
+
 }  // namespace
 }  // namespace tpc::sim

@@ -39,11 +39,11 @@ class NetworkTest : public ::testing::Test {
   }
 
   Message Make(const std::string& from, const std::string& to,
-               std::string type = "PING") {
+               std::string tag = "PING") {
     Message msg;
     msg.from = from;
     msg.to = to;
-    msg.type = std::move(type);
+    msg.trace_tag = std::move(tag);
     msg.txn = 1;
     return msg;
   }
@@ -77,8 +77,8 @@ TEST_F(NetworkTest, SessionOrderPreservedWhenLatencyDrops) {
   ASSERT_TRUE(network_.Send(Make("a", "b", "SECOND")).ok());
   ctx_.events().Run();
   ASSERT_EQ(b_.received.size(), 2u);
-  EXPECT_EQ(b_.received[0].msg.type, "FIRST");
-  EXPECT_EQ(b_.received[1].msg.type, "SECOND");
+  EXPECT_EQ(b_.received[0].msg.trace_tag, "FIRST");
+  EXPECT_EQ(b_.received[1].msg.trace_tag, "SECOND");
   EXPECT_GE(b_.received[1].at, b_.received[0].at);
 }
 

@@ -29,7 +29,7 @@ TEST(RobustnessTest, MalformedMessagesAreDroppedNotFatal) {
     net::Message msg;
     msg.from = from;
     msg.to = to;
-    msg.type = "GARBAGE";
+    msg.trace_tag = "GARBAGE";
     size_t len = rng.Uniform(64);
     for (size_t i = 0; i < len; ++i)
       msg.payload.push_back(static_cast<char>(rng.Uniform(256)));
@@ -68,7 +68,7 @@ TEST(RobustnessTest, TruncatedProtocolMessageIsDropped) {
   net::Message msg;
   msg.from = "a";
   msg.to = "b";
-  msg.type = "TRUNCATED";
+  msg.trace_tag = "TRUNCATED";
   msg.payload = payload.substr(0, payload.size() / 2);
   ASSERT_TRUE(c.network().Send(msg).ok());
   c.RunFor(sim::kSecond);
