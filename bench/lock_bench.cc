@@ -1,0 +1,171 @@
+// Lock-table microbenchmark: wall-clock acquire/release throughput of the
+// interned lock manager against a frozen copy of the seed implementation
+// (std::map table, string-keyed held lists, std::function callbacks).
+//
+// The workload mirrors the resource manager's hot path: each transaction
+// takes an intent lock on the store, then exclusive locks on a few data
+// keys drawn from a reusable universe, then releases everything at commit.
+// Transactions run back to back so no request ever waits — this measures
+// the grant/release path itself, not queueing. Emits BENCH_lock.json.
+//
+// Usage: lock_bench [txns]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/bench_report.h"
+#include "lock/legacy_lock_manager.h"
+#include "lock/lock_manager.h"
+#include "sim/sim_context.h"
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace {
+
+constexpr int kKeysPerTxn = 4;
+constexpr size_t kKeyUniverse = 1024;
+
+struct RunResult {
+  uint64_t ops = 0;  // acquires + releases
+  double wall_seconds = 0;
+  double ops_per_sec = 0;
+};
+
+std::vector<std::string> MakeKeys() {
+  std::vector<std::string> keys;
+  keys.reserve(kKeyUniverse);
+  for (size_t i = 0; i < kKeyUniverse; ++i)
+    keys.push_back(tpc::StringPrintf("account-%04zu", i));
+  return keys;
+}
+
+RunResult RunOptimized(uint64_t txns) {
+  using namespace tpc;
+  sim::SimContext ctx;
+  ctx.trace().set_capture(false);
+  lock::LockManager lm(&ctx, "n1");
+  const std::vector<std::string> keys = MakeKeys();
+  const lock::KeyId store = lm.InternKey("store");
+
+  uint64_t granted = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t t = 1; t <= txns; ++t) {
+    lm.Acquire(t, store, lock::LockMode::kIntentExclusive,
+               [&granted](Status st) {
+                 TPC_CHECK(st.ok());
+                 ++granted;
+               });
+    for (int j = 0; j < kKeysPerTxn; ++j) {
+      // Like the RM: intern the name once per operation, then grant on ids.
+      const lock::KeyId id =
+          lm.InternKey(keys[(t * kKeysPerTxn + j) % kKeyUniverse]);
+      lm.Acquire(t, id, lock::LockMode::kExclusive, [&granted](Status st) {
+        TPC_CHECK(st.ok());
+        ++granted;
+      });
+    }
+    lm.ReleaseAll(t);
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+
+  TPC_CHECK(granted == txns * (kKeysPerTxn + 1));
+  RunResult r;
+  r.ops = txns * (kKeysPerTxn + 2);  // acquires + one release batch
+  r.wall_seconds = wall.count();
+  r.ops_per_sec = r.wall_seconds > 0 ? r.ops / r.wall_seconds : 0;
+  return r;
+}
+
+RunResult RunLegacy(uint64_t txns) {
+  using namespace tpc;
+  sim::SimContext ctx;
+  ctx.trace().set_capture(false);
+  lock::LegacyLockManager lm(&ctx, "n1");
+  const std::vector<std::string> keys = MakeKeys();
+  const std::string store = "store";
+
+  uint64_t granted = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t t = 1; t <= txns; ++t) {
+    lm.Acquire(t, store, lock::LockMode::kIntentExclusive,
+               [&granted](Status st) {
+                 TPC_CHECK(st.ok());
+                 ++granted;
+               });
+    for (int j = 0; j < kKeysPerTxn; ++j) {
+      lm.Acquire(t, keys[(t * kKeysPerTxn + j) % kKeyUniverse],
+                 lock::LockMode::kExclusive, [&granted](Status st) {
+                   TPC_CHECK(st.ok());
+                   ++granted;
+                 });
+    }
+    lm.ReleaseAll(t);
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+
+  TPC_CHECK(granted == txns * (kKeysPerTxn + 1));
+  RunResult r;
+  r.ops = txns * (kKeysPerTxn + 2);
+  r.wall_seconds = wall.count();
+  r.ops_per_sec = r.wall_seconds > 0 ? r.ops / r.wall_seconds : 0;
+  return r;
+}
+
+// Warm up once, then keep the best of `reps` runs (see event_queue_bench).
+template <typename Fn>
+RunResult BestOf(Fn run, uint64_t txns, int reps) {
+  run(txns / 4);
+  RunResult best;
+  for (int i = 0; i < reps; ++i) {
+    RunResult r = run(txns);
+    if (r.ops_per_sec > best.ops_per_sec) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tpc;
+  const uint64_t txns =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000;
+
+  harness::BenchReport report("lock");
+
+  RunResult opt = BestOf(RunOptimized, txns, 3);
+  RunResult legacy = BestOf(RunLegacy, txns, 3);
+
+  const double speedup =
+      legacy.ops_per_sec > 0 ? opt.ops_per_sec / legacy.ops_per_sec : 0.0;
+
+  harness::SweepCell opt_cell;
+  opt_cell.label = "optimized";
+  opt_cell.txns = txns;
+  opt_cell.Add("lock_ops_per_sec", opt.ops_per_sec);
+  opt_cell.Add("wall_seconds", opt.wall_seconds);
+  opt_cell.Add("speedup_vs_seed", speedup);
+  report.AddCell(opt_cell);
+
+  harness::SweepCell legacy_cell;
+  legacy_cell.label = "legacy_seed";
+  legacy_cell.txns = txns;
+  legacy_cell.Add("lock_ops_per_sec", legacy.ops_per_sec);
+  legacy_cell.Add("wall_seconds", legacy.wall_seconds);
+  report.AddCell(legacy_cell);
+
+  std::printf("lock table, %llu txns x %d keys:\n",
+              static_cast<unsigned long long>(txns), kKeysPerTxn);
+  std::printf("  optimized : %8.2fM lock ops/s (%.3fs)\n",
+              opt.ops_per_sec / 1e6, opt.wall_seconds);
+  std::printf("  seed copy : %8.2fM lock ops/s (%.3fs)\n",
+              legacy.ops_per_sec / 1e6, legacy.wall_seconds);
+  std::printf("  speedup   : %.2fx\n", speedup);
+  std::printf("%s\n", report.Summary().c_str());
+  std::printf("wrote %s\n", report.WriteJson().c_str());
+  return 0;
+}

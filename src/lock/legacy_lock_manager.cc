@@ -1,0 +1,181 @@
+// Frozen seed implementation — see legacy_lock_manager.h. Logic is copied
+// unchanged from the original lock_manager.cc; only the class name differs.
+
+#include "lock/legacy_lock_manager.h"
+
+#include <algorithm>
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace tpc::lock {
+
+void LegacyLockManager::Acquire(uint64_t txn, const std::string& key,
+                                LockMode mode, GrantCallback done) {
+  Entry& entry = table_[key];
+
+  // Re-entrant requests: covered modes return immediately; otherwise try
+  // an in-place upgrade to the supremum of held and requested.
+  bool is_upgrade = false;
+  for (auto& h : entry.holders) {
+    if (h.txn == txn) {
+      if (LockModeCovers(h.mode, mode)) {
+        done(Status::OK());  // already held strongly enough
+        return;
+      }
+      is_upgrade = true;
+      break;
+    }
+  }
+  const LockMode wanted =
+      is_upgrade ? [&] {
+        for (const auto& h : entry.holders)
+          if (h.txn == txn) return LockModeSupremum(h.mode, mode);
+        return mode;
+      }()
+                 : mode;
+
+  const bool no_queue = entry.waiters.empty();
+  bool compatible = true;
+  for (const auto& h : entry.holders) {
+    if (h.txn == txn) continue;  // upgrade: only others matter
+    if (!Compatible(h.mode, wanted)) {
+      compatible = false;
+      break;
+    }
+  }
+
+  // Grant immediately when compatible with all holders and (to stay fair)
+  // nobody is already queued. Upgrades jump the queue — queueing behind a
+  // conflicting waiter would deadlock against our own hold.
+  if (compatible && (no_queue || is_upgrade)) {
+    if (is_upgrade) {
+      for (auto& h : entry.holders)
+        if (h.txn == txn) h.mode = wanted;
+    } else {
+      entry.holders.push_back(Holder{txn, mode, ctx_->now()});
+      held_by_txn_[txn].push_back(key);
+      ctx_->trace().Add({ctx_->now(), sim::TraceKind::kLock, node_, "", txn,
+                         key + ":" + std::string(LockModeToString(mode))});
+    }
+    ++stats_.acquisitions;
+    done(Status::OK());
+    return;
+  }
+
+  // Queue.
+  ++stats_.waits;
+  Waiter w;
+  w.txn = txn;
+  w.mode = wanted;
+  w.done = std::move(done);
+  w.queued_at = ctx_->now();
+  if (is_upgrade) {
+    entry.waiters.push_front(std::move(w));
+  } else {
+    entry.waiters.push_back(std::move(w));
+  }
+  Waiter& queued = is_upgrade ? entry.waiters.front() : entry.waiters.back();
+  queued.timeout_event =
+      ctx_->events().ScheduleAfter(wait_timeout_, [this, key, txn] {
+        Entry& e = table_[key];
+        for (auto it = e.waiters.begin(); it != e.waiters.end(); ++it) {
+          if (it->txn == txn && !it->cancelled) {
+            GrantCallback cb = std::move(it->done);
+            e.waiters.erase(it);
+            ++stats_.timeouts;
+            cb(Status::TimedOut("lock wait timeout on " + key));
+            PumpWaiters(key);
+            return;
+          }
+        }
+      });
+}
+
+void LegacyLockManager::Grant(const std::string& key, Entry& entry,
+                              Waiter& waiter) {
+  ctx_->events().Cancel(waiter.timeout_event);
+  stats_.wait_time.Add(static_cast<double>(ctx_->now() - waiter.queued_at));
+  ++stats_.acquisitions;
+
+  bool upgraded = false;
+  for (auto& h : entry.holders) {
+    if (h.txn == waiter.txn) {
+      h.mode = LockModeSupremum(h.mode, waiter.mode);  // queued upgrade
+      upgraded = true;
+      break;
+    }
+  }
+  if (!upgraded) {
+    entry.holders.push_back(Holder{waiter.txn, waiter.mode, ctx_->now()});
+    held_by_txn_[waiter.txn].push_back(key);
+    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kLock, node_, "",
+                       waiter.txn,
+                       key + ":" + std::string(LockModeToString(waiter.mode))});
+  }
+  waiter.done(Status::OK());
+}
+
+void LegacyLockManager::PumpWaiters(const std::string& key) {
+  auto table_it = table_.find(key);
+  if (table_it == table_.end()) return;
+  Entry& entry = table_it->second;
+
+  while (!entry.waiters.empty()) {
+    Waiter& next = entry.waiters.front();
+    bool compatible = true;
+    for (const auto& h : entry.holders) {
+      if (h.txn == next.txn) continue;
+      if (!Compatible(h.mode, next.mode)) {
+        compatible = false;
+        break;
+      }
+    }
+    if (!compatible) break;
+    Waiter w = std::move(next);
+    entry.waiters.pop_front();
+    Grant(key, entry, w);
+  }
+  if (entry.holders.empty() && entry.waiters.empty()) table_.erase(table_it);
+}
+
+void LegacyLockManager::ReleaseAll(uint64_t txn) {
+  auto it = held_by_txn_.find(txn);
+  if (it == held_by_txn_.end()) return;
+  std::vector<std::string> keys = std::move(it->second);
+  held_by_txn_.erase(it);
+
+  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kUnlock, node_, "", txn,
+                     StringPrintf("%zu locks", keys.size())});
+  for (const auto& key : keys) {
+    auto table_it = table_.find(key);
+    if (table_it == table_.end()) continue;
+    Entry& entry = table_it->second;
+    for (auto h = entry.holders.begin(); h != entry.holders.end(); ++h) {
+      if (h->txn == txn) {
+        stats_.hold_time.Add(static_cast<double>(ctx_->now() - h->granted_at));
+        entry.holders.erase(h);
+        break;
+      }
+    }
+    PumpWaiters(key);
+  }
+}
+
+bool LegacyLockManager::Holds(uint64_t txn, const std::string& key,
+                              LockMode mode) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) return false;
+  for (const auto& h : it->second.holders) {
+    if (h.txn == txn) return LockModeCovers(h.mode, mode);
+  }
+  return false;
+}
+
+size_t LegacyLockManager::WaiterCount() const {
+  size_t n = 0;
+  for (const auto& [key, entry] : table_) n += entry.waiters.size();
+  return n;
+}
+
+}  // namespace tpc::lock

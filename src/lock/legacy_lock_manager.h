@@ -1,0 +1,80 @@
+// Frozen copy of the seed LockManager (std::map<std::string, Entry> table,
+// per-txn key-string vectors, std::function callbacks). Kept verbatim so
+// bench/lock_bench.cc can measure the interned rework against the original
+// and tests can assert the two grant identical schedules. Do not optimize —
+// that defeats its purpose as the baseline.
+
+#ifndef TPC_LOCK_LEGACY_LOCK_MANAGER_H_
+#define TPC_LOCK_LEGACY_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "sim/sim_context.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace tpc::lock {
+
+/// The seed's lock table, byte-for-byte behavior-identical to the original.
+class LegacyLockManager {
+ public:
+  using GrantCallback = std::function<void(Status)>;
+
+  explicit LegacyLockManager(sim::SimContext* ctx, std::string node,
+                             sim::Time wait_timeout = 10 * sim::kSecond)
+      : ctx_(ctx), node_(std::move(node)), wait_timeout_(wait_timeout) {}
+
+  void Acquire(uint64_t txn, const std::string& key, LockMode mode,
+               GrantCallback done);
+  void ReleaseAll(uint64_t txn);
+  bool Holds(uint64_t txn, const std::string& key, LockMode mode) const;
+  size_t WaiterCount() const;
+
+  const LockStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LockStats{}; }
+
+ private:
+  struct Holder {
+    uint64_t txn;
+    LockMode mode;
+    sim::Time granted_at;
+  };
+  struct Waiter {
+    uint64_t txn;
+    LockMode mode;
+    GrantCallback done;
+    sim::Time queued_at;
+    sim::EventId timeout_event;
+    bool cancelled = false;
+  };
+  struct Entry {
+    std::vector<Holder> holders;
+    std::deque<Waiter> waiters;
+  };
+
+  static bool Compatible(LockMode held, LockMode requested) {
+    return LockModesCompatible(held, requested);
+  }
+
+  void PumpWaiters(const std::string& key);
+  void Grant(const std::string& key, Entry& entry, Waiter& waiter);
+
+  sim::SimContext* ctx_;
+  std::string node_;
+  sim::Time wait_timeout_;
+  std::map<std::string, Entry> table_;
+  // txn -> keys held (for ReleaseAll)
+  std::unordered_map<uint64_t, std::vector<std::string>> held_by_txn_;
+  LockStats stats_;
+};
+
+}  // namespace tpc::lock
+
+#endif  // TPC_LOCK_LEGACY_LOCK_MANAGER_H_

@@ -52,9 +52,56 @@ LockMode LockModeSupremum(LockMode a, LockMode b) {
   return LockMode::kExclusive;
 }
 
-void LockManager::Acquire(uint64_t txn, const std::string& key, LockMode mode,
+LockManager::HeldList& LockManager::ListFor(uint64_t txn) {
+  if (txn < kDenseTxnIds) {
+    if (txn >= held_by_txn_.size()) {
+      size_t want = static_cast<size_t>(txn) + 1;
+      if (want < held_by_txn_.size() * 2) want = held_by_txn_.size() * 2;
+      held_by_txn_.resize(want);
+    }
+    return held_by_txn_[txn];
+  }
+  return held_overflow_[txn];
+}
+
+LockManager::HeldList* LockManager::FindList(uint64_t txn) {
+  if (txn < kDenseTxnIds) {
+    return txn < held_by_txn_.size() ? &held_by_txn_[txn] : nullptr;
+  }
+  auto it = held_overflow_.find(txn);
+  return it == held_overflow_.end() ? nullptr : &it->second;
+}
+
+void LockManager::AppendHeld(uint64_t txn, KeyId key) {
+  uint32_t idx;
+  if (!free_nodes_.empty()) {
+    idx = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    idx = static_cast<uint32_t>(held_slab_.size());
+    held_slab_.emplace_back();
+  }
+  held_slab_[idx] = HeldNode{key, kNil};
+  HeldList& list = ListFor(txn);
+  if (list.tail == kNil) {
+    list.head = idx;
+  } else {
+    held_slab_[list.tail].next = idx;
+  }
+  list.tail = idx;
+  ++list.count;
+}
+
+void LockManager::TraceGrant(uint64_t txn, KeyId key, LockMode mode) {
+  if (!ctx_->trace().capturing()) return;
+  ctx_->trace().Add(
+      {ctx_->now(), sim::TraceKind::kLock, node_, "", txn,
+       interner_.NameOf(key) + ":" + std::string(LockModeToString(mode))});
+}
+
+void LockManager::Acquire(uint64_t txn, KeyId key, LockMode mode,
                           GrantCallback done) {
-  Entry& entry = table_[key];
+  Entry& entry = EntryFor(key);
 
   // Re-entrant requests: covered modes return immediately; otherwise try
   // an in-place upgrade to the supremum of held and requested.
@@ -96,49 +143,50 @@ void LockManager::Acquire(uint64_t txn, const std::string& key, LockMode mode,
         if (h.txn == txn) h.mode = wanted;
     } else {
       entry.holders.push_back(Holder{txn, mode, ctx_->now()});
-      held_by_txn_[txn].push_back(key);
-      ctx_->trace().Add({ctx_->now(), sim::TraceKind::kLock, node_, "", txn,
-                         key + ":" + std::string(LockModeToString(mode))});
+      AppendHeld(txn, key);
+      TraceGrant(txn, key, mode);
     }
     ++stats_.acquisitions;
     done(Status::OK());
     return;
   }
 
-  // Queue.
+  // Queue. Upgrades go to the front: they wait only for current holders.
   ++stats_.waits;
   Waiter w;
   w.txn = txn;
   w.mode = wanted;
   w.done = std::move(done);
   w.queued_at = ctx_->now();
+  w.timeout_event = ctx_->events().ScheduleAfter(
+      wait_timeout_, [this, key, txn] { OnTimeout(txn, key); });
   if (is_upgrade) {
-    entry.waiters.push_front(std::move(w));
+    entry.waiters.insert(entry.waiters.begin(), std::move(w));
   } else {
     entry.waiters.push_back(std::move(w));
   }
-  Waiter& queued = is_upgrade ? entry.waiters.front() : entry.waiters.back();
-  queued.timeout_event =
-      ctx_->events().ScheduleAfter(wait_timeout_, [this, key, txn] {
-        Entry& e = table_[key];
-        for (auto it = e.waiters.begin(); it != e.waiters.end(); ++it) {
-          if (it->txn == txn && !it->cancelled) {
-            GrantCallback cb = std::move(it->done);
-            e.waiters.erase(it);
-            ++stats_.timeouts;
-            cb(Status::TimedOut("lock wait timeout on " + key));
-            PumpWaiters(key);
-            return;
-          }
-        }
-      });
 }
 
-void LockManager::Grant(const std::string& key, Entry& entry, Waiter& waiter) {
+void LockManager::OnTimeout(uint64_t txn, KeyId key) {
+  Entry& entry = table_[key];
+  for (auto it = entry.waiters.begin(); it != entry.waiters.end(); ++it) {
+    if (it->txn == txn) {
+      GrantCallback cb = std::move(it->done);
+      entry.waiters.erase(it);
+      ++stats_.timeouts;
+      cb(Status::TimedOut("lock wait timeout on " + interner_.NameOf(key)));
+      PumpWaiters(key);
+      return;
+    }
+  }
+}
+
+void LockManager::Grant(KeyId key, Waiter waiter) {
   ctx_->events().Cancel(waiter.timeout_event);
   stats_.wait_time.Add(static_cast<double>(ctx_->now() - waiter.queued_at));
   ++stats_.acquisitions;
 
+  Entry& entry = table_[key];
   bool upgraded = false;
   for (auto& h : entry.holders) {
     if (h.txn == waiter.txn) {
@@ -149,20 +197,20 @@ void LockManager::Grant(const std::string& key, Entry& entry, Waiter& waiter) {
   }
   if (!upgraded) {
     entry.holders.push_back(Holder{waiter.txn, waiter.mode, ctx_->now()});
-    held_by_txn_[waiter.txn].push_back(key);
-    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kLock, node_, "",
-                       waiter.txn,
-                       key + ":" + std::string(LockModeToString(waiter.mode))});
+    AppendHeld(waiter.txn, key);
+    TraceGrant(waiter.txn, key, waiter.mode);
   }
+  // Callback last: it may re-enter Acquire and invalidate `entry`.
   waiter.done(Status::OK());
 }
 
-void LockManager::PumpWaiters(const std::string& key) {
-  auto table_it = table_.find(key);
-  if (table_it == table_.end()) return;
-  Entry& entry = table_it->second;
-
-  while (!entry.waiters.empty()) {
+void LockManager::PumpWaiters(KeyId key) {
+  if (key >= table_.size()) return;
+  while (true) {
+    // Re-fetch each round: grant callbacks can re-enter Acquire and grow
+    // the table, moving entries.
+    Entry& entry = table_[key];
+    if (entry.waiters.empty()) break;
     Waiter& next = entry.waiters.front();
     bool compatible = true;
     for (const auto& h : entry.holders) {
@@ -174,24 +222,30 @@ void LockManager::PumpWaiters(const std::string& key) {
     }
     if (!compatible) break;
     Waiter w = std::move(next);
-    entry.waiters.pop_front();
-    Grant(key, entry, w);
+    entry.waiters.erase(entry.waiters.begin());
+    Grant(key, std::move(w));
   }
-  if (entry.holders.empty() && entry.waiters.empty()) table_.erase(table_it);
 }
 
 void LockManager::ReleaseAll(uint64_t txn) {
-  auto it = held_by_txn_.find(txn);
-  if (it == held_by_txn_.end()) return;
-  std::vector<std::string> keys = std::move(it->second);
-  held_by_txn_.erase(it);
+  HeldList* list_slot = FindList(txn);
+  if (list_slot == nullptr || list_slot->head == kNil) return;
+  // Detach the list up front so re-entrant releases (from grant callbacks)
+  // see it empty, mirroring the map-erase in the seed implementation.
+  HeldList list = *list_slot;
+  *list_slot = HeldList{};
 
-  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kUnlock, node_, "", txn,
-                     StringPrintf("%zu locks", keys.size())});
-  for (const auto& key : keys) {
-    auto table_it = table_.find(key);
-    if (table_it == table_.end()) continue;
-    Entry& entry = table_it->second;
+  if (ctx_->trace().capturing()) {
+    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kUnlock, node_, "", txn,
+                       StringPrintf("%zu locks", size_t{list.count})});
+  }
+  uint32_t idx = list.head;
+  while (idx != kNil) {
+    // Copy the node and recycle its slot before any callback runs: grant
+    // callbacks may Acquire and take nodes from the free list.
+    HeldNode node = held_slab_[idx];
+    free_nodes_.push_back(idx);
+    Entry& entry = table_[node.key];
     for (auto h = entry.holders.begin(); h != entry.holders.end(); ++h) {
       if (h->txn == txn) {
         stats_.hold_time.Add(static_cast<double>(ctx_->now() - h->granted_at));
@@ -199,15 +253,14 @@ void LockManager::ReleaseAll(uint64_t txn) {
         break;
       }
     }
-    PumpWaiters(key);
+    PumpWaiters(node.key);
+    idx = node.next;
   }
 }
 
-bool LockManager::Holds(uint64_t txn, const std::string& key,
-                        LockMode mode) const {
-  auto it = table_.find(key);
-  if (it == table_.end()) return false;
-  for (const auto& h : it->second.holders) {
+bool LockManager::Holds(uint64_t txn, KeyId key, LockMode mode) const {
+  if (key >= table_.size()) return false;
+  for (const auto& h : table_[key].holders) {
     if (h.txn == txn) return LockModeCovers(h.mode, mode);
   }
   return false;
@@ -215,7 +268,7 @@ bool LockManager::Holds(uint64_t txn, const std::string& key,
 
 size_t LockManager::WaiterCount() const {
   size_t n = 0;
-  for (const auto& [key, entry] : table_) n += entry.waiters.size();
+  for (const auto& entry : table_) n += entry.waiters.size();
   return n;
 }
 

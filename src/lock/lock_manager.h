@@ -5,20 +5,39 @@
 // can achieve. Locks here are therefore real: conflicting requests queue,
 // grants happen when holders release at commit/abort, and the manager keeps
 // a hold-time histogram that the benches report.
+//
+// Hot-path layout (see DESIGN.md §7): resource names are interned to dense
+// uint32 KeyIds by a per-node StringInterner, the lock table is a flat
+// vector indexed by KeyId (the interner is the open-addressed part), grant
+// callbacks live in InlineFunction small-buffer storage, and each
+// transaction's held locks form a singly linked list through a shared slab
+// with free-list reuse. Callers that already know the KeyId (the resource
+// manager interns each key once per operation) use the KeyId overloads and
+// skip string hashing entirely; ReleaseAll walks the per-txn list in
+// acquisition order and performs no hashing at all.
+//
+// Upgrade policy: a transaction holding S (or any weaker mode) that requests
+// a stronger mode waits only for the *current* holders to drain — the
+// upgrade is placed at the front of the wait queue, ahead of any queued
+// later arrivals, because queueing an upgrade behind an incompatible waiter
+// would deadlock that waiter against the upgrader's own hold (and starve
+// the upgrader behind traffic that arrived after it). Two transactions
+// upgrading the same key concurrently still deadlock against each other's
+// S holds; the wait timeout resolves that, as it does all deadlocks here.
 
 #ifndef TPC_LOCK_LOCK_MANAGER_H_
 #define TPC_LOCK_LOCK_MANAGER_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/sim_context.h"
 #include "util/histogram.h"
+#include "util/interner.h"
 #include "util/status.h"
 
 namespace tpc::lock {
@@ -62,30 +81,52 @@ struct LockStats {
   Histogram wait_time;         ///< request -> grant, waiters only
 };
 
+/// Dense id of an interned resource name, index into the flat lock table.
+using KeyId = uint32_t;
+
 /// One node's lock table.
 class LockManager {
  public:
-  using GrantCallback = std::function<void(Status)>;
+  /// Grant callbacks are move-only small-buffer functions; the resource
+  /// manager's largest grant closure (write path: this + txn + key + value +
+  /// done) is 112 bytes, so that is the inline capacity.
+  using GrantCallback = sim::InlineFunction<112, void(Status)>;
 
   explicit LockManager(sim::SimContext* ctx, std::string node,
                        sim::Time wait_timeout = 10 * sim::kSecond)
       : ctx_(ctx), node_(std::move(node)), wait_timeout_(wait_timeout) {}
+
+  /// Interns `key`, returning its dense id. Callers performing several
+  /// operations against one key intern once and use the KeyId overloads.
+  KeyId InternKey(std::string_view key) {
+    ++string_lookups_;
+    return interner_.Intern(key);
+  }
 
   /// Requests `mode` on `key` for `txn`. The callback fires with OK on
   /// grant (possibly synchronously, if there is no conflict), or TimedOut
   /// if the wait exceeds the timeout (the caller should abort — this is the
   /// deadlock-resolution policy). Re-requesting a held lock in the same or
   /// weaker mode is a no-op grant; kShared -> kExclusive upgrades wait for
-  /// other holders to drain.
+  /// current holders only (see the policy note above).
   void Acquire(uint64_t txn, const std::string& key, LockMode mode,
-               GrantCallback done);
+               GrantCallback done) {
+    Acquire(txn, InternKey(key), mode, std::move(done));
+  }
+  void Acquire(uint64_t txn, KeyId key, LockMode mode, GrantCallback done);
 
   /// Releases every lock `txn` holds and grants unblocked waiters.
-  /// Strict 2PL: called only at transaction end.
+  /// Strict 2PL: called only at transaction end. Walks the per-txn held
+  /// list in acquisition order — O(locks held), no hashing.
   void ReleaseAll(uint64_t txn);
 
   /// True if `txn` currently holds `key` in at least `mode`.
-  bool Holds(uint64_t txn, const std::string& key, LockMode mode) const;
+  bool Holds(uint64_t txn, const std::string& key, LockMode mode) const {
+    ++string_lookups_;
+    KeyId id = interner_.Find(key);
+    return id != StringInterner::kNotFound && Holds(txn, id, mode);
+  }
+  bool Holds(uint64_t txn, KeyId key, LockMode mode) const;
 
   /// Number of transactions currently waiting (for blocked-work metrics).
   size_t WaiterCount() const;
@@ -93,7 +134,19 @@ class LockManager {
   const LockStats& stats() const { return stats_; }
   void ResetStats() { stats_ = LockStats{}; }
 
+  const StringInterner& interner() const { return interner_; }
+
+  /// Instrumentation: string->id hash lookups performed (Acquire/Holds by
+  /// name, InternKey). The O(held) regression test asserts ReleaseAll adds
+  /// none — releases never touch the interner.
+  uint64_t string_lookups() const { return string_lookups_; }
+
  private:
+  static constexpr uint32_t kNil = UINT32_MAX;
+  // Txn ids below this index a flat vector directly; the simulation hands
+  // out dense ids from 1, so the overflow map is for synthetic ids only.
+  static constexpr uint64_t kDenseTxnIds = 1ull << 22;
+
   struct Holder {
     uint64_t txn;
     LockMode mode;
@@ -105,28 +158,61 @@ class LockManager {
     GrantCallback done;
     sim::Time queued_at;
     sim::EventId timeout_event;
-    bool cancelled = false;
   };
   struct Entry {
     std::vector<Holder> holders;
-    std::deque<Waiter> waiters;
+    // FIFO: front is index 0. Queues are short (a handful of conflicting
+    // txns), so vector beats deque on locality; upgrades insert at front.
+    std::vector<Waiter> waiters;
+  };
+  /// Slab node: one held lock, linked in acquisition order.
+  struct HeldNode {
+    KeyId key;
+    uint32_t next;
+  };
+  struct HeldList {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+    uint32_t count = 0;
   };
 
   static bool Compatible(LockMode held, LockMode requested) {
     return LockModesCompatible(held, requested);
   }
 
-  /// Grants as many queued waiters as compatibility allows.
-  void PumpWaiters(const std::string& key);
-  void Grant(const std::string& key, Entry& entry, Waiter& waiter);
+  Entry& EntryFor(KeyId key) {
+    if (key >= table_.size()) {
+      size_t want = key + 1;
+      if (want < table_.size() * 2) want = table_.size() * 2;
+      table_.resize(want);
+    }
+    return table_[key];
+  }
+  HeldList& ListFor(uint64_t txn);
+  HeldList* FindList(uint64_t txn);
+
+  void AppendHeld(uint64_t txn, KeyId key);
+  void TraceGrant(uint64_t txn, KeyId key, LockMode mode);
+
+  /// Grants as many queued waiters as compatibility allows. Re-fetches the
+  /// entry after every grant callback — callbacks may re-enter Acquire and
+  /// grow the table.
+  void PumpWaiters(KeyId key);
+  void Grant(KeyId key, Waiter waiter);
+  void OnTimeout(uint64_t txn, KeyId key);
 
   sim::SimContext* ctx_;
   std::string node_;
   sim::Time wait_timeout_;
-  std::map<std::string, Entry> table_;
-  // txn -> keys held (for ReleaseAll)
-  std::unordered_map<uint64_t, std::vector<std::string>> held_by_txn_;
+  StringInterner interner_;
+  std::vector<Entry> table_;  // indexed by KeyId
+  // Per-txn held-lock lists through a shared slab with free-list reuse.
+  std::vector<HeldNode> held_slab_;
+  std::vector<uint32_t> free_nodes_;
+  std::vector<HeldList> held_by_txn_;  // indexed by txn id
+  std::unordered_map<uint64_t, HeldList> held_overflow_;
   LockStats stats_;
+  mutable uint64_t string_lookups_ = 0;
 };
 
 }  // namespace tpc::lock

@@ -92,6 +92,20 @@ class Network {
   void set_tracing(bool on) { tracing_ = on; }
   bool tracing() const { return tracing_; }
 
+  // --- public interning surface --------------------------------------------
+  // Node names map to dense uint32 ids. Components that keep per-peer flat
+  // tables (the TM's session vector) index them by these ids instead of
+  // hashing names per message.
+
+  static constexpr uint32_t kNoId = UINT32_MAX;
+
+  /// Interns `name`, returning its dense id (stable for the network's life).
+  uint32_t InternId(const NodeId& name) { return Intern(name); }
+  /// Id of `name`, or kNoId if never interned. Never allocates.
+  uint32_t IdOf(const NodeId& name) const { return Find(name); }
+  /// The name interned as `id`. Requires a valid id.
+  const NodeId& NameOf(uint32_t id) const { return names_[id]; }
+
  private:
   static constexpr uint32_t kNoNode = UINT32_MAX;
   static constexpr sim::Time kDefaultLatency = -1;  // sentinel in latency_

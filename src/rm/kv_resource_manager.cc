@@ -30,6 +30,10 @@ Status DecodeUpdateBody(std::string_view body, std::string* key,
   return Status::OK();
 }
 
+// The container resource for hierarchical (intent) locking. The name uses
+// a control character so it cannot collide with user keys.
+const char kStoreLock[] = "\x01store";
+
 }  // namespace
 
 std::string_view VoteToString(Vote vote) {
@@ -47,23 +51,19 @@ KVResourceManager::KVResourceManager(sim::SimContext* ctx, std::string name,
       name_(std::move(name)),
       log_(log),
       options_(options),
-      locks_(ctx, name_, options.lock_timeout) {}
-
-namespace {
-// The container resource for hierarchical (intent) locking. The name uses
-// a control character so it cannot collide with user keys.
-const char kStoreLock[] = "\x01store";
-}  // namespace
+      locks_(ctx, name_, options.lock_timeout),
+      store_lock_id_(locks_.InternKey(kStoreLock)) {}
 
 void KVResourceManager::Read(uint64_t txn, const std::string& key,
                              ReadCallback done) {
-  locks_.Acquire(txn, kStoreLock, lock::LockMode::kIntentShared,
+  locks_.Acquire(txn, store_lock_id_, lock::LockMode::kIntentShared,
                  [this, txn, key, done = std::move(done)](Status st) mutable {
     if (!st.ok()) {
       done(std::move(st));
       return;
     }
-    locks_.Acquire(txn, key, lock::LockMode::kShared,
+    // Intern once; the grant path then works entirely in dense ids.
+    locks_.Acquire(txn, locks_.InternKey(key), lock::LockMode::kShared,
                    [this, key, done = std::move(done)](Status st) {
       if (!st.ok()) {
         done(std::move(st));
@@ -81,7 +81,7 @@ void KVResourceManager::Read(uint64_t txn, const std::string& key,
 
 void KVResourceManager::Scan(uint64_t txn, const std::string& prefix,
                              ScanCallback done) {
-  locks_.Acquire(txn, kStoreLock, lock::LockMode::kShared,
+  locks_.Acquire(txn, store_lock_id_, lock::LockMode::kShared,
                  [this, prefix, done = std::move(done)](Status st) {
     if (!st.ok()) {
       done(std::move(st));
@@ -98,7 +98,7 @@ void KVResourceManager::Scan(uint64_t txn, const std::string& prefix,
 
 void KVResourceManager::Write(uint64_t txn, const std::string& key,
                               std::string value, WriteCallback done) {
-  locks_.Acquire(txn, kStoreLock, lock::LockMode::kIntentExclusive,
+  locks_.Acquire(txn, store_lock_id_, lock::LockMode::kIntentExclusive,
                  [this, txn, key, value = std::move(value),
                   done = std::move(done)](Status st) mutable {
     if (!st.ok()) {
@@ -111,7 +111,7 @@ void KVResourceManager::Write(uint64_t txn, const std::string& key,
 
 void KVResourceManager::DoWrite(uint64_t txn, const std::string& key,
                                 std::string value, WriteCallback done) {
-  locks_.Acquire(txn, key, lock::LockMode::kExclusive,
+  locks_.Acquire(txn, locks_.InternKey(key), lock::LockMode::kExclusive,
                  [this, txn, key, value = std::move(value),
                   done = std::move(done)](Status st) mutable {
     if (!st.ok()) {
@@ -244,6 +244,7 @@ void KVResourceManager::Crash() {
   store_.clear();
   active_.clear();
   locks_ = lock::LockManager(ctx_, name_, options_.lock_timeout);
+  store_lock_id_ = locks_.InternKey(kStoreLock);
 }
 
 std::vector<uint64_t> KVResourceManager::Recover(

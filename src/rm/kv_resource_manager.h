@@ -141,6 +141,7 @@ class KVResourceManager : public ResourceManager {
   wal::LogManager* log_;
   KVOptions options_;
   lock::LockManager locks_;
+  lock::KeyId store_lock_id_;  ///< interned once; refreshed on Crash()
   std::map<std::string, std::string> store_;
   std::unordered_map<uint64_t, TxnState> active_;
   bool fail_next_prepare_ = false;

@@ -1,8 +1,12 @@
-// InlineFunction: a move-only std::function<void()> replacement with a
-// small-buffer store, so scheduling an event whose closure fits in the
-// buffer performs no heap allocation. The simulation kernel schedules
-// millions of small closures (message deliveries, timer pops), which makes
-// the std::function control-block allocation a measurable hot-path cost.
+// InlineFunction: a move-only std::function replacement with a small-buffer
+// store, so scheduling an event whose closure fits in the buffer performs no
+// heap allocation. The simulation kernel schedules millions of small closures
+// (message deliveries, timer pops), which makes the std::function
+// control-block allocation a measurable hot-path cost.
+//
+// The second template parameter is the call signature and defaults to
+// void(), so kernel call sites can keep writing InlineFunction<48>. The lock
+// manager stores grant callbacks as InlineFunction<N, void(Status)>.
 //
 // Closures larger than the buffer fall back to a single heap allocation,
 // preserving std::function semantics for cold paths.
@@ -17,15 +21,18 @@
 
 namespace tpc::sim {
 
-template <size_t BufSize>
-class InlineFunction {
+template <size_t BufSize, typename Sig = void()>
+class InlineFunction;
+
+template <size_t BufSize, typename R, typename... Args>
+class InlineFunction<BufSize, R(Args...)> {
  public:
   InlineFunction() = default;
 
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, InlineFunction> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
   InlineFunction(F&& f) {  // NOLINT: implicit by design, like std::function
     emplace(std::forward<F>(f));
   }
@@ -68,7 +75,9 @@ class InlineFunction {
     if (ops_) ops_->destroy(buf_);
   }
 
-  void operator()() { ops_->invoke(buf_); }
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const { return ops_ != nullptr; }
 
@@ -81,7 +90,7 @@ class InlineFunction {
   static constexpr size_t kAlign = alignof(std::max_align_t);
 
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     // Move-construct into dst from src, then destroy src's residue.
     void (*relocate)(void* dst, void* src);
     void (*destroy)(void*);
@@ -89,7 +98,9 @@ class InlineFunction {
 
   template <typename Fn>
   struct InlineOps {
-    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static R Invoke(void* p, Args&&... args) {
+      return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+    }
     static void Relocate(void* dst, void* src) {
       Fn* s = static_cast<Fn*>(src);
       ::new (dst) Fn(std::move(*s));
@@ -102,10 +113,10 @@ class InlineFunction {
   template <typename Fn>
   struct HeapOps {
     static Fn* ptr(void* p) { return *static_cast<Fn**>(p); }
-    static void Invoke(void* p) { (*ptr(p))(); }
-    static void Relocate(void* dst, void* src) {
-      ::new (dst) Fn*(ptr(src));
+    static R Invoke(void* p, Args&&... args) {
+      return (*ptr(p))(std::forward<Args>(args)...);
     }
+    static void Relocate(void* dst, void* src) { ::new (dst) Fn*(ptr(src)); }
     static void Destroy(void* p) { delete ptr(p); }
     static constexpr Ops table{&Invoke, &Relocate, &Destroy};
   };

@@ -44,8 +44,16 @@ struct TraceEntry {
 /// Append-only trace with simple filtering and rendering.
 class Trace {
  public:
-  void Add(TraceEntry e) { entries_.push_back(std::move(e)); }
+  void Add(TraceEntry e) {
+    if (capturing_) entries_.push_back(std::move(e));
+  }
   void Clear() { entries_.clear(); }
+
+  /// Capture toggle: benches that only measure throughput turn capture off
+  /// so hot paths can skip building detail strings entirely. Defaults to on;
+  /// simulations that assert on traces are unaffected.
+  void set_capture(bool on) { capturing_ = on; }
+  bool capturing() const { return capturing_; }
 
   const std::vector<TraceEntry>& entries() const { return entries_; }
 
@@ -70,6 +78,7 @@ class Trace {
   std::string RenderEntries(const std::vector<TraceEntry>& es) const;
 
   std::vector<TraceEntry> entries_;
+  bool capturing_ = true;
 };
 
 }  // namespace tpc::sim

@@ -1,6 +1,8 @@
 #include "tm/transaction_manager.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <utility>
 
 #include "util/binary_io.h"
@@ -63,29 +65,108 @@ void TransactionManager::AttachRm(rm::KVResourceManager* rm) {
 
 void TransactionManager::Connect(const net::NodeId& peer,
                                  SessionOptions options) {
-  sessions_[peer].options = options;
+  SessionSlot(peer).options = options;
 }
 
 // ---------------------------------------------------------------------------
 // Plumbing
 // ---------------------------------------------------------------------------
 
+TransactionManager::TxnMeta& TransactionManager::MetaSlot(uint64_t id) {
+  if (id < kDenseTxnIds) {
+    if (id >= txn_meta_.size()) {
+      size_t want = static_cast<size_t>(id) + 1;
+      if (want < txn_meta_.size() * 2) want = txn_meta_.size() * 2;
+      txn_meta_.resize(want);
+    }
+    return txn_meta_[id];
+  }
+  return txn_meta_overflow_[id];
+}
+
+const TransactionManager::TxnMeta* TransactionManager::FindMeta(
+    uint64_t id) const {
+  if (id < kDenseTxnIds)
+    return id < txn_meta_.size() ? &txn_meta_[id] : nullptr;
+  auto it = txn_meta_overflow_.find(id);
+  return it == txn_meta_overflow_.end() ? nullptr : &it->second;
+}
+
 TransactionManager::Txn& TransactionManager::GetOrCreateTxn(uint64_t id) {
-  auto [it, inserted] = txns_.try_emplace(id);
-  if (inserted) it->second.id = id;
-  return it->second;
+  TxnMeta& meta = MetaSlot(id);
+  if (meta.slot != kNoSlot) return txn_slab_[meta.slot];
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(txn_slab_.size());
+    txn_slab_.emplace_back();
+  }
+  meta.slot = slot;
+  ++live_txns_;
+  Txn& txn = txn_slab_[slot];
+  txn.id = id;
+  txn.in_use = true;
+  return txn;
 }
 
 TransactionManager::Txn* TransactionManager::FindTxn(uint64_t id) {
-  auto it = txns_.find(id);
-  return it == txns_.end() ? nullptr : &it->second;
+  const TxnMeta* meta = FindMeta(id);
+  if (meta == nullptr || meta->slot == kNoSlot) return nullptr;
+  return &txn_slab_[meta->slot];
+}
+
+const TransactionManager::Txn* TransactionManager::FindTxn(uint64_t id) const {
+  const TxnMeta* meta = FindMeta(id);
+  if (meta == nullptr || meta->slot == kNoSlot) return nullptr;
+  return &txn_slab_[meta->slot];
+}
+
+TransactionManager::Session* TransactionManager::FindSession(
+    const net::NodeId& peer) {
+  const uint32_t sid = network_->IdOf(peer);
+  if (sid == net::Network::kNoId || sid >= sessions_.size()) return nullptr;
+  Session& session = sessions_[sid];
+  return session.connected ? &session : nullptr;
+}
+
+TransactionManager::Session& TransactionManager::SessionSlot(
+    const net::NodeId& peer) {
+  const uint32_t sid = network_->InternId(peer);
+  if (sid >= sessions_.size()) sessions_.resize(sid + 1);
+  Session& session = sessions_[sid];
+  if (!session.connected) {
+    session.connected = true;
+    RebuildSessionOrder();
+  }
+  return session;
+}
+
+void TransactionManager::RebuildSessionOrder() {
+  session_order_.clear();
+  for (uint32_t sid = 0; sid < sessions_.size(); ++sid)
+    if (sessions_[sid].connected) session_order_.push_back(sid);
+  std::sort(session_order_.begin(), session_order_.end(),
+            [this](uint32_t a, uint32_t b) {
+              return network_->NameOf(a) < network_->NameOf(b);
+            });
+}
+
+void TransactionManager::AddPeer(Txn& txn, const net::NodeId& peer) {
+  auto it = std::lower_bound(txn.peers.begin(), txn.peers.end(), peer);
+  if (it == txn.peers.end() || *it != peer) txn.peers.insert(it, peer);
+}
+
+bool TransactionManager::HasPeer(const Txn& txn, const net::NodeId& peer) {
+  return std::binary_search(txn.peers.begin(), txn.peers.end(), peer);
 }
 
 void TransactionManager::SendPdu(const net::NodeId& peer, Pdu pdu) {
   TPC_CHECK(up_);
-  auto session_it = sessions_.find(peer);
-  TPC_CHECK(session_it != sessions_.end());
-  Session& session = session_it->second;
+  Session* session_ptr = FindSession(peer);
+  TPC_CHECK(session_ptr != nullptr);
+  Session& session = *session_ptr;
 
   std::vector<Pdu> pdus;
   // Piggyback anything buffered for this peer (long-locks acks, deferred
@@ -102,7 +183,7 @@ void TransactionManager::SendPdu(const net::NodeId& peer, Pdu pdu) {
   // as one commit flow against that transaction. Piggybacked PDUs and app
   // data ride for free (the packet exists anyway) — this matches how the
   // paper credits the long-locks and implied-ack savings.
-  if (protocol_flow) ++costs_[primary_txn].flows_sent;
+  if (protocol_flow) ++MetaSlot(primary_txn).cost.flows_sent;
 
   net::Message msg;
   msg.from = name_;
@@ -117,15 +198,15 @@ void TransactionManager::SendPdu(const net::NodeId& peer, Pdu pdu) {
 }
 
 void TransactionManager::BufferPdu(const net::NodeId& peer, Pdu pdu) {
-  auto session_it = sessions_.find(peer);
-  TPC_CHECK(session_it != sessions_.end());
-  session_it->second.outbox.push_back(std::move(pdu));
+  Session* session = FindSession(peer);
+  TPC_CHECK(session != nullptr);
+  session->outbox.push_back(std::move(pdu));
 }
 
 void TransactionManager::AppendTmRecord(uint64_t txn, wal::RecordType type,
                                         bool force, std::string body,
                                         std::function<void()> done) {
-  auto& cost = costs_[txn];
+  TxnCost& cost = MetaSlot(txn).cost;
   ++cost.tm_log_writes;
   if (force) ++cost.tm_log_forced;
   wal::LogRecord rec;
@@ -156,12 +237,12 @@ uint64_t TransactionManager::Begin() {
 Status TransactionManager::SendWork(uint64_t txn_id, const net::NodeId& peer,
                                     std::string payload) {
   if (!up_) return Status::Unavailable(name_ + " is down");
-  auto session_it = sessions_.find(peer);
-  if (session_it == sessions_.end())
+  Session* session = FindSession(peer);
+  if (session == nullptr)
     return Status::InvalidArgument("no session with " + peer);
   Txn& txn = GetOrCreateTxn(txn_id);
-  txn.peers.insert(peer);
-  session_it->second.suspended_leave_out = false;  // data wakes the server
+  AddPeer(txn, peer);
+  session->suspended_leave_out = false;  // data wakes the server
 
   Pdu pdu;
   pdu.type = PduType::kAppData;
@@ -235,10 +316,12 @@ void TransactionManager::ComputeParticipants(Txn& txn) {
   // OK_TO_LEAVE_OUT in an earlier commit and is suspended since).
   std::set<net::NodeId> existing;
   for (const auto& c : txn.children) existing.insert(c.peer);
-  for (const auto& [peer, session] : sessions_) {
+  for (uint32_t sid : session_order_) {
+    const Session& session = sessions_[sid];
+    const net::NodeId& peer = network_->NameOf(sid);
     if (txn.has_upstream && peer == txn.upstream) continue;
     if (existing.count(peer)) continue;
-    const bool touched = txn.peers.count(peer) > 0;
+    const bool touched = HasPeer(txn, peer);
     bool included = touched;
     if (!included && config_.include_idle_sessions) {
       const bool eligible_leave_out =
@@ -294,9 +377,9 @@ void TransactionManager::ContinuePhaseOne(Txn& txn) {
     sim::Time best_latency = -1;
     for (auto& child : txn.children) {
       if (child.voted) continue;  // vote already in hand (incl. initiator)
-      auto session_it = sessions_.find(child.peer);
-      const bool candidate = session_it != sessions_.end() &&
-                             session_it->second.options.last_agent_candidate;
+      const Session* session = FindSession(child.peer);
+      const bool candidate =
+          session != nullptr && session->options.last_agent_candidate;
       sim::Time latency = network_->LatencyBetween(name_, child.peer);
       if (candidate) latency += 1'000'000'000;  // candidates dominate
       if (latency > best_latency) {
@@ -319,9 +402,8 @@ void TransactionManager::ContinuePhaseOne(Txn& txn) {
     Pdu pdu;
     pdu.type = PduType::kPrepare;
     pdu.txn = id;
-    auto session_it = sessions_.find(child.peer);
-    pdu.long_locks = session_it != sessions_.end() &&
-                     session_it->second.options.long_locks;
+    const Session* session = FindSession(child.peer);
+    pdu.long_locks = session != nullptr && session->options.long_locks;
     SendPdu(child.peer, std::move(pdu));
   }
 
@@ -396,7 +478,7 @@ void TransactionManager::OnVotePdu(const net::NodeId& from, const Pdu& pdu) {
     txn.i_am_last_agent = true;
     txn.initiator_read_only = pdu.vote == rm::Vote::kReadOnly;
     txn.implied_ack_peer = from;
-    txn.peers.insert(from);
+    AddPeer(txn, from);
     // Represent the initiator as an already-prepared child we must send the
     // decision to; its ack is implied by its next message.
     Child initiator;
@@ -417,7 +499,7 @@ void TransactionManager::OnVotePdu(const net::NodeId& from, const Pdu& pdu) {
   Txn& txn = GetOrCreateTxn(pdu.txn);
   if (pdu.unsolicited && txn.phase == Phase::kActive) {
     // Early vote stashed until commit processing starts.
-    txn.peers.insert(from);
+    AddPeer(txn, from);
     Child child;
     child.peer = from;
     child.voted = true;
@@ -497,9 +579,8 @@ void TransactionManager::MaybePhaseOneComplete(Txn& txn) {
       pdu.txn = id;
       pdu.vote = vote;
       pdu.last_agent = true;
-      auto session_it = sessions_.find(t->last_agent_peer);
-      pdu.vote_long_locks = session_it != sessions_.end() &&
-                            session_it->second.options.long_locks;
+      const Session* session = FindSession(t->last_agent_peer);
+      pdu.vote_long_locks = session != nullptr && session->options.long_locks;
       SendPdu(t->last_agent_peer, std::move(pdu));
       if (vote == rm::Vote::kYes) {
         // We are now in doubt: arm the usual in-doubt machinery.
@@ -665,7 +746,7 @@ void TransactionManager::SendDecision(Txn& txn, bool commit) {
     pdu.txn = id;
     pdu.from_last_agent = is_la_initiator;
 
-    auto session_it = sessions_.find(child.peer);
+    const Session* session = FindSession(child.peer);
     const bool buffer_decision =
         is_la_initiator && txn.initiator_requested_long_locks;
     if (buffer_decision) {
@@ -678,15 +759,16 @@ void TransactionManager::SendDecision(Txn& txn, bool commit) {
       SendPdu(child.peer, std::move(pdu));
     }
     if (is_la_initiator && commit && child.vote != rm::Vote::kReadOnly) {
-      sessions_[child.peer].awaiting_implied_ack_txn = id;
+      SessionSlot(child.peer).awaiting_implied_ack_txn = id;
       txn.awaiting_implied_ack = true;
+      session = FindSession(child.peer);  // SessionSlot may grow sessions_
     }
     // Long-locks sessions deliberately defer the ack until the next
     // transaction begins — retrying the decision on a timer would defeat
     // the optimization (and the paper's "application design problem"
     // caveat is exactly that the wait can be unbounded).
     const bool long_locks_session =
-        session_it != sessions_.end() && session_it->second.options.long_locks;
+        session != nullptr && session->options.long_locks;
     if (ack_required && !long_locks_session) ArmAckTimer(txn, child);
   }
 
@@ -765,9 +847,10 @@ void TransactionManager::OnAckPdu(const net::NodeId& from, const Pdu& pdu) {
   if (txn == nullptr) {
     // Late/duplicate ack for a forgotten transaction: fold any damage
     // report into the archive (background wait-for-outcome resolutions).
-    auto it = archive_.find(pdu.txn);
-    if (it != archive_.end() && pdu.damage)
-      it->second.damage_reported_here = true;
+    if (pdu.damage) {
+      TxnMeta& meta = MetaSlot(pdu.txn);
+      if (meta.has_view) meta.view.damage_reported_here = true;
+    }
     return;
   }
   for (auto& child : txn->children) {
@@ -857,7 +940,7 @@ void TransactionManager::WriteEndIfNeeded(Txn& txn, bool force,
 
 void TransactionManager::OnAppData(const net::NodeId& from, const Pdu& pdu) {
   Txn& txn = GetOrCreateTxn(pdu.txn);
-  txn.peers.insert(from);
+  AddPeer(txn, from);
   if (!txn.has_work_source) {
     txn.has_work_source = true;
     txn.work_source = from;
@@ -893,7 +976,7 @@ void TransactionManager::OnPreparePdu(const net::NodeId& from,
   txn.has_upstream = true;
   txn.upstream = from;
   txn.upstream_long_locks = pdu.long_locks;
-  txn.peers.insert(from);
+  AddPeer(txn, from);
 
   if (config_.protocol == ProtocolKind::kPresumedNothing) {
     // PN notes the coordinator's identity as soon as commit processing
@@ -1048,14 +1131,14 @@ void TransactionManager::OnDecisionPdu(const net::NodeId& from,
       Pdu ack;
       ack.type = PduType::kAck;
       ack.txn = pdu.txn;
-      auto it = archive_.find(pdu.txn);
-      if (it != archive_.end()) {
-        const Outcome o = it->second.outcome;
+      const TxnMeta* meta = FindMeta(pdu.txn);
+      if (meta != nullptr && meta->has_view) {
+        const Outcome o = meta->view.outcome;
         ack.heur_commit = o == Outcome::kHeuristicCommitted;
         ack.heur_abort = o == Outcome::kHeuristicAborted;
         ack.damage = (commit && o == Outcome::kHeuristicAborted) ||
                      (!commit && o == Outcome::kHeuristicCommitted) ||
-                     it->second.damage_reported_here;
+                     meta->view.damage_reported_here;
       }
       SendPdu(from, std::move(ack));
     }
@@ -1402,9 +1485,9 @@ void TransactionManager::OnInquiryPdu(const net::NodeId& from,
   } else if (txn != nullptr) {
     reply.answer = InquiryAnswer::kInDoubt;
   } else {
-    auto it = archive_.find(pdu.txn);
-    if (it != archive_.end()) {
-      reply.answer = CommittedEffects(it->second.outcome)
+    const TxnMeta* meta = FindMeta(pdu.txn);
+    if (meta != nullptr && meta->has_view) {
+      reply.answer = CommittedEffects(meta->view.outcome)
                          ? InquiryAnswer::kCommitted
                          : InquiryAnswer::kAborted;
     } else if (config_.protocol == ProtocolKind::kPresumedAbort) {
@@ -1483,7 +1566,6 @@ void TransactionManager::Forget(Txn& txn) {
                         (!txn.commit_decision && txn.heur_commit) ||
                         txn.damage;
   view.damage_reported_here = mismatch;
-  archive_[txn.id] = view;
 
   // A committed transaction whose subordinate voted OK_TO_LEAVE_OUT
   // suspends that session (leave-out bookkeeping; the vote is a protected
@@ -1491,18 +1573,28 @@ void TransactionManager::Forget(Txn& txn) {
   if (txn.commit_decision) {
     for (const auto& child : txn.children) {
       if (child.voted && child.ok_leave_out) {
-        auto it = sessions_.find(child.peer);
-        if (it != sessions_.end()) it->second.suspended_leave_out = true;
+        Session* session = FindSession(child.peer);
+        if (session != nullptr) session->suspended_leave_out = true;
       }
     }
   }
-  txns_.erase(txn.id);
+
+  TxnMeta& meta = MetaSlot(txn.id);
+  meta.has_view = true;
+  meta.view = view;
+  const uint32_t slot = meta.slot;
+  meta.slot = kNoSlot;
+  --live_txns_;
+  // Reset the slab entry in place so captured closures and strings release
+  // now, exactly where the old map erase destroyed them.
+  txn_slab_[slot] = Txn{};
+  free_slots_.push_back(slot);
 }
 
 void TransactionManager::NoteImpliedAck(const net::NodeId& from) {
-  auto session_it = sessions_.find(from);
-  if (session_it == sessions_.end()) return;
-  Session& session = session_it->second;
+  Session* session_ptr = FindSession(from);
+  if (session_ptr == nullptr) return;
+  Session& session = *session_ptr;
   if (session.awaiting_implied_ack_txn == 0) return;
   const uint64_t id = session.awaiting_implied_ack_txn;
   session.awaiting_implied_ack_txn = 0;
@@ -1570,9 +1662,18 @@ void TransactionManager::Crash() {
   up_ = false;
   ++epoch_;
   ctx_->trace().Add({ctx_->now(), sim::TraceKind::kCrash, name_, "", 0, ""});
-  for (auto& [id, txn] : txns_) CancelTimers(txn);
-  txns_.clear();
-  for (auto& [peer, session] : sessions_) {
+  // Free every live slot. The archive views in TxnMeta survive the crash,
+  // as the old separate archive_ map did.
+  for (uint32_t slot = 0; slot < txn_slab_.size(); ++slot) {
+    Txn& txn = txn_slab_[slot];
+    if (!txn.in_use) continue;
+    CancelTimers(txn);
+    MetaSlot(txn.id).slot = kNoSlot;
+    txn_slab_[slot] = Txn{};
+    free_slots_.push_back(slot);
+  }
+  live_txns_ = 0;
+  for (Session& session : sessions_) {
     session.outbox.clear();
     session.awaiting_implied_ack_txn = 0;
   }
@@ -1659,7 +1760,9 @@ void TransactionManager::RecoverFromLog() {
                      : img.committed ? Outcome::kCommitted
                      : img.aborted   ? Outcome::kAborted
                                      : Outcome::kCommitted;
-      archive_[id] = view;
+      TxnMeta& meta = MetaSlot(id);
+      meta.has_view = true;
+      meta.view = view;
       continue;
     }
 
@@ -1692,7 +1795,9 @@ void TransactionManager::RecoverFromLog() {
       const bool pa = config_.protocol == ProtocolKind::kPresumedAbort;
       if (!commit && pa) {
         // PA abort leaves nothing to resume (abort records are advisory).
-        archive_[id] = TxnView{Outcome::kAborted, false};
+        TxnMeta& meta = MetaSlot(id);
+        meta.has_view = true;
+        meta.view = TxnView{Outcome::kAborted, false};
         for (auto* rm : rms_)
           if (rm->InDoubt(id)) rm->ResolveRecovered(id, false);
         continue;
@@ -1824,36 +1929,34 @@ void TransactionManager::ScheduleRecoveryRetry(uint64_t id) {
 // ---------------------------------------------------------------------------
 
 TxnView TransactionManager::View(uint64_t id) const {
-  auto it = txns_.find(id);
-  if (it != txns_.end()) {
+  if (const Txn* txn = FindTxn(id)) {
     TxnView view;
-    view.outcome = it->second.outcome;
-    const Txn& txn = it->second;
-    view.damage_reported_here = txn.damage ||
-                                (txn.decided && txn.commit_decision &&
-                                 txn.heur_abort) ||
-                                (txn.decided && !txn.commit_decision &&
-                                 txn.heur_commit);
+    view.outcome = txn->outcome;
+    view.damage_reported_here = txn->damage ||
+                                (txn->decided && txn->commit_decision &&
+                                 txn->heur_abort) ||
+                                (txn->decided && !txn->commit_decision &&
+                                 txn->heur_commit);
     return view;
   }
-  auto archived = archive_.find(id);
-  if (archived != archive_.end()) return archived->second;
+  const TxnMeta* meta = FindMeta(id);
+  if (meta != nullptr && meta->has_view) return meta->view;
   return TxnView{};
 }
 
 TxnCost TransactionManager::CostOf(uint64_t txn) const {
-  auto it = costs_.find(txn);
-  return it == costs_.end() ? TxnCost{} : it->second;
+  const TxnMeta* meta = FindMeta(txn);
+  return meta == nullptr ? TxnCost{} : meta->cost;
 }
 
 bool TransactionManager::Knows(uint64_t txn) const {
-  return txns_.count(txn) > 0;
+  return FindTxn(txn) != nullptr;
 }
 
 size_t TransactionManager::InDoubtCount() const {
   size_t n = 0;
-  for (const auto& [id, txn] : txns_)
-    if (txn.phase == Phase::kInDoubt) ++n;
+  for (const Txn& txn : txn_slab_)
+    if (txn.in_use && txn.phase == Phase::kInDoubt) ++n;
   return n;
 }
 

@@ -22,10 +22,9 @@
 #define TPC_TM_TRANSACTION_MANAGER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -187,7 +186,7 @@ class TransactionManager : public net::Endpoint {
   size_t InDoubtCount() const;
 
   /// Number of transactions currently tracked (for checkpoint safety).
-  size_t ActiveTxnCount() const { return txns_.size(); }
+  size_t ActiveTxnCount() const { return live_txns_; }
 
   rm::KVResourceManager* rm(size_t index) { return rms_.at(index); }
   size_t rm_count() const { return rms_.size(); }
@@ -221,6 +220,7 @@ class TransactionManager : public net::Endpoint {
 
   struct Txn {
     uint64_t id = 0;
+    bool in_use = false;  ///< slab slot is live (vs free-listed)
     Phase phase = Phase::kActive;
     Outcome outcome = Outcome::kActive;
     bool is_root = false;
@@ -229,7 +229,9 @@ class TransactionManager : public net::Endpoint {
     bool has_work_source = false;
     net::NodeId work_source;  ///< peer whose data enrolled us (requester)
     std::vector<Child> children;
-    std::set<net::NodeId> peers;  ///< peers with data exchange this txn
+    /// Peers with data exchange this txn; kept sorted (AddPeer/HasPeer) so
+    /// iteration matches the std::set order the protocol was built on.
+    std::vector<net::NodeId> peers;
 
     // Phase-one aggregation.
     size_t votes_outstanding = 0;
@@ -299,6 +301,9 @@ class TransactionManager : public net::Endpoint {
 
   struct Session {
     SessionOptions options;
+    /// Slot corresponds to a declared session (sessions_ is indexed by the
+    /// network's dense node ids, so unconnected ids leave holes).
+    bool connected = false;
     /// Peer is suspended after voting OK_TO_LEAVE_OUT (may be left out).
     bool suspended_leave_out = false;
     /// Outbound PDUs buffered for piggybacking (long-locks acks).
@@ -307,9 +312,34 @@ class TransactionManager : public net::Endpoint {
     uint64_t awaiting_implied_ack_txn = 0;
   };
 
+  /// Everything keyed by transaction id, folded into one dense slot: the
+  /// live transaction's slab index (kNoSlot once forgotten), the archived
+  /// verdict kept for audits/inquiries after END, and the cost counters.
+  struct TxnMeta {
+    uint32_t slot = UINT32_MAX;  // == kNoSlot
+    bool has_view = false;       ///< archived verdict present
+    TxnView view;
+    TxnCost cost;
+  };
+
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+  /// Ids below this index a vector directly; beyond it, an overflow map.
+  static constexpr uint64_t kDenseTxnIds = 1ull << 22;
+
   // --- plumbing -------------------------------------------------------------
+  TxnMeta& MetaSlot(uint64_t id);
+  const TxnMeta* FindMeta(uint64_t id) const;
   Txn& GetOrCreateTxn(uint64_t id);
   Txn* FindTxn(uint64_t id);
+  const Txn* FindTxn(uint64_t id) const;
+  /// The session slot for `peer`, or nullptr if none was ever declared.
+  Session* FindSession(const net::NodeId& peer);
+  /// The session slot for `peer`, creating (and connecting) it if absent —
+  /// mirrors the seed's operator[] insertion semantics.
+  Session& SessionSlot(const net::NodeId& peer);
+  void RebuildSessionOrder();
+  static void AddPeer(Txn& txn, const net::NodeId& peer);
+  static bool HasPeer(const Txn& txn, const net::NodeId& peer);
   void SendPdu(const net::NodeId& peer, Pdu pdu);
   void BufferPdu(const net::NodeId& peer, Pdu pdu);
   void AppendTmRecord(uint64_t txn, wal::RecordType type, bool force,
@@ -365,13 +395,25 @@ class TransactionManager : public net::Endpoint {
   uint64_t epoch_ = 0;  ///< bumped on crash; stale timer closures no-op
 
   std::vector<rm::KVResourceManager*> rms_;
-  std::map<net::NodeId, Session> sessions_;
-  std::unordered_map<uint64_t, Txn> txns_;
 
-  // Forgotten-transaction verdicts kept for audits/inquiries after END.
-  std::unordered_map<uint64_t, TxnView> archive_;
+  // Sessions live in a flat vector indexed by the network's dense node ids;
+  // lookups by peer are one interner probe plus an index, no tree walk.
+  // session_order_ lists the connected ids sorted by peer name so
+  // participant computation iterates in the same (name-lexicographic) order
+  // the old std::map gave — that order is trace-visible.
+  std::vector<Session> sessions_;
+  std::vector<uint32_t> session_order_;
 
-  std::unordered_map<uint64_t, TxnCost> costs_;
+  // Live transactions sit in a slab (deque: references stay stable while it
+  // grows) with freed slots recycled through a free list. TxnMeta maps the
+  // id to its slot and carries the archive view and cost counters, so one
+  // dense index serves what used to be three hash maps.
+  std::deque<Txn> txn_slab_;
+  std::vector<uint32_t> free_slots_;
+  size_t live_txns_ = 0;
+  std::vector<TxnMeta> txn_meta_;
+  std::unordered_map<uint64_t, TxnMeta> txn_meta_overflow_;
+
   AppDataHandler on_app_data_;
 };
 

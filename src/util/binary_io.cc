@@ -9,26 +9,13 @@ void Encoder::PutU16(uint16_t v) {
   PutU8(static_cast<uint8_t>(v >> 8));
 }
 
-void Encoder::PutU32(uint32_t v) {
-  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
-}
+void Encoder::PutU32(uint32_t v) { AppendU32(buf_, v); }
 
-void Encoder::PutU64(uint64_t v) {
-  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
-}
+void Encoder::PutU64(uint64_t v) { AppendU64(buf_, v); }
 
-void Encoder::PutVarint(uint64_t v) {
-  while (v >= 0x80) {
-    PutU8(static_cast<uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  PutU8(static_cast<uint8_t>(v));
-}
+void Encoder::PutVarint(uint64_t v) { AppendVarint(buf_, v); }
 
-void Encoder::PutString(std::string_view s) {
-  PutVarint(s.size());
-  buf_.append(s.data(), s.size());
-}
+void Encoder::PutString(std::string_view s) { AppendLengthPrefixed(buf_, s); }
 
 Status Decoder::GetU8(uint8_t* v) {
   if (data_.empty()) return Status::Corruption("decode underflow (u8)");

@@ -12,6 +12,75 @@
 
 namespace tpc {
 
+// --- In-place append helpers ------------------------------------------------
+// Hot paths (WAL record encoding) append straight into an existing buffer,
+// skipping the temporary string an owned Encoder would cost. Encoder's Put*
+// methods delegate to these, so there is one encoding implementation.
+
+inline void AppendU8(std::string& buf, uint8_t v) {
+  buf.push_back(static_cast<char>(v));
+}
+
+inline void AppendU32(std::string& buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) AppendU8(buf, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+inline void AppendU64(std::string& buf, uint64_t v) {
+  for (int i = 0; i < 8; ++i) AppendU8(buf, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+inline void AppendVarint(std::string& buf, uint64_t v) {
+  while (v >= 0x80) {
+    AppendU8(buf, static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  AppendU8(buf, static_cast<uint8_t>(v));
+}
+
+/// Length-prefixed (varint) byte string.
+inline void AppendLengthPrefixed(std::string& buf, std::string_view s) {
+  AppendVarint(buf, s.size());
+  buf.append(s.data(), s.size());
+}
+
+/// Overwrites 4 bytes at `pos` with the little-endian encoding of `v`
+/// (header patching: reserve, encode the body, patch length/checksum).
+inline void PatchU32(std::string& buf, size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf[pos + i] = static_cast<char>(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+// --- Raw-pointer writers ----------------------------------------------------
+// For encoders that size their output up front (one resize, no per-field
+// capacity checks) and then write fields directly.
+
+/// Encoded size of the LEB128 varint of `v` (1..10 bytes).
+inline size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Writes the LEB128 varint of `v` at `dst`; returns bytes written.
+inline size_t PutVarintTo(char* dst, uint64_t v) {
+  size_t n = 0;
+  while (v >= 0x80) {
+    dst[n++] = static_cast<char>(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  dst[n++] = static_cast<char>(static_cast<uint8_t>(v));
+  return n;
+}
+
+/// Writes the 4-byte little-endian encoding of `v` at `dst`.
+inline void PutU32To(char* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    dst[i] = static_cast<char>(static_cast<uint8_t>(v >> (8 * i)));
+}
+
 /// Appends encoded fields to an owned buffer.
 class Encoder {
  public:

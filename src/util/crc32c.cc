@@ -1,32 +1,56 @@
 #include "util/crc32c.h"
 
 #include <array>
+#include <cstring>
 
 namespace tpc::crc32c {
 namespace {
 
 constexpr uint32_t kPoly = 0x82f63b78u;  // reflected CRC32C polynomial
 
-constexpr std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+// Slice-by-8 tables: kTables[0] is the classic byte-at-a-time table;
+// kTables[j][b] advances byte b through j additional zero bytes, letting
+// Extend fold eight input bytes per iteration instead of one. The CRC
+// values produced are identical to the byte-at-a-time algorithm.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int k = 0; k < 8; ++k)
       crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (int j = 1; j < 8; ++j)
+    for (uint32_t i = 0; i < 256; ++i)
+      tables[j][i] =
+          (tables[j - 1][i] >> 8) ^ tables[0][tables[j - 1][i] & 0xff];
+  return tables;
 }
 
-constexpr auto kTable = MakeTable();
+constexpr auto kTables = MakeTables();
 
 }  // namespace
 
 uint32_t Extend(uint32_t init_crc, const void* data, size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t crc = init_crc ^ 0xffffffffu;
+  // Eight bytes per iteration. The two 32-bit loads assume little-endian
+  // byte order (the platforms this simulator targets); the byte-at-a-time
+  // tail below is the reference algorithm and handles any length.
+  while (n >= 8) {
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    crc ^= lo;
+    crc = kTables[7][crc & 0xff] ^ kTables[6][(crc >> 8) & 0xff] ^
+          kTables[5][(crc >> 16) & 0xff] ^ kTables[4][crc >> 24] ^
+          kTables[3][hi & 0xff] ^ kTables[2][(hi >> 8) & 0xff] ^
+          kTables[1][(hi >> 16) & 0xff] ^ kTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
   for (size_t i = 0; i < n; ++i)
-    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    crc = kTables[0][(crc ^ p[i]) & 0xff] ^ (crc >> 8);
   return crc ^ 0xffffffffu;
 }
 

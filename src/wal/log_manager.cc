@@ -10,23 +10,39 @@ LogManager::LogManager(sim::SimContext* ctx, std::string node,
                        sim::Time force_latency)
     : ctx_(ctx), node_(std::move(node)), storage_(ctx, force_latency) {}
 
+LogWriteStats& LogManager::TxnSlot(uint64_t txn) {
+  if (txn < kDenseTxnIds) {
+    if (txn >= txn_stats_.size()) {
+      size_t want = static_cast<size_t>(txn) + 1;
+      if (want < txn_stats_.size() * 2) want = txn_stats_.size() * 2;
+      txn_stats_.resize(want);
+    }
+    return txn_stats_[txn];
+  }
+  return txn_overflow_[txn];
+}
+
 Lsn LogManager::Append(const LogRecord& record, bool force,
                        AppendCallback done) {
-  std::string encoded = record.Encode();
+  const size_t start = buffer_.size();
+  record.EncodeTo(buffer_);  // in place: no temporary encode buffer
   Lsn lsn = next_lsn_;
-  next_lsn_ += encoded.size();
-  buffer_ += encoded;
+  next_lsn_ += buffer_.size() - start;
 
   ++stats_.writes;
-  auto& ts = txn_stats_[record.txn];
+  LogWriteStats& ts = TxnSlot(record.txn);
   ++ts.writes;
-  auto& os = owner_stats_[record.owner];
+  const uint32_t owner = owner_ids_.Intern(record.owner);
+  if (owner >= owner_stats_.size()) owner_stats_.resize(owner + 1);
+  LogWriteStats& os = owner_stats_[owner];
   ++os.writes;
 
-  ctx_->trace().Add({ctx_->now(),
-                     force ? sim::TraceKind::kLogForce : sim::TraceKind::kLogWrite,
-                     node_, "", record.txn,
-                     std::string(RecordTypeToString(record.type))});
+  if (ctx_->trace().capturing()) {
+    ctx_->trace().Add({ctx_->now(),
+                       force ? sim::TraceKind::kLogForce : sim::TraceKind::kLogWrite,
+                       node_, "", record.txn,
+                       std::string(RecordTypeToString(record.type))});
+  }
 
   if (force) {
     ++stats_.forced_writes;
@@ -108,19 +124,24 @@ void LogManager::DiscardPrefix(Lsn lsn) {
 }
 
 LogWriteStats LogManager::StatsForTxn(uint64_t txn) const {
-  auto it = txn_stats_.find(txn);
-  return it == txn_stats_.end() ? LogWriteStats{} : it->second;
+  if (txn < kDenseTxnIds)
+    return txn < txn_stats_.size() ? txn_stats_[txn] : LogWriteStats{};
+  auto it = txn_overflow_.find(txn);
+  return it == txn_overflow_.end() ? LogWriteStats{} : it->second;
 }
 
 LogWriteStats LogManager::StatsForOwner(const std::string& owner) const {
-  auto it = owner_stats_.find(owner);
-  return it == owner_stats_.end() ? LogWriteStats{} : it->second;
+  const uint32_t id = owner_ids_.Find(owner);
+  if (id == StringInterner::kNotFound || id >= owner_stats_.size())
+    return LogWriteStats{};
+  return owner_stats_[id];
 }
 
 void LogManager::ResetStats() {
   stats_ = LogWriteStats{};
   txn_stats_.clear();
-  owner_stats_.clear();
+  txn_overflow_.clear();
+  owner_stats_.clear();  // owner ids stay interned; slots refill on demand
 }
 
 }  // namespace tpc::wal

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/sim_context.h"
+#include "util/interner.h"
 #include "wal/log_record.h"
 #include "wal/stable_storage.h"
 
@@ -97,8 +98,13 @@ class LogManager {
   StableStorage& storage() { return storage_; }
 
  private:
+  // Txn ids below this index the dense stats vector directly (simulation
+  // ids are dense, starting at 1); the overflow map is for synthetic ids.
+  static constexpr uint64_t kDenseTxnIds = 1ull << 22;
+
   void RequestForce(AppendCallback done);
   void Flush();
+  LogWriteStats& TxnSlot(uint64_t txn);
 
   sim::SimContext* ctx_;
   std::string node_;
@@ -114,8 +120,13 @@ class LogManager {
   uint64_t epoch_ = 0;
 
   LogWriteStats stats_;
-  std::unordered_map<uint64_t, LogWriteStats> txn_stats_;
-  std::unordered_map<std::string, LogWriteStats> owner_stats_;
+  // Per-txn counters in a flat vector indexed by txn id; per-owner counters
+  // in a flat vector indexed by interned owner tag. The append hot path
+  // performs no string hashing beyond the one owner-tag intern probe.
+  std::vector<LogWriteStats> txn_stats_;
+  std::unordered_map<uint64_t, LogWriteStats> txn_overflow_;
+  StringInterner owner_ids_;
+  std::vector<LogWriteStats> owner_stats_;
 };
 
 }  // namespace tpc::wal

@@ -1,5 +1,7 @@
 #include "wal/log_record.h"
 
+#include <cstring>
+
 #include "util/binary_io.h"
 #include "util/crc32c.h"
 
@@ -27,25 +29,38 @@ bool IsTmRecord(RecordType type) {
   return static_cast<uint8_t>(type) < static_cast<uint8_t>(RecordType::kRmUpdate);
 }
 
-std::string LogRecord::Encode() const {
-  Encoder body_enc;
-  body_enc.PutU8(static_cast<uint8_t>(type));
-  body_enc.PutVarint(txn);
-  body_enc.PutString(owner);
-  body_enc.PutString(body);
-  const std::string& inner = body_enc.buffer();
+void LogRecord::EncodeTo(std::string& out) const {
+  // Size the whole record up front so the buffer grows (and checks
+  // capacity) exactly once, then write every field through raw pointers.
+  const size_t header = out.size();
+  const uint32_t len =
+      static_cast<uint32_t>(1 + VarintLength(txn) + VarintLength(owner.size()) +
+                            owner.size() + VarintLength(body.size()) +
+                            body.size());
+  out.resize(header + 8 + len);
+  char* base = out.data() + header;
+  char* p = base + 8;  // crc + len, patched once the body is in place
+  *p++ = static_cast<char>(type);
+  p += PutVarintTo(p, txn);
+  p += PutVarintTo(p, owner.size());
+  std::memcpy(p, owner.data(), owner.size());
+  p += owner.size();
+  p += PutVarintTo(p, body.size());
+  std::memcpy(p, body.data(), body.size());
+  PutU32To(base, crc32c::Mask(crc32c::Value(base + 8, len)));
+  PutU32To(base + 4, len);
+}
 
-  Encoder out;
-  out.PutU32(crc32c::Mask(crc32c::Value(inner)));
-  out.PutU32(static_cast<uint32_t>(inner.size()));
-  std::string buf = out.Release();
-  buf += inner;
-  return buf;
+std::string LogRecord::Encode() const {
+  std::string out;
+  EncodeTo(out);
+  return out;
 }
 
 Result<LogRecord> DecodeRecord(std::string_view data, size_t* offset) {
   size_t pos = *offset;
-  if (data.size() - pos < 8) return Status::Corruption("truncated header");
+  if (pos > data.size() || data.size() - pos < 8)
+    return Status::Corruption("truncated header");
   Decoder hdr(data.substr(pos, 8));
   uint32_t masked_crc = 0, len = 0;
   TPC_RETURN_IF_ERROR(hdr.GetU32(&masked_crc));

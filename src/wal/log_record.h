@@ -62,6 +62,12 @@ struct LogRecord {
 
   /// Serializes to the on-disk format.
   std::string Encode() const;
+
+  /// Appends the on-disk encoding to `out` with no temporary: the header is
+  /// reserved, the body encoded in place, and the CRC computed over the
+  /// in-place bytes before being patched into the header. This is the log
+  /// manager's hot path — one record append touches only `out`.
+  void EncodeTo(std::string& out) const;
 };
 
 /// Decodes one record starting at data[*offset]; advances *offset past it.
