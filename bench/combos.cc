@@ -51,7 +51,7 @@ tm::TxnCost RunCombo(const Combo& combo) {
     const bool unsolicited = combo.unsolicited && i == 1;
     c.tm(name).SetAppDataHandler(
         [&c, name, writes, unsolicited](uint64_t txn, const net::NodeId&,
-                                        const std::string&) {
+                                        std::string_view) {
           if (!writes) {
             c.tm(name).Read(txn, 0, "x", [](Result<std::string>) {});
             return;

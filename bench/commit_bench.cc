@@ -1,0 +1,196 @@
+// End-to-end commit throughput: simulated commits per wall-clock second for
+// each protocol on a coordinator + 2 subordinates cell, with the messaging
+// layer on the pooled zero-allocation path vs the frozen seed string path
+// (TmConfig::legacy_string_messaging). Protocol behavior is identical on
+// both paths — the delta is pure messaging overhead: per-message strings,
+// EncodePdus/DecodePdus temporaries, and by-name lookups.
+//
+// Emits BENCH_commit.json (one cell per protocol x path, plus a speedup
+// metric on each pooled cell); tools/bench_diff.py gates regressions on the
+// speedups in CI.
+//
+// Usage: commit_bench [txns]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/bench_report.h"
+#include "harness/cluster.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace tpc;
+using harness::Cluster;
+using harness::NodeOptions;
+
+struct ProtocolConfig {
+  const char* name;
+  NodeOptions options;
+};
+
+std::vector<ProtocolConfig> Protocols() {
+  std::vector<ProtocolConfig> configs;
+
+  ProtocolConfig basic;
+  basic.name = "basic2pc";
+  basic.options.tm.protocol = tm::ProtocolKind::kBasic2PC;
+  configs.push_back(basic);
+
+  ProtocolConfig pa;
+  pa.name = "presumed_abort";
+  pa.options.tm.protocol = tm::ProtocolKind::kPresumedAbort;
+  configs.push_back(pa);
+
+  ProtocolConfig pn;
+  pn.name = "presumed_nothing";
+  pn.options.tm.protocol = tm::ProtocolKind::kPresumedNothing;
+  configs.push_back(pn);
+
+  // Combined optimizations: last agent + read-only voters on PA.
+  ProtocolConfig combo;
+  combo.name = "pa_last_agent_ro";
+  combo.options.tm.protocol = tm::ProtocolKind::kPresumedAbort;
+  combo.options.tm.last_agent_opt = true;
+  combo.options.tm.read_only_opt = true;
+  configs.push_back(combo);
+
+  return configs;
+}
+
+struct RunResult {
+  uint64_t txns = 0;
+  double wall_seconds = 0;
+  double commits_per_sec = 0;
+};
+
+// Conversation traffic per transaction: the paper's commercial transactions
+// exchange a batch of data flows with each participant (screens, rows, SQL)
+// before the commit protocol runs. These flows are where the string path
+// pays: each one costs it an EncodePdus temporary, a payload copy at the
+// network boundary, and a DecodePdus re-allocation on delivery.
+constexpr int kWorkFlowsPerSub = 32;
+constexpr size_t kWorkFlowBytes = 16384;
+
+// One coordinator + two subordinates; s1 writes, s2 reads (so the
+// read-only combo cell actually exercises the RO vote path). Every
+// transaction ships its conversation flows, then runs the full
+// distributed commit.
+RunResult RunCommits(const NodeOptions& options, bool legacy, uint64_t txns) {
+  Cluster c;
+  NodeOptions node = options;
+  node.tm.legacy_string_messaging = legacy;
+  c.AddNode("coord", node);
+  c.AddNode("s1", node);
+  c.AddNode("s2", node);
+  c.Connect("coord", "s1");
+  c.Connect("coord", "s2");
+  c.network().set_tracing(false);
+  c.ctx().trace().set_capture(false);
+
+  // "w"/"r" open the conversation and pick the subordinate's role; the bulk
+  // flows that follow model the rest of the exchange and need no action.
+  c.tm("s1").SetAppDataHandler(
+      [&c](uint64_t txn, const net::NodeId&, std::string_view op) {
+        if (op == "w") {
+          c.tm("s1").Write(txn, 0, "s", "v",
+                           [](Status st) { TPC_CHECK(st.ok()); });
+        }
+      });
+  c.tm("s2").SetAppDataHandler(
+      [&c](uint64_t txn, const net::NodeId&, std::string_view op) {
+        if (op == "r") {
+          c.tm("s2").Read(txn, 0, "s", [](Result<std::string>) {});
+        }
+      });
+
+  const std::string bulk(kWorkFlowBytes, 'd');
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < txns; ++i) {
+    uint64_t txn = c.tm("coord").Begin();
+    c.tm("coord").Write(txn, 0, "k", "v",
+                        [](Status st) { TPC_CHECK(st.ok()); });
+    TPC_CHECK(c.tm("coord").SendWork(txn, "s1", "w").ok());
+    TPC_CHECK(c.tm("coord").SendWork(txn, "s2", "r").ok());
+    for (int f = 1; f < kWorkFlowsPerSub; ++f) {
+      TPC_CHECK(c.tm("coord").SendWork(txn, "s1", bulk).ok());
+      TPC_CHECK(c.tm("coord").SendWork(txn, "s2", bulk).ok());
+    }
+    c.Drain();
+    harness::DrivenCommit commit = c.CommitAndWait("coord", txn);
+    TPC_CHECK(commit.completed);
+    TPC_CHECK(commit.result.outcome == tm::Outcome::kCommitted);
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+
+  RunResult r;
+  r.txns = txns;
+  r.wall_seconds = wall.count();
+  r.commits_per_sec = r.wall_seconds > 0 ? txns / r.wall_seconds : 0;
+  return r;
+}
+
+// Warm up once per path, then alternate pooled/legacy reps and keep the
+// best of each — interleaving keeps machine noise from landing entirely on
+// one side of the comparison (see lock_bench for the best-of rationale).
+std::pair<RunResult, RunResult> BestOfPair(const NodeOptions& options,
+                                           uint64_t txns, int reps) {
+  RunCommits(options, /*legacy=*/false, txns / 4);
+  RunCommits(options, /*legacy=*/true, txns / 4);
+  RunResult pooled, legacy;
+  for (int i = 0; i < reps; ++i) {
+    RunResult p = RunCommits(options, /*legacy=*/false, txns);
+    if (p.commits_per_sec > pooled.commits_per_sec) pooled = p;
+    RunResult l = RunCommits(options, /*legacy=*/true, txns);
+    if (l.commits_per_sec > legacy.commits_per_sec) legacy = l;
+  }
+  return {pooled, legacy};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t txns = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+
+  harness::BenchReport report("commit");
+  std::printf(
+      "end-to-end commits (coordinator + 2 subordinates, %llu txns/run,\n"
+      "%d x %zu-byte work flows per subordinate, best of 3):\n"
+      "pooled zero-allocation messaging vs seed string path\n\n",
+      static_cast<unsigned long long>(txns), kWorkFlowsPerSub,
+      kWorkFlowBytes);
+
+  for (const ProtocolConfig& config : Protocols()) {
+    auto [pooled, legacy] = BestOfPair(config.options, txns, 3);
+    const double speedup = legacy.commits_per_sec > 0
+                               ? pooled.commits_per_sec / legacy.commits_per_sec
+                               : 0.0;
+
+    harness::SweepCell pooled_cell;
+    pooled_cell.label = std::string(config.name) + " pooled";
+    pooled_cell.txns = pooled.txns;
+    pooled_cell.Add("commits_per_sec", pooled.commits_per_sec);
+    pooled_cell.Add("wall_seconds", pooled.wall_seconds);
+    pooled_cell.Add("speedup_vs_legacy", speedup);
+    report.AddCell(pooled_cell);
+
+    harness::SweepCell legacy_cell;
+    legacy_cell.label = std::string(config.name) + " legacy";
+    legacy_cell.txns = legacy.txns;
+    legacy_cell.Add("commits_per_sec", legacy.commits_per_sec);
+    legacy_cell.Add("wall_seconds", legacy.wall_seconds);
+    report.AddCell(legacy_cell);
+
+    std::printf("  %-18s pooled %8.0f commits/s  legacy %8.0f  (%.2fx)\n",
+                config.name, pooled.commits_per_sec, legacy.commits_per_sec,
+                speedup);
+  }
+
+  std::printf("\n%s\n", report.Summary().c_str());
+  std::printf("wrote %s\n", report.WriteJson().c_str());
+  return 0;
+}

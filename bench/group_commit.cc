@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     c.network().set_default_latency(100);
     c.network().set_tracing(false);
     c.tm("sub").SetAppDataHandler(
-        [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+        [&c](uint64_t txn, const net::NodeId&, std::string_view) {
           c.tm("sub").Write(txn, 0, "s" + std::to_string(txn), "v",
                             [](Status st) { TPC_CHECK(st.ok()); });
         });

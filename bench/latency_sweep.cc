@@ -55,7 +55,7 @@ harness::SweepCell RunOne(const Config& config, sim::Time far_latency) {
   for (const std::string node : {"near", "far"}) {
     c.tm(node).SetAppDataHandler(
         [&c, node, unsolicited](uint64_t txn, const net::NodeId&,
-                                const std::string&) {
+                                std::string_view) {
           c.tm(node).Write(txn, 0, node + "_key", "v",
                            [&c, node, txn, unsolicited](Status st) {
             TPC_CHECK(st.ok());

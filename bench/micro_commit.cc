@@ -21,7 +21,7 @@ void RunCommits(benchmark::State& state, NodeOptions options,
   c.Connect("coord", "sub", coord_session, {});
   c.network().set_tracing(false);
   c.tm("sub").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("sub").Write(txn, 0, "s", "v",
                           [](Status st) { TPC_CHECK(st.ok()); });
       });
@@ -87,7 +87,7 @@ void BM_CommitStarN(benchmark::State& state) {
     c.AddNode(name, options);
     c.Connect("root", name);
     c.tm(name).SetAppDataHandler(
-        [&c, name](uint64_t txn, const net::NodeId&, const std::string&) {
+        [&c, name](uint64_t txn, const net::NodeId&, std::string_view) {
           c.tm(name).Write(txn, 0, name, "v",
                            [](Status st) { TPC_CHECK(st.ok()); });
         });

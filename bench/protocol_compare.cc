@@ -31,7 +31,7 @@ RunResult RunOne(ProtocolKind protocol, bool abort_case) {
   c.AddNode("sub", options);
   c.Connect("coord", "sub");
   c.tm("sub").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("sub").Write(txn, 0, "s", "v",
                           [](Status st) { TPC_CHECK(st.ok()); });
       });

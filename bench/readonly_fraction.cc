@@ -43,7 +43,7 @@ harness::SweepCell RunMix(bool read_only_opt, double ro_fraction,
   // the payload: "w" = write, "r" = read only.
   for (const std::string node : {"s1", "s2"}) {
     c.tm(node).SetAppDataHandler(
-        [&c, node](uint64_t txn, const net::NodeId&, const std::string& op) {
+        [&c, node](uint64_t txn, const net::NodeId&, std::string_view op) {
           if (op == "w") {
             c.tm(node).Write(txn, 0, "k" + std::to_string(txn), "v",
                              [](Status st) { TPC_CHECK(st.ok()); });

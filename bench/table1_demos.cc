@@ -35,7 +35,7 @@ NodeOptions Pa() {
 
 void AttachWriter(Cluster& c, const std::string& node) {
   c.tm(node).SetAppDataHandler(
-      [&c, node](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c, node](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm(node).Write(txn, 0, node + "_key", "v",
                          [](Status st) { TPC_CHECK(st.ok()); });
       });
@@ -54,7 +54,7 @@ void DemoReadOnly() {
     // Slow the commit down so the early release is observable.
     c.network().SetLinkLatency("coord", "ro", 100 * sim::kMillisecond);
     c.tm("ro").SetAppDataHandler(
-        [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+        [&c](uint64_t txn, const net::NodeId&, std::string_view) {
           c.tm("ro").Read(txn, 0, "shared", [](Result<std::string>) {});
         });
     uint64_t txn = c.tm("coord").Begin();
@@ -87,11 +87,11 @@ void DemoReadOnly() {
     c.network().SetLinkLatency("coord", "pb", 300 * sim::kMillisecond);
     std::string observed_at_pb;
     c.tm("pa").SetAppDataHandler(
-        [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+        [&c](uint64_t txn, const net::NodeId&, std::string_view) {
           c.tm("pa").Read(txn, 0, "acct", [](Result<std::string>) {});
         });
     c.tm("pb").SetAppDataHandler(
-        [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+        [&c](uint64_t txn, const net::NodeId&, std::string_view) {
           c.tm("pb").Write(txn, 0, "pb_key", "v",
                            [](Status st) { TPC_CHECK(st.ok()); });
         });

@@ -52,7 +52,7 @@ harness::SweepCell RunStream(const Config& config, uint64_t txns) {
   c.Connect("coord", "sub", session, {});
   c.network().set_tracing(false);
   c.tm("sub").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         // Hot key: every transaction conflicts with its predecessor.
         c.tm("sub").Write(txn, 0, "hot", std::to_string(txn),
                           [](Status st) { TPC_CHECK(st.ok()); });

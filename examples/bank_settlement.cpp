@@ -73,8 +73,8 @@ int main() {
   int balance_a = 1000;
   int balance_b = 1000;
   c.tm("bankB").SetAppDataHandler(
-      [&](uint64_t txn, const net::NodeId&, const std::string& amount) {
-        balance_b += std::stoi(amount);
+      [&](uint64_t txn, const net::NodeId&, std::string_view amount) {
+        balance_b += std::stoi(std::string(amount));
         c.tm("bankB").Write(txn, 0, "balance", std::to_string(balance_b),
                             [](Status st) { TPC_CHECK(st.ok()); });
       });

@@ -19,7 +19,7 @@ namespace {
 
 void Writer(harness::Cluster& c, const std::string& node) {
   c.tm(node).SetAppDataHandler(
-      [&c, node](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c, node](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm(node).Write(txn, 0, node + ":data", "v",
                          [](Status st) { TPC_CHECK(st.ok()); });
       });
@@ -64,7 +64,7 @@ int main() {
                      [](Status st) { TPC_CHECK(st.ok()); });
   TPC_CHECK(c.tm("beta").SendWork(txn2, "alpha").ok());
   c.tm("alpha").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("alpha").Write(txn, 0, "alpha:data", "v2",
                             [](Status st) { TPC_CHECK(st.ok()); });
       });

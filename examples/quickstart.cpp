@@ -27,12 +27,12 @@ int main() {
 
   // Servers do work when application data reaches them.
   cluster.tm("orders").SetAppDataHandler(
-      [&](uint64_t txn, const net::NodeId&, const std::string& data) {
-        cluster.tm("orders").Write(txn, 0, "order:1001", data,
+      [&](uint64_t txn, const net::NodeId&, std::string_view data) {
+        cluster.tm("orders").Write(txn, 0, "order:1001", std::string(data),
                                    [](Status st) { TPC_CHECK(st.ok()); });
       });
   cluster.tm("stock").SetAppDataHandler(
-      [&](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&](uint64_t txn, const net::NodeId&, std::string_view) {
         cluster.tm("stock").Write(txn, 0, "widget:count", "41",
                                   [](Status st) { TPC_CHECK(st.ok()); });
       });

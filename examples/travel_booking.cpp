@@ -39,17 +39,19 @@ struct Trip {
     cluster.Connect("agency", "quotes");
 
     cluster.tm("airline").SetAppDataHandler(
-        [this](uint64_t txn, const net::NodeId&, const std::string& seat) {
-          cluster.tm("airline").Write(txn, 0, "seat:" + seat, "booked",
+        [this](uint64_t txn, const net::NodeId&, std::string_view seat) {
+          cluster.tm("airline").Write(txn, 0, "seat:" + std::string(seat),
+                                      "booked",
                                       [](Status st) { TPC_CHECK(st.ok()); });
         });
     cluster.tm("hotel").SetAppDataHandler(
-        [this](uint64_t txn, const net::NodeId&, const std::string& room) {
-          cluster.tm("hotel").Write(txn, 0, "room:" + room, "booked",
+        [this](uint64_t txn, const net::NodeId&, std::string_view room) {
+          cluster.tm("hotel").Write(txn, 0, "room:" + std::string(room),
+                                    "booked",
                                     [](Status st) { TPC_CHECK(st.ok()); });
         });
     cluster.tm("quotes").SetAppDataHandler(
-        [this](uint64_t txn, const net::NodeId&, const std::string&) {
+        [this](uint64_t txn, const net::NodeId&, std::string_view) {
           cluster.tm("quotes").Read(txn, 0, "fare:NYC-SFO",
                                     [](Result<std::string>) {});
         });
@@ -131,15 +133,16 @@ int main() {
     c.Connect("agency", "franchise");
     c.Connect("franchise", "hotel");
     c.tm("franchise").SetAppDataHandler(
-        [&c](uint64_t txn, const net::NodeId& from, const std::string& room) {
+        [&c](uint64_t txn, const net::NodeId& from, std::string_view room) {
           if (from != "agency") return;
           c.tm("franchise").Write(txn, 0, "booking-fee", "20",
                                   [](Status st) { TPC_CHECK(st.ok()); });
-          TPC_CHECK(c.tm("franchise").SendWork(txn, "hotel", room).ok());
+          TPC_CHECK(
+              c.tm("franchise").SendWork(txn, "hotel", std::string(room)).ok());
         });
     c.tm("hotel").SetAppDataHandler(
-        [&c](uint64_t txn, const net::NodeId&, const std::string& room) {
-          c.tm("hotel").Write(txn, 0, "room:" + room, "booked",
+        [&c](uint64_t txn, const net::NodeId&, std::string_view room) {
+          c.tm("hotel").Write(txn, 0, "room:" + std::string(room), "booked",
                               [](Status st) { TPC_CHECK(st.ok()); });
         });
 

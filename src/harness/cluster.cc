@@ -188,11 +188,12 @@ std::string Cluster::ReportMetrics() const {
   const net::NetworkStats& net_stats = network_.stats();
   StringAppendF(&out,
                 "network: %llu sent, %llu delivered, %llu dropped, "
-                "%llu bytes\n",
+                "%llu bytes sent, %llu bytes delivered\n",
                 static_cast<unsigned long long>(net_stats.messages_sent),
                 static_cast<unsigned long long>(net_stats.messages_delivered),
                 static_cast<unsigned long long>(net_stats.messages_dropped),
-                static_cast<unsigned long long>(net_stats.bytes_sent));
+                static_cast<unsigned long long>(net_stats.bytes_sent),
+                static_cast<unsigned long long>(net_stats.bytes_delivered));
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"node", "log writes", "forced", "device forces",
                   "lock acquisitions", "lock waits", "mean hold (ms)"});

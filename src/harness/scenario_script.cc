@@ -204,7 +204,7 @@ class ScriptRunner {
     Cluster* cluster = &cluster_;
     cluster_.tm(node).SetAppDataHandler(
         [cluster, node](uint64_t txn, const net::NodeId&,
-                        const std::string&) {
+                        std::string_view) {
           cluster->tm(node).Write(txn, 0, node + "_key", "v", [](Status) {});
         });
     return Status::OK();

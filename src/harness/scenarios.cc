@@ -26,7 +26,7 @@ NodeOptions PaOptions() {
 /// App-data handler that writes one key to the node's first RM.
 void AttachWriter(Cluster& c, const std::string& node) {
   c.tm(node).SetAppDataHandler(
-      [&c, node](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c, node](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm(node).Write(txn, 0, node + "_key", "v", [](Status st) {
           TPC_CHECK(st.ok());
         });
@@ -137,7 +137,7 @@ ScenarioResult RunTable3Scenario(Table3Variant variant, uint64_t n,
     const std::string next = forwards ? MemberName(i + 1) : "";
     c.tm(name).SetAppDataHandler(
         [&c, name, writes, unsolicited, forwards, next](
-            uint64_t txn, const net::NodeId&, const std::string&) {
+            uint64_t txn, const net::NodeId&, std::string_view) {
           if (writes) {
             c.tm(name).Write(txn, 0, name + "_key", "v", [](Status st) {
               TPC_CHECK(st.ok());
@@ -222,7 +222,7 @@ MeasuredTable2Row RunOneTable2(const Table2Setup& setup) {
   const bool sub_unsolicited = setup.sub_unsolicited;
   c.tm("sub").SetAppDataHandler(
       [&c, sub_writes, sub_unsolicited](uint64_t txn, const net::NodeId&,
-                                        const std::string&) {
+                                        std::string_view) {
         if (sub_writes) {
           c.tm("sub").Write(txn, 0, "sub_key", "v", [&c, txn,
                                                      sub_unsolicited](Status st) {
@@ -401,13 +401,13 @@ analysis::CostTriplet RunTable4Scenario(Table4Variant variant, uint64_t r) {
   // what carries the previous transaction's buffered ack.
   const bool echo = variant == Table4Variant::kLongLocks;
   c.tm("b").SetAppDataHandler(
-      [&c, echo](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c, echo](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("b").Write(txn, 0, "b_key", "v",
                         [](Status st) { TPC_CHECK(st.ok()); });
         if (echo) TPC_CHECK(c.tm("b").SendWork(txn, "a", "reply").ok());
       });
   c.tm("a").SetAppDataHandler(
-      [](uint64_t, const net::NodeId&, const std::string&) {});
+      [](uint64_t, const net::NodeId&, std::string_view) {});
 
   std::vector<uint64_t> txns;
 
@@ -551,7 +551,7 @@ std::string FigureChain(ProtocolKind protocol, const std::string& title,
   c.Connect("coordinator", "cascaded");
   c.Connect("cascaded", "subordinate");
   c.tm("cascaded").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId& from, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId& from, std::string_view) {
         if (from != "coordinator") return;
         c.tm("cascaded").Write(txn, 0, "mid", "v",
                                [](Status st) { TPC_CHECK(st.ok()); });
@@ -579,7 +579,7 @@ std::string Figure4PartialReadOnly() {
   c.Connect("coordinator", "writer");
   // The reader participates but performs no updates.
   c.tm("reader").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("reader").Read(txn, 0, "somewhere",
                             [](Result<std::string>) {});
       });
@@ -676,7 +676,7 @@ std::string Figure7LongLocks() {
   c.AddNode("subordinate", PaOptions());
   c.Connect("coordinator", "subordinate", {.long_locks = true}, {});
   c.tm("subordinate").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("subordinate").Write(txn, 0, "s", "v",
                                   [](Status st) { TPC_CHECK(st.ok()); });
       });
@@ -714,7 +714,7 @@ std::string Figure8VoteReliable() {
   c.Connect("coordinator", "cascaded");
   c.Connect("cascaded", "subordinate");
   c.tm("cascaded").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId& from, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId& from, std::string_view) {
         if (from != "coordinator") return;
         c.tm("cascaded").Write(txn, 0, "mid", "v",
                                [](Status st) { TPC_CHECK(st.ok()); });

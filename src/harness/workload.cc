@@ -48,9 +48,9 @@ void Workload::BuildStandardCluster(Cluster* cluster,
     // Payload protocol: "w:<key>" writes, "r:<key>" reads.
     cluster->tm(name).SetAppDataHandler(
         [cluster, name](uint64_t txn, const net::NodeId&,
-                        const std::string& op) {
+                        std::string_view op) {
           if (op.size() < 2) return;
-          const std::string key = op.substr(2);
+          const std::string_view key = op.substr(2);
           if (op[0] == 'w') {
             cluster->tm(name).Write(txn, 0, key, std::to_string(txn),
                                     [](Status) { /* may lose a lock race */ });

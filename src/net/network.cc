@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -76,6 +77,21 @@ sim::Time Network::LatencyBetween(const NodeId& a, const NodeId& b) const {
   return t == kDefaultLatency ? default_latency_ : t;
 }
 
+PayloadRef Network::AcquirePayload() {
+  if (!payload_free_.empty()) {
+    const uint32_t idx = payload_free_.back();
+    payload_free_.pop_back();
+    payload_pool_[idx].clear();  // capacity survives, bytes do not
+    return PayloadRef{idx};
+  }
+  payload_pool_.emplace_back();
+  return PayloadRef{static_cast<uint32_t>(payload_pool_.size() - 1)};
+}
+
+void Network::ReleasePayload(PayloadRef ref) {
+  if (ref.valid()) payload_free_.push_back(ref.index);
+}
+
 uint32_t Network::AcquireSlab(Message&& msg) {
   if (!slab_free_.empty()) {
     const uint32_t idx = slab_free_.back();
@@ -88,33 +104,44 @@ uint32_t Network::AcquireSlab(Message&& msg) {
 }
 
 Status Network::Send(Message msg) {
-  const uint32_t from = Find(msg.from);
-  if (from == kNoNode || endpoints_[from] == nullptr) {
+  const uint32_t from = msg.from;
+  const uint32_t to = msg.to;
+  if (from >= endpoints_.size() || endpoints_[from] == nullptr) {
     ++stats_.messages_rejected;
-    return Status::InvalidArgument("unknown sender: " + msg.from);
+    ReleasePayload(msg.payload);
+    return Status::InvalidArgument(
+        "unknown sender: " +
+        (from < names_.size() ? names_[from] : "(uninterned id)"));
   }
   if (!endpoints_[from]->IsUp()) {
     ++stats_.messages_rejected;
-    return Status::FailedPrecondition("sender is down: " + msg.from);
+    ReleasePayload(msg.payload);
+    return Status::FailedPrecondition("sender is down: " + names_[from]);
   }
-  const uint32_t to = Find(msg.to);
-  if (to == kNoNode || endpoints_[to] == nullptr) {
+  if (to >= endpoints_.size() || endpoints_[to] == nullptr) {
     ++stats_.messages_rejected;
-    return Status::InvalidArgument("unknown destination: " + msg.to);
+    ReleasePayload(msg.payload);
+    return Status::InvalidArgument(
+        "unknown destination: " +
+        (to < names_.size() ? names_[to] : "(uninterned id)"));
   }
 
+  // Accepted: count the flow and its encoded bytes exactly once, here. The
+  // payload buffer is pooled and reused, so byte accounting must never
+  // depend on buffer identity or lifetime.
   ++stats_.messages_sent;
-  stats_.bytes_sent += msg.payload.size();
+  stats_.bytes_sent += PayloadView(msg.payload).size();
   ++sent_by_[from];
 
   if (tracing_) {
-    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kSend, msg.from, msg.to,
-                       msg.txn, std::string(msg.TraceTag())});
+    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kSend, names_[from],
+                       names_[to], msg.txn, std::string(msg.TagView())});
   }
 
   const size_t link = LinkIndex(from, to);
   if (down_[link] != 0) {
     ++stats_.messages_dropped;
+    ReleasePayload(msg.payload);
     return Status::OK();  // silent loss, like a real partition
   }
 
@@ -134,9 +161,27 @@ Status Network::Send(Message msg) {
   return Status::OK();
 }
 
+Status Network::SendLegacy(LegacyMessage msg) {
+  Message out;
+  // By-name resolution costs the hash probes the seed path paid per send;
+  // unknown names map to kNoId and fail Send's validation as before.
+  out.from = Find(msg.from);
+  out.to = Find(msg.to);
+  out.kind = msg.kind;
+  out.txn = msg.txn;
+  if (!msg.trace_tag.empty()) out.trace_tag = msg.trace_tag;
+  if (!msg.payload.empty()) {
+    out.payload = AcquirePayload();
+    PayloadBuffer(out.payload).assign(msg.payload);
+  }
+  return Send(std::move(out));
+}
+
 void Network::Deliver(uint32_t slab_index, uint32_t from, uint32_t to) {
   // Move the message out and recycle the slot first: the OnMessage upcall
-  // may Send (and so re-acquire slab slots) reentrantly.
+  // may Send (and so re-acquire slab slots) reentrantly. The payload buffer
+  // stays live until the upcall returns — reentrant sends acquire different
+  // pool slots, and the deque keeps this buffer's address stable.
   Message msg = std::move(slab_[slab_index]);
   slab_free_.push_back(slab_index);
 
@@ -144,14 +189,17 @@ void Network::Deliver(uint32_t slab_index, uint32_t from, uint32_t to) {
   if (endpoint == nullptr || !endpoint->IsUp() ||
       down_[LinkIndex(from, to)] != 0) {
     ++stats_.messages_dropped;
+    ReleasePayload(msg.payload);
     return;
   }
   ++stats_.messages_delivered;
+  stats_.bytes_delivered += PayloadView(msg.payload).size();
   if (tracing_) {
-    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kReceive, msg.to, msg.from,
-                       msg.txn, std::string(msg.TraceTag())});
+    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kReceive, names_[to],
+                       names_[from], msg.txn, std::string(msg.TagView())});
   }
   endpoint->OnMessage(msg);
+  ReleasePayload(msg.payload);
 }
 
 uint64_t Network::SentBy(const NodeId& node) const {

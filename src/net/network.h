@@ -5,17 +5,21 @@
 // LU 6.2 conversations do); links and nodes can fail, silently dropping
 // traffic. Per-node and per-link flow counts feed the cost accounting.
 //
-// Hot-path design: node names are interned into dense uint32 ids, and all
-// per-link state (latency override, link-down flag, FIFO delivery floor)
-// plus per-node counters live in flat vectors indexed by those ids — a Send
-// performs no string building and no tree walks. In-flight messages are
-// parked in a reusable slab so the scheduled delivery closure captures only
-// 16 bytes and fits in the event queue's inline buffer (no allocation).
+// Hot-path design: node names are interned into dense uint32 ids, messages
+// carry only those ids, and all per-link state (latency override, link-down
+// flag, FIFO delivery floor) plus per-node counters live in flat vectors
+// indexed by them — a Send performs no string building, no hashing, and no
+// tree walks. Payload bytes live in a network-owned buffer pool with
+// free-list reuse (senders encode in place via PayloadBuffer), and in-flight
+// messages are parked in a reusable slab so the scheduled delivery closure
+// captures only 16 bytes and fits in the event queue's inline buffer. In
+// steady state a Send → deliver round trip performs zero allocations.
 
 #ifndef TPC_NET_NETWORK_H_
 #define TPC_NET_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +36,8 @@ class Endpoint {
   virtual ~Endpoint() = default;
 
   /// Delivery upcall. Never invoked while the endpoint reports itself down.
+  /// The message's payload buffer is recycled when this returns: read it via
+  /// Network::PayloadOf during the call, copy it if it must outlive it.
   virtual void OnMessage(const Message& msg) = 0;
 
   /// A crashed node neither sends nor receives.
@@ -42,12 +48,16 @@ class Endpoint {
 /// flow (messages_sent), and ends up delivered or dropped (or still in
 /// flight). Sends that never enter the network — unknown sender or
 /// destination, sender down — are counted as rejected, not sent.
+/// Bytes are counted once at accept time (bytes_sent) and once at successful
+/// delivery (bytes_delivered), so drop accounting is byte-accurate:
+/// bytes_sent - bytes_delivered = bytes dropped or still in flight.
 struct NetworkStats {
   uint64_t messages_sent = 0;      ///< accepted into the network
   uint64_t messages_delivered = 0;
   uint64_t messages_dropped = 0;   ///< link down, partition, or dead receiver
   uint64_t messages_rejected = 0;  ///< refused at the send API; not a flow
   uint64_t bytes_sent = 0;
+  uint64_t bytes_delivered = 0;
 };
 
 /// The cluster interconnect.
@@ -75,7 +85,16 @@ class Network {
   /// in-order per directed pair. Counting: every accepted message is one
   /// flow, even if it is later dropped (the sender did the work); a send
   /// that fails validation is rejected and never enters the network.
+  /// Ownership: Send consumes msg.payload on every path — accepted, dropped,
+  /// or rejected, the pooled buffer returns to the free list once the
+  /// message reaches its terminal state. Callers never release it.
   Status Send(Message msg);
+
+  /// String-path compatibility entry taking the seed message shape:
+  /// resolves the names, copies payload and tag into pooled storage, and
+  /// forwards to Send. Benches measure this as the pre-interning baseline;
+  /// tests use it to inject traffic by name.
+  Status SendLegacy(LegacyMessage msg);
 
   /// Latency the next message from `a` to `b` would experience.
   sim::Time LatencyBetween(const NodeId& a, const NodeId& b) const;
@@ -106,6 +125,32 @@ class Network {
   /// The name interned as `id`. Requires a valid id.
   const NodeId& NameOf(uint32_t id) const { return names_[id]; }
 
+  // --- pooled payload buffers ----------------------------------------------
+  // Senders acquire a buffer, encode the payload directly into it via
+  // PayloadBuffer, and hand the ref to Send. Buffers keep their capacity
+  // across reuse, so a warmed pool serves the steady state without touching
+  // the allocator.
+
+  /// Acquires a cleared buffer from the pool (capacity retained from its
+  /// previous use).
+  PayloadRef AcquirePayload();
+
+  /// The mutable buffer behind `ref` — encode the payload in place here
+  /// before Send. Requires a ref obtained from AcquirePayload.
+  std::string& PayloadBuffer(PayloadRef ref) { return payload_pool_[ref.index]; }
+
+  /// Read-only view of the bytes behind `ref`; empty for the null ref.
+  std::string_view PayloadView(PayloadRef ref) const {
+    return ref.valid() ? std::string_view(payload_pool_[ref.index])
+                       : std::string_view();
+  }
+
+  /// The payload of a message (empty if it carries none). During OnMessage
+  /// this is the delivered bytes; the view dies with the upcall.
+  std::string_view PayloadOf(const Message& msg) const {
+    return PayloadView(msg.payload);
+  }
+
  private:
   static constexpr uint32_t kNoNode = UINT32_MAX;
   static constexpr sim::Time kDefaultLatency = -1;  // sentinel in latency_
@@ -119,6 +164,7 @@ class Network {
   size_t LinkIndex(uint32_t a, uint32_t b) const { return a * cap_ + b; }
   void GrowTables(uint32_t min_nodes);
 
+  void ReleasePayload(PayloadRef ref);
   uint32_t AcquireSlab(Message&& msg);
   void Deliver(uint32_t slab_index, uint32_t from, uint32_t to);
 
@@ -139,6 +185,12 @@ class Network {
   std::vector<sim::Time> latency_;  // kDefaultLatency = use default_latency_
   std::vector<unsigned char> down_;
   std::vector<sim::Time> delivery_floor_;  // per directed pair (FIFO)
+
+  // Payload buffer pool. A deque keeps buffer addresses stable while the
+  // pool grows, so payload views held across a reentrant Send (an OnMessage
+  // upcall that sends, forcing the pool to grow) never dangle.
+  std::deque<std::string> payload_pool_;
+  std::vector<uint32_t> payload_free_;
 
   // Parking slab for in-flight messages (delivery closures capture an index).
   std::vector<Message> slab_;

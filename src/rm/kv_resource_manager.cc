@@ -54,17 +54,19 @@ KVResourceManager::KVResourceManager(sim::SimContext* ctx, std::string name,
       locks_(ctx, name_, options.lock_timeout),
       store_lock_id_(locks_.InternKey(kStoreLock)) {}
 
-void KVResourceManager::Read(uint64_t txn, const std::string& key,
+void KVResourceManager::Read(uint64_t txn, std::string_view key,
                              ReadCallback done) {
+  // Lock grants can be deferred (waits), so the capture owns the key.
   locks_.Acquire(txn, store_lock_id_, lock::LockMode::kIntentShared,
-                 [this, txn, key, done = std::move(done)](Status st) mutable {
+                 [this, txn, key = std::string(key),
+                  done = std::move(done)](Status st) mutable {
     if (!st.ok()) {
       done(std::move(st));
       return;
     }
     // Intern once; the grant path then works entirely in dense ids.
     locks_.Acquire(txn, locks_.InternKey(key), lock::LockMode::kShared,
-                   [this, key, done = std::move(done)](Status st) {
+                   [this, key = std::move(key), done = std::move(done)](Status st) {
       if (!st.ok()) {
         done(std::move(st));
         return;
@@ -79,10 +81,11 @@ void KVResourceManager::Read(uint64_t txn, const std::string& key,
   });
 }
 
-void KVResourceManager::Scan(uint64_t txn, const std::string& prefix,
+void KVResourceManager::Scan(uint64_t txn, std::string_view prefix,
                              ScanCallback done) {
   locks_.Acquire(txn, store_lock_id_, lock::LockMode::kShared,
-                 [this, prefix, done = std::move(done)](Status st) {
+                 [this, prefix = std::string(prefix),
+                  done = std::move(done)](Status st) {
     if (!st.ok()) {
       done(std::move(st));
       return;
@@ -96,10 +99,10 @@ void KVResourceManager::Scan(uint64_t txn, const std::string& prefix,
   });
 }
 
-void KVResourceManager::Write(uint64_t txn, const std::string& key,
+void KVResourceManager::Write(uint64_t txn, std::string_view key,
                               std::string value, WriteCallback done) {
   locks_.Acquire(txn, store_lock_id_, lock::LockMode::kIntentExclusive,
-                 [this, txn, key, value = std::move(value),
+                 [this, txn, key = std::string(key), value = std::move(value),
                   done = std::move(done)](Status st) mutable {
     if (!st.ok()) {
       done(std::move(st));
@@ -109,10 +112,10 @@ void KVResourceManager::Write(uint64_t txn, const std::string& key,
   });
 }
 
-void KVResourceManager::DoWrite(uint64_t txn, const std::string& key,
+void KVResourceManager::DoWrite(uint64_t txn, std::string_view key,
                                 std::string value, WriteCallback done) {
   locks_.Acquire(txn, locks_.InternKey(key), lock::LockMode::kExclusive,
-                 [this, txn, key, value = std::move(value),
+                 [this, txn, key = std::string(key), value = std::move(value),
                   done = std::move(done)](Status st) mutable {
     if (!st.ok()) {
       done(std::move(st));
@@ -372,9 +375,10 @@ Status KVResourceManager::Checkpoint(std::function<void(wal::Lsn)> done) {
   return Status::OK();
 }
 
-Result<std::string> KVResourceManager::Peek(const std::string& key) const {
+Result<std::string> KVResourceManager::Peek(std::string_view key) const {
   auto it = store_.find(key);
-  if (it == store_.end()) return Status::NotFound("no such key: " + key);
+  if (it == store_.end())
+    return Status::NotFound("no such key: " + std::string(key));
   return it->second;
 }
 

@@ -56,12 +56,15 @@ class KVResourceManager : public ResourceManager {
   const std::string& name() const override { return name_; }
 
   // --- transactional data operations -------------------------------------
+  // Keys are views so callers can address bytes parsed straight out of a
+  // delivered network payload; the RM copies a key exactly once (into the
+  // deferred lock-grant capture), never per call layer.
 
   /// Reads `key` under a shared lock. NotFound if absent.
-  void Read(uint64_t txn, const std::string& key, ReadCallback done);
+  void Read(uint64_t txn, std::string_view key, ReadCallback done);
 
   /// Writes `key` under an exclusive lock; undo/redo is logged (non-forced).
-  void Write(uint64_t txn, const std::string& key, std::string value,
+  void Write(uint64_t txn, std::string_view key, std::string value,
              WriteCallback done);
 
   /// Scans every key with the given prefix under a store-level shared lock
@@ -70,7 +73,7 @@ class KVResourceManager : public ResourceManager {
   /// until the transaction ends).
   using ScanCallback =
       std::function<void(Result<std::vector<std::pair<std::string, std::string>>>)>;
-  void Scan(uint64_t txn, const std::string& prefix, ScanCallback done);
+  void Scan(uint64_t txn, std::string_view prefix, ScanCallback done);
 
   // --- commit protocol ----------------------------------------------------
 
@@ -97,7 +100,7 @@ class KVResourceManager : public ResourceManager {
   // --- introspection -------------------------------------------------------
 
   /// Committed value lookup outside any transaction (tests/verification).
-  Result<std::string> Peek(const std::string& key) const;
+  Result<std::string> Peek(std::string_view key) const;
 
   /// Writes a checkpoint record (a full store snapshot) to the log,
   /// forced. Requires no active transactions (returns FailedPrecondition
@@ -131,7 +134,7 @@ class KVResourceManager : public ResourceManager {
     bool recovered = false;
   };
 
-  void DoWrite(uint64_t txn, const std::string& key, std::string value,
+  void DoWrite(uint64_t txn, std::string_view key, std::string value,
                WriteCallback done);
   void LogUpdate(uint64_t txn, const Update& update);
   void ApplyUndo(const TxnState& state);
@@ -142,7 +145,9 @@ class KVResourceManager : public ResourceManager {
   KVOptions options_;
   lock::LockManager locks_;
   lock::KeyId store_lock_id_;  ///< interned once; refreshed on Crash()
-  std::map<std::string, std::string> store_;
+  // Transparent comparator: lookups by string_view probe without building a
+  // temporary key string.
+  std::map<std::string, std::string, std::less<>> store_;
   std::unordered_map<uint64_t, TxnState> active_;
   bool fail_next_prepare_ = false;
 };

@@ -21,20 +21,6 @@ std::string_view TraceKindToString(TraceKind kind) {
   return "?";
 }
 
-std::vector<TraceEntry> Trace::OfKind(TraceKind kind) const {
-  std::vector<TraceEntry> out;
-  for (const auto& e : entries_)
-    if (e.kind == kind) out.push_back(e);
-  return out;
-}
-
-std::vector<TraceEntry> Trace::OfTxn(uint64_t txn) const {
-  std::vector<TraceEntry> out;
-  for (const auto& e : entries_)
-    if (e.txn == txn) out.push_back(e);
-  return out;
-}
-
 size_t Trace::Count(TraceKind kind, std::string_view node) const {
   size_t n = 0;
   for (const auto& e : entries_)
@@ -42,26 +28,36 @@ size_t Trace::Count(TraceKind kind, std::string_view node) const {
   return n;
 }
 
-std::string Trace::RenderEntries(const std::vector<TraceEntry>& es) const {
+size_t Trace::CountTxn(uint64_t txn) const {
+  size_t n = 0;
+  for (const auto& e : entries_)
+    if (e.txn == txn) ++n;
+  return n;
+}
+
+void Trace::AppendEntry(std::string* out, const TraceEntry& e) {
+  std::string who = e.node;
+  if (!e.peer.empty()) who += " -> " + e.peer;
+  StringAppendF(out, "[%8lldus] %-24s %-9s %-28s",
+                static_cast<long long>(e.at), who.c_str(),
+                std::string(TraceKindToString(e.kind)).c_str(),
+                e.detail.c_str());
+  if (e.txn != 0)
+    StringAppendF(out, " (txn %llu)", static_cast<unsigned long long>(e.txn));
+  *out += "\n";
+}
+
+std::string Trace::Render() const {
   std::string out;
-  for (const auto& e : es) {
-    std::string who = e.node;
-    if (!e.peer.empty()) who += " -> " + e.peer;
-    StringAppendF(&out, "[%8lldus] %-24s %-9s %-28s",
-                  static_cast<long long>(e.at), who.c_str(),
-                  std::string(TraceKindToString(e.kind)).c_str(),
-                  e.detail.c_str());
-    if (e.txn != 0)
-      StringAppendF(&out, " (txn %llu)", static_cast<unsigned long long>(e.txn));
-    out += "\n";
-  }
+  for (const auto& e : entries_) AppendEntry(&out, e);
   return out;
 }
 
-std::string Trace::Render() const { return RenderEntries(entries_); }
-
 std::string Trace::Render(uint64_t txn) const {
-  return RenderEntries(OfTxn(txn));
+  std::string out;
+  ForEach([txn](const TraceEntry& e) { return e.txn == txn; },
+          [&out](const TraceEntry& e) { AppendEntry(&out, e); });
+  return out;
 }
 
 }  // namespace tpc::sim

@@ -57,14 +57,20 @@ class Trace {
 
   const std::vector<TraceEntry>& entries() const { return entries_; }
 
-  /// Entries of one kind, in order.
-  std::vector<TraceEntry> OfKind(TraceKind kind) const;
-
-  /// Entries for one transaction, in order.
-  std::vector<TraceEntry> OfTxn(uint64_t txn) const;
+  /// Visits entries matching `pred(entry)` in order, without copying them.
+  /// Replaces the old OfKind/OfTxn accessors, which materialized a full
+  /// vector of entry copies per call.
+  template <typename Pred, typename Fn>
+  void ForEach(Pred&& pred, Fn&& fn) const {
+    for (const TraceEntry& e : entries_)
+      if (pred(e)) fn(e);
+  }
 
   /// Count of entries matching kind (and node, if non-empty).
   size_t Count(TraceKind kind, std::string_view node = {}) const;
+
+  /// Count of entries for one transaction.
+  size_t CountTxn(uint64_t txn) const;
 
   /// Renders a figure-style time sequence:
   ///   [   123us] node1 -> node2  SEND    Prepare       (txn 7)
@@ -75,7 +81,7 @@ class Trace {
   std::string Render(uint64_t txn) const;
 
  private:
-  std::string RenderEntries(const std::vector<TraceEntry>& es) const;
+  static void AppendEntry(std::string* out, const TraceEntry& e);
 
   std::vector<TraceEntry> entries_;
   bool capturing_ = true;

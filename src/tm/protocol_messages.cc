@@ -1,5 +1,7 @@
 #include "tm/protocol_messages.h"
 
+#include <cstring>
+
 #include "util/binary_io.h"
 
 namespace tpc::tm {
@@ -35,12 +37,64 @@ enum : uint16_t {
   kFlagFromLastAgent = 1 << 10,
 };
 
+// Decodes one frame off the front of `rest` into (pdu, data). On success
+// `rest` is advanced past the frame; on failure it is left unspecified and
+// the error describes the first malformed field.
+Status DecodeFrame(std::string_view* rest, Pdu* pdu, std::string_view* data) {
+  Decoder dec(*rest);
+  uint8_t type = 0;
+  TPC_RETURN_IF_ERROR(dec.GetU8(&type));
+  if (type < 1 || type > static_cast<uint8_t>(PduType::kInquiryReply))
+    return Status::Corruption("bad pdu type");
+  pdu->type = static_cast<PduType>(type);
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&pdu->txn));
+  uint16_t flags = 0;
+  TPC_RETURN_IF_ERROR(dec.GetU16(&flags));
+  pdu->long_locks = flags & kFlagLongLocks;
+  pdu->reliable = flags & kFlagReliable;
+  pdu->ok_to_leave_out = flags & kFlagOkToLeaveOut;
+  pdu->unsolicited = flags & kFlagUnsolicited;
+  pdu->last_agent = flags & kFlagLastAgent;
+  pdu->vote_long_locks = flags & kFlagVoteLongLocks;
+  pdu->heur_commit = flags & kFlagHeurCommit;
+  pdu->heur_abort = flags & kFlagHeurAbort;
+  pdu->damage = flags & kFlagDamage;
+  pdu->outcome_pending = flags & kFlagOutcomePending;
+  pdu->from_last_agent = flags & kFlagFromLastAgent;
+  uint8_t vote = 0;
+  TPC_RETURN_IF_ERROR(dec.GetU8(&vote));
+  if (vote > static_cast<uint8_t>(rm::Vote::kReadOnly))
+    return Status::Corruption("bad vote");
+  pdu->vote = static_cast<rm::Vote>(vote);
+  uint8_t answer = 0;
+  TPC_RETURN_IF_ERROR(dec.GetU8(&answer));
+  if (answer > static_cast<uint8_t>(InquiryAnswer::kInDoubt))
+    return Status::Corruption("bad inquiry answer");
+  pdu->answer = static_cast<InquiryAnswer>(answer);
+  TPC_RETURN_IF_ERROR(dec.GetStringView(data));
+  rest->remove_prefix(rest->size() - dec.remaining());
+  return Status::OK();
+}
+
+// Appends one PDU's tag piece ("VOTE(YES,unsolicited)") to any sink with a
+// string_view append — std::string and net::TraceTag both qualify, so the
+// vector path and the encoded-payload path share one formatting definition.
+template <typename Sink>
+void AppendPduTag(Sink* out, const Pdu& pdu, bool first) {
+  if (!first) out->append("+");
+  out->append(PduTypeToString(pdu.type));
+  if (pdu.type == PduType::kVote) {
+    out->append("(");
+    out->append(rm::VoteToString(pdu.vote));
+    if (pdu.unsolicited) out->append(",unsolicited");
+    if (pdu.last_agent) out->append(",last-agent");
+    out->append(")");
+  }
+}
+
 }  // namespace
 
-void Pdu::EncodeTo(std::string* out) const {
-  Encoder enc;
-  enc.PutU8(static_cast<uint8_t>(type));
-  enc.PutVarint(txn);
+void Pdu::EncodeTo(std::string* out, std::string_view data_bytes) const {
   uint16_t flags = 0;
   if (long_locks) flags |= kFlagLongLocks;
   if (reliable) flags |= kFlagReliable;
@@ -53,80 +107,63 @@ void Pdu::EncodeTo(std::string* out) const {
   if (damage) flags |= kFlagDamage;
   if (outcome_pending) flags |= kFlagOutcomePending;
   if (from_last_agent) flags |= kFlagFromLastAgent;
-  enc.PutU16(flags);
-  enc.PutU8(static_cast<uint8_t>(vote));
-  enc.PutU8(static_cast<uint8_t>(answer));
-  enc.PutString(data);
-  *out += enc.buffer();
+
+  const size_t base = out->size();
+  const size_t need = 1 + VarintLength(txn) + 2 + 1 + 1 +
+                      VarintLength(data_bytes.size()) + data_bytes.size();
+  out->resize(base + need);
+  char* p = out->data() + base;
+  *p++ = static_cast<char>(static_cast<uint8_t>(type));
+  p += PutVarintTo(p, txn);
+  *p++ = static_cast<char>(static_cast<uint8_t>(flags & 0xff));
+  *p++ = static_cast<char>(static_cast<uint8_t>(flags >> 8));
+  *p++ = static_cast<char>(static_cast<uint8_t>(vote));
+  *p++ = static_cast<char>(static_cast<uint8_t>(answer));
+  p += PutVarintTo(p, data_bytes.size());
+  if (!data_bytes.empty())
+    std::memcpy(p, data_bytes.data(), data_bytes.size());
+}
+
+bool PduCursor::Next() {
+  if (!status_.ok() || rest_.empty()) return false;
+  data_ = std::string_view();
+  status_ = DecodeFrame(&rest_, &pdu_, &data_);
+  if (!status_.ok()) return false;
+  ++count_;
+  return true;
 }
 
 std::string EncodePdus(const std::vector<Pdu>& pdus) {
-  Encoder enc;
-  enc.PutVarint(pdus.size());
-  std::string out = enc.Release();
+  std::string out;
   for (const auto& pdu : pdus) pdu.EncodeTo(&out);
   return out;
 }
 
 Result<std::vector<Pdu>> DecodePdus(std::string_view payload) {
-  Decoder dec(payload);
-  uint64_t count = 0;
-  TPC_RETURN_IF_ERROR(dec.GetVarint(&count));
-  if (count > 1024) return Status::Corruption("pdu count implausible");
+  if (payload.empty()) return Status::Corruption("empty pdu payload");
   std::vector<Pdu> pdus;
-  pdus.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    Pdu pdu;
-    uint8_t type = 0;
-    TPC_RETURN_IF_ERROR(dec.GetU8(&type));
-    if (type < 1 || type > static_cast<uint8_t>(PduType::kInquiryReply))
-      return Status::Corruption("bad pdu type");
-    pdu.type = static_cast<PduType>(type);
-    TPC_RETURN_IF_ERROR(dec.GetVarint(&pdu.txn));
-    uint16_t flags = 0;
-    TPC_RETURN_IF_ERROR(dec.GetU16(&flags));
-    pdu.long_locks = flags & kFlagLongLocks;
-    pdu.reliable = flags & kFlagReliable;
-    pdu.ok_to_leave_out = flags & kFlagOkToLeaveOut;
-    pdu.unsolicited = flags & kFlagUnsolicited;
-    pdu.last_agent = flags & kFlagLastAgent;
-    pdu.vote_long_locks = flags & kFlagVoteLongLocks;
-    pdu.heur_commit = flags & kFlagHeurCommit;
-    pdu.heur_abort = flags & kFlagHeurAbort;
-    pdu.damage = flags & kFlagDamage;
-    pdu.outcome_pending = flags & kFlagOutcomePending;
-    pdu.from_last_agent = flags & kFlagFromLastAgent;
-    uint8_t vote = 0;
-    TPC_RETURN_IF_ERROR(dec.GetU8(&vote));
-    if (vote > static_cast<uint8_t>(rm::Vote::kReadOnly))
-      return Status::Corruption("bad vote");
-    pdu.vote = static_cast<rm::Vote>(vote);
-    uint8_t answer = 0;
-    TPC_RETURN_IF_ERROR(dec.GetU8(&answer));
-    if (answer > static_cast<uint8_t>(InquiryAnswer::kInDoubt))
-      return Status::Corruption("bad inquiry answer");
-    pdu.answer = static_cast<InquiryAnswer>(answer);
-    TPC_RETURN_IF_ERROR(dec.GetString(&pdu.data));
-    pdus.push_back(std::move(pdu));
+  PduCursor cursor(payload);
+  while (cursor.Next()) {
+    // Frames are >= 7 bytes so the payload length bounds the count; the cap
+    // only guards absurd adversarial inputs.
+    if (pdus.size() >= 1024) return Status::Corruption("pdu count implausible");
+    pdus.push_back(cursor.pdu());
+    pdus.back().data.assign(cursor.data());
   }
-  if (!dec.empty()) return Status::Corruption("trailing bytes after pdus");
+  TPC_RETURN_IF_ERROR(cursor.status());
   return pdus;
 }
 
 std::string DescribePdus(const std::vector<Pdu>& pdus) {
   std::string out;
-  for (size_t i = 0; i < pdus.size(); ++i) {
-    if (i) out += "+";
-    out += PduTypeToString(pdus[i].type);
-    if (pdus[i].type == PduType::kVote) {
-      out += "(";
-      out += rm::VoteToString(pdus[i].vote);
-      if (pdus[i].unsolicited) out += ",unsolicited";
-      if (pdus[i].last_agent) out += ",last-agent";
-      out += ")";
-    }
-  }
+  for (size_t i = 0; i < pdus.size(); ++i) AppendPduTag(&out, pdus[i], i == 0);
   return out;
+}
+
+void DescribePayload(std::string_view payload, net::TraceTag* tag) {
+  PduCursor cursor(payload);
+  for (bool first = true; cursor.Next(); first = false)
+    AppendPduTag(tag, cursor.pdu(), first);
 }
 
 }  // namespace tpc::tm

@@ -5,6 +5,13 @@
 // long-locks optimization folds a commit acknowledgment into the first data
 // message of the next transaction, and how last-agent/long-locks pairs
 // commit two transactions in three flows.
+//
+// Wire format: PDU frames are self-delimiting and packed back to back until
+// the end of the payload (no count prefix), so PduWriter appends piggybacked
+// bundles in place with no patching, and PduCursor walks a received payload
+// without materializing a vector. The hot path is writer/cursor straight
+// against the network's pooled payload buffers; EncodePdus/DecodePdus remain
+// as the vector-based compatibility and fuzzing surface over the same bytes.
 
 #ifndef TPC_TM_PROTOCOL_MESSAGES_H_
 #define TPC_TM_PROTOCOL_MESSAGES_H_
@@ -13,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "net/message.h"
 #include "rm/resource_manager.h"
 #include "tm/types.h"
 #include "util/result.h"
@@ -73,17 +81,102 @@ struct Pdu {
   // kAppData
   std::string data;
 
-  void EncodeTo(std::string* out) const;
+  /// Appends this PDU's frame in place: one resize, then raw-pointer field
+  /// writes — no temporary encoder or string.
+  void EncodeTo(std::string* out) const { EncodeTo(out, data); }
+
+  /// Same, but the app-data bytes come from `data_bytes` instead of the
+  /// `data` member — the send path encodes application payloads straight
+  /// from the caller's view into the pooled buffer, never owning a copy
+  /// (symmetric with PduCursor::data() on receive).
+  void EncodeTo(std::string* out, std::string_view data_bytes) const;
 };
 
-/// Encodes a bundle of PDUs into one network-message payload.
+/// Encodes PDU frames directly into a caller-owned buffer — typically a
+/// network pooled payload buffer (Network::PayloadBuffer), so a send
+/// bundles piggybacked PDUs with zero intermediate copies or allocations
+/// once the buffer's capacity is warm.
+class PduWriter {
+ public:
+  explicit PduWriter(std::string* out) : out_(out) {}
+
+  /// Appends one PDU frame after whatever the buffer already holds.
+  void Append(const Pdu& pdu) {
+    pdu.EncodeTo(out_);
+    ++count_;
+  }
+
+  /// Appends a frame whose app-data bytes come from `data` rather than
+  /// `pdu.data` (zero-copy app-data send).
+  void Append(const Pdu& pdu, std::string_view data) {
+    pdu.EncodeTo(out_, data);
+    ++count_;
+  }
+
+  size_t count() const { return count_; }
+
+ private:
+  std::string* out_;
+  size_t count_ = 0;
+};
+
+/// Iterates the PDU frames of a received payload in place, with no copies:
+/// kAppData bytes are exposed as a string_view into the payload (pdu().data
+/// is always left empty — use data()). Views live only as long as the
+/// payload bytes, i.e. for the duration of the OnMessage upcall.
+///
+/// Usage:
+///   PduCursor cursor(payload);
+///   while (cursor.Next()) { use(cursor.pdu(), cursor.data()); }
+///   if (!cursor.status().ok()) { /* malformed frame; drop the message */ }
+class PduCursor {
+ public:
+  explicit PduCursor(std::string_view payload) : rest_(payload) {}
+
+  /// Advances to the next frame. Returns false at the clean end of the
+  /// payload or on a malformed frame — distinguish via status().
+  bool Next();
+
+  /// The current PDU (valid after Next() returned true). Its `data` member
+  /// is always empty; app-data bytes are in data().
+  const Pdu& pdu() const { return pdu_; }
+
+  /// kAppData payload bytes of the current PDU, viewed in place.
+  std::string_view data() const { return data_; }
+
+  /// OK until a malformed frame is hit; then the decode error.
+  const Status& status() const { return status_; }
+
+  /// Frames successfully decoded so far.
+  size_t index() const { return count_; }
+
+ private:
+  std::string_view rest_;
+  Pdu pdu_;
+  std::string_view data_;
+  Status status_;
+  size_t count_ = 0;
+};
+
+/// Encodes a bundle of PDUs into one network-message payload
+/// (compatibility surface; the hot path appends via PduWriter).
 std::string EncodePdus(const std::vector<Pdu>& pdus);
 
-/// Decodes a network-message payload.
+/// Decodes a network-message payload into owned PDUs (compatibility and
+/// fuzzing surface over the same frames PduCursor walks). An empty payload
+/// and a payload with any malformed frame are errors; a decoded kAppData
+/// PDU carries its bytes in Pdu::data.
 Result<std::vector<Pdu>> DecodePdus(std::string_view payload);
 
 /// Human-readable tag for traces: "PREPARE" or "ACK+APP_DATA".
 std::string DescribePdus(const std::vector<Pdu>& pdus);
+
+/// Appends the same human-readable tag, derived from an already-encoded
+/// payload, into a message trace tag — the in-place send path builds its
+/// trace label from the bytes it just wrote instead of a PDU vector it no
+/// longer has. Frames after a malformed one are ignored (callers only
+/// describe payloads they encoded themselves).
+void DescribePayload(std::string_view payload, net::TraceTag* tag);
 
 }  // namespace tpc::tm
 

@@ -57,6 +57,7 @@ TransactionManager::TransactionManager(sim::SimContext* ctx,
       name_(std::move(name)),
       config_(config) {
   network_->Register(name_, this);
+  self_id_ = network_->InternId(name_);
 }
 
 void TransactionManager::AttachRm(rm::KVResourceManager* rm) {
@@ -162,22 +163,16 @@ bool TransactionManager::HasPeer(const Txn& txn, const net::NodeId& peer) {
   return std::binary_search(txn.peers.begin(), txn.peers.end(), peer);
 }
 
-void TransactionManager::SendPdu(const net::NodeId& peer, Pdu pdu) {
+void TransactionManager::SendPdu(const net::NodeId& peer, Pdu pdu,
+                                 std::string_view app_data) {
   TPC_CHECK(up_);
-  Session* session_ptr = FindSession(peer);
-  TPC_CHECK(session_ptr != nullptr);
-  Session& session = *session_ptr;
+  const uint32_t sid = network_->IdOf(peer);
+  TPC_CHECK(sid != net::Network::kNoId && sid < sessions_.size() &&
+            sessions_[sid].connected);
+  Session& session = sessions_[sid];
 
-  std::vector<Pdu> pdus;
-  // Piggyback anything buffered for this peer (long-locks acks, deferred
-  // last-agent decisions) — that is the whole point of the buffering.
-  if (!session.outbox.empty()) {
-    pdus = std::move(session.outbox);
-    session.outbox.clear();
-  }
   const bool protocol_flow = pdu.type != PduType::kAppData;
   const uint64_t primary_txn = pdu.txn;
-  pdus.push_back(std::move(pdu));
 
   // Flow accounting: a message whose primary PDU is protocol traffic counts
   // as one commit flow against that transaction. Piggybacked PDUs and app
@@ -185,15 +180,49 @@ void TransactionManager::SendPdu(const net::NodeId& peer, Pdu pdu) {
   // paper credits the long-locks and implied-ack savings.
   if (protocol_flow) ++MetaSlot(primary_txn).cost.flows_sent;
 
+  if (config_.legacy_string_messaging) {
+    // Frozen seed path, kept as the commit_bench baseline: PDU vector,
+    // EncodePdus temporary, by-name message. Same bytes on the wire.
+    std::vector<Pdu> pdus;
+    if (!session.outbox.empty()) {
+      pdus = std::move(session.outbox);
+      session.outbox.clear();
+    }
+    pdus.push_back(std::move(pdu));
+    // The seed path owns every byte it ships: app data lands in Pdu::data
+    // before encoding, exactly as the pre-pooling SendWork materialized it.
+    if (!app_data.empty()) pdus.back().data.assign(app_data);
+    net::LegacyMessage msg;
+    msg.from = name_;
+    msg.to = peer;
+    msg.kind = net::MsgKind::kPdu;
+    if (network_->tracing()) msg.trace_tag = DescribePdus(pdus);
+    msg.txn = primary_txn;
+    msg.payload = EncodePdus(pdus);
+    TPC_CHECK_OK(network_->SendLegacy(std::move(msg)));
+    return;
+  }
+
   net::Message msg;
-  msg.from = name_;
-  msg.to = peer;
+  msg.from = self_id_;
+  msg.to = sid;
   msg.kind = net::MsgKind::kPdu;
-  // The describe string exists only for traces; skip building it (one
-  // allocation per send) when tracing is off.
-  if (network_->tracing()) msg.trace_tag = DescribePdus(pdus);
   msg.txn = primary_txn;
-  msg.payload = EncodePdus(pdus);
+  msg.payload = network_->AcquirePayload();
+  std::string& buf = network_->PayloadBuffer(msg.payload);
+  PduWriter writer(&buf);
+  // Piggyback anything buffered for this peer (long-locks acks, deferred
+  // last-agent decisions) — that is the whole point of the buffering.
+  for (const Pdu& buffered : session.outbox) writer.Append(buffered);
+  session.outbox.clear();
+  if (app_data.empty()) {
+    writer.Append(pdu);
+  } else {
+    writer.Append(pdu, app_data);  // app bytes go view -> buffer, copy-free
+  }
+  // The describe tag exists only for traces; skip building it when tracing
+  // is off.
+  if (network_->tracing()) DescribePayload(buf, &msg.trace_tag);
   TPC_CHECK_OK(network_->Send(std::move(msg)));
 }
 
@@ -235,7 +264,7 @@ uint64_t TransactionManager::Begin() {
 }
 
 Status TransactionManager::SendWork(uint64_t txn_id, const net::NodeId& peer,
-                                    std::string payload) {
+                                    std::string_view payload) {
   if (!up_) return Status::Unavailable(name_ + " is down");
   Session* session = FindSession(peer);
   if (session == nullptr)
@@ -247,20 +276,19 @@ Status TransactionManager::SendWork(uint64_t txn_id, const net::NodeId& peer,
   Pdu pdu;
   pdu.type = PduType::kAppData;
   pdu.txn = txn_id;
-  pdu.data = std::move(payload);
-  SendPdu(peer, std::move(pdu));
+  SendPdu(peer, std::move(pdu), payload);
   return Status::OK();
 }
 
 void TransactionManager::Read(uint64_t txn, size_t rm_index,
-                              const std::string& key,
+                              std::string_view key,
                               rm::KVResourceManager::ReadCallback done) {
   GetOrCreateTxn(txn);
   rms_.at(rm_index)->Read(txn, key, std::move(done));
 }
 
 void TransactionManager::Write(uint64_t txn, size_t rm_index,
-                               const std::string& key, std::string value,
+                               std::string_view key, std::string value,
                                rm::KVResourceManager::WriteCallback done) {
   GetOrCreateTxn(txn);
   rms_.at(rm_index)->Write(txn, key, std::move(value), std::move(done));
@@ -938,14 +966,15 @@ void TransactionManager::WriteEndIfNeeded(Txn& txn, bool force,
 // Subordinate path
 // ---------------------------------------------------------------------------
 
-void TransactionManager::OnAppData(const net::NodeId& from, const Pdu& pdu) {
+void TransactionManager::OnAppData(const net::NodeId& from, const Pdu& pdu,
+                                   std::string_view data) {
   Txn& txn = GetOrCreateTxn(pdu.txn);
   AddPeer(txn, from);
   if (!txn.has_work_source) {
     txn.has_work_source = true;
     txn.work_source = from;
   }
-  if (on_app_data_) on_app_data_(pdu.txn, from, pdu.data);
+  if (on_app_data_) on_app_data_(pdu.txn, from, data);
 }
 
 void TransactionManager::OnPreparePdu(const net::NodeId& from,
@@ -1613,43 +1642,78 @@ void TransactionManager::NoteImpliedAck(const net::NodeId& from) {
 // ---------------------------------------------------------------------------
 
 void TransactionManager::OnMessage(const net::Message& msg) {
-  auto pdus = DecodePdus(msg.payload);
-  if (!pdus.ok()) {
-    // Corrupt or malformed traffic: drop it rather than crash. Protocol
-    // retries and recovery treat a dropped message like any other loss.
-    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kApp, name_, msg.from, 0,
-                       "dropped malformed message: " +
-                           std::string(pdus.status().message())});
+  const net::NodeId& from = network_->NameOf(msg.from);
+  const std::string_view payload = network_->PayloadOf(msg);
+
+  if (config_.legacy_string_messaging) {
+    // Frozen seed receive path (commit_bench baseline): decode the payload
+    // into an owned PDU vector, re-allocating per delivery.
+    auto pdus = DecodePdus(payload);
+    if (!pdus.ok()) {
+      ctx_->trace().Add({ctx_->now(), sim::TraceKind::kApp, name_, from, 0,
+                         "dropped malformed message: " +
+                             std::string(pdus.status().message())});
+      return;
+    }
+    NoteImpliedAck(from);
+    for (const auto& pdu : *pdus) DispatchPdu(from, pdu, pdu.data);
     return;
   }
+
+  // Validation pass: walk every frame before dispatching any, so a bundle
+  // with a malformed tail is dropped whole — partial dispatch would create
+  // protocol state (e.g. an in-doubt txn from a truncated Prepare bundle)
+  // that the sender never committed to.
+  Status bad;
+  if (payload.empty()) {
+    bad = Status::Corruption("empty pdu payload");
+  } else {
+    PduCursor check(payload);
+    while (check.Next()) {
+    }
+    bad = check.status();
+  }
+  if (!bad.ok()) {
+    // Corrupt or malformed traffic: drop it rather than crash. Protocol
+    // retries and recovery treat a dropped message like any other loss.
+    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kApp, name_, from, 0,
+                       "dropped malformed message: " +
+                           std::string(bad.message())});
+    return;
+  }
+
   // Any traffic on a session acts as the implied acknowledgment for a
   // last-agent decision outstanding on it.
-  NoteImpliedAck(msg.from);
-  for (const auto& pdu : *pdus) {
-    switch (pdu.type) {
-      case PduType::kAppData:
-        OnAppData(msg.from, pdu);
-        break;
-      case PduType::kPrepare:
-        OnPreparePdu(msg.from, pdu);
-        break;
-      case PduType::kVote:
-        OnVotePdu(msg.from, pdu);
-        break;
-      case PduType::kCommit:
-      case PduType::kAbort:
-        OnDecisionPdu(msg.from, pdu);
-        break;
-      case PduType::kAck:
-        OnAckPdu(msg.from, pdu);
-        break;
-      case PduType::kInquiry:
-        OnInquiryPdu(msg.from, pdu);
-        break;
-      case PduType::kInquiryReply:
-        OnInquiryReplyPdu(msg.from, pdu);
-        break;
-    }
+  NoteImpliedAck(from);
+  PduCursor cursor(payload);
+  while (cursor.Next()) DispatchPdu(from, cursor.pdu(), cursor.data());
+}
+
+void TransactionManager::DispatchPdu(const net::NodeId& from, const Pdu& pdu,
+                                     std::string_view data) {
+  switch (pdu.type) {
+    case PduType::kAppData:
+      OnAppData(from, pdu, data);
+      break;
+    case PduType::kPrepare:
+      OnPreparePdu(from, pdu);
+      break;
+    case PduType::kVote:
+      OnVotePdu(from, pdu);
+      break;
+    case PduType::kCommit:
+    case PduType::kAbort:
+      OnDecisionPdu(from, pdu);
+      break;
+    case PduType::kAck:
+      OnAckPdu(from, pdu);
+      break;
+    case PduType::kInquiry:
+      OnInquiryPdu(from, pdu);
+      break;
+    case PduType::kInquiryReply:
+      OnInquiryReplyPdu(from, pdu);
+      break;
   }
 }
 

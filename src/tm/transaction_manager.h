@@ -81,6 +81,13 @@ struct TmConfig {
   /// forced. (Used by the shared-logs accounting experiments.)
   bool shared_log_with_host = false;
 
+  // --- benchmarking baseline ----------------------------------------------
+  /// Route protocol traffic through the frozen seed string path (PDU vector
+  /// + EncodePdus temporary + by-name LegacyMessage + DecodePdus on receive)
+  /// instead of the pooled writer/cursor path. Protocol behavior and traces
+  /// are identical; bench/commit_bench measures what the pooled path saves.
+  bool legacy_string_messaging = false;
+
   // --- failure behavior ----------------------------------------------------
   HeuristicPolicy heuristic_policy = HeuristicPolicy::kNever;
   sim::Time heuristic_delay = 60 * sim::kSecond;
@@ -121,9 +128,10 @@ class TransactionManager : public net::Endpoint {
   void Connect(const net::NodeId& peer, SessionOptions options = {});
 
   /// Application upcall invoked when APP_DATA arrives (workloads use it to
-  /// perform subordinate-side updates).
+  /// perform subordinate-side updates). `data` views the delivered payload
+  /// in place and dies with the upcall — copy it to keep it.
   using AppDataHandler = std::function<void(
-      uint64_t txn, const net::NodeId& from, const std::string& data)>;
+      uint64_t txn, const net::NodeId& from, std::string_view data)>;
   void SetAppDataHandler(AppDataHandler handler) {
     on_app_data_ = std::move(handler);
   }
@@ -137,12 +145,14 @@ class TransactionManager : public net::Endpoint {
   /// left-out session) in the transaction. Any acknowledgments buffered for
   /// `peer` (long locks / implied acks) piggyback on this flow.
   Status SendWork(uint64_t txn, const net::NodeId& peer,
-                  std::string payload = {});
+                  std::string_view payload = {});
 
   /// Data operations against a local RM (index into attachment order).
-  void Read(uint64_t txn, size_t rm_index, const std::string& key,
+  /// Keys are views so handlers can address data parsed straight out of a
+  /// delivered payload without materializing strings.
+  void Read(uint64_t txn, size_t rm_index, std::string_view key,
             rm::KVResourceManager::ReadCallback done);
-  void Write(uint64_t txn, size_t rm_index, const std::string& key,
+  void Write(uint64_t txn, size_t rm_index, std::string_view key,
              std::string value, rm::KVResourceManager::WriteCallback done);
 
   /// Server-side unsolicited vote: prepare now and vote YES to the peer the
@@ -340,7 +350,11 @@ class TransactionManager : public net::Endpoint {
   void RebuildSessionOrder();
   static void AddPeer(Txn& txn, const net::NodeId& peer);
   static bool HasPeer(const Txn& txn, const net::NodeId& peer);
-  void SendPdu(const net::NodeId& peer, Pdu pdu);
+  /// Sends `pdu` (plus anything buffered for the peer) as one message.
+  /// kAppData bytes may arrive as `app_data` instead of `pdu.data`: the
+  /// pooled path encodes them straight from the caller's view into the
+  /// payload buffer, copy-free. The view only needs to live for this call.
+  void SendPdu(const net::NodeId& peer, Pdu pdu, std::string_view app_data = {});
   void BufferPdu(const net::NodeId& peer, Pdu pdu);
   void AppendTmRecord(uint64_t txn, wal::RecordType type, bool force,
                       std::string body, std::function<void()> done);
@@ -361,8 +375,14 @@ class TransactionManager : public net::Endpoint {
   void CompleteApp(Txn& txn, bool pending);
   void WriteEndIfNeeded(Txn& txn, bool force, std::function<void()> done);
 
+  /// Routes one decoded PDU to its handler. `data` is the kAppData payload
+  /// view (empty for protocol PDUs).
+  void DispatchPdu(const net::NodeId& from, const Pdu& pdu,
+                   std::string_view data);
+
   // --- subordinate path ---------------------------------------------------------
-  void OnAppData(const net::NodeId& from, const Pdu& pdu);
+  void OnAppData(const net::NodeId& from, const Pdu& pdu,
+                 std::string_view data);
   void OnPreparePdu(const net::NodeId& from, const Pdu& pdu);
   void SendVote(Txn& txn);
   void OnDecisionPdu(const net::NodeId& from, const Pdu& pdu);
@@ -390,6 +410,7 @@ class TransactionManager : public net::Endpoint {
   net::Network* network_;
   wal::LogManager* log_;
   std::string name_;
+  uint32_t self_id_;  ///< our interned network id, cached at construction
   TmConfig config_;
   bool up_ = true;
   uint64_t epoch_ = 0;  ///< bumped on crash; stale timer closures no-op

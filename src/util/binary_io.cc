@@ -76,10 +76,17 @@ Status Decoder::GetBool(bool* v) {
 }
 
 Status Decoder::GetString(std::string* s) {
+  std::string_view v;
+  TPC_RETURN_IF_ERROR(GetStringView(&v));
+  s->assign(v.data(), v.size());
+  return Status::OK();
+}
+
+Status Decoder::GetStringView(std::string_view* s) {
   uint64_t n = 0;
   TPC_RETURN_IF_ERROR(GetVarint(&n));
   if (data_.size() < n) return Status::Corruption("decode underflow (string)");
-  s->assign(data_.data(), n);
+  *s = data_.substr(0, n);
   data_.remove_prefix(n);
   return Status::OK();
 }

@@ -114,6 +114,9 @@ class Decoder {
   Status GetVarint(uint64_t* v);
   Status GetBool(bool* v);
   Status GetString(std::string* s);
+  /// Zero-copy variant: a view into the decoder's buffer (valid while the
+  /// underlying bytes live).
+  Status GetStringView(std::string_view* s);
 
   size_t remaining() const { return data_.size(); }
   bool empty() const { return data_.empty(); }

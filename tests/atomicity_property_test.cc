@@ -58,7 +58,7 @@ TEST_P(CrashMatrixTest, SingleCrashNeverViolatesAtomicity) {
 
   auto writer = [&c](const std::string& node) {
     c.tm(node).SetAppDataHandler(
-        [&c, node](uint64_t txn, const net::NodeId& from, const std::string&) {
+        [&c, node](uint64_t txn, const net::NodeId& from, std::string_view) {
           if (node == "mid" && from != "root") return;
           c.tm(node).Write(txn, 0, node + "_key", "v",
                            [](Status st) { ASSERT_TRUE(st.ok()); });
@@ -148,7 +148,7 @@ TEST_P(Basic2pcCrashTest, NeverDiverges) {
   c.Connect("mid", "sub2");
   for (const std::string node : {"sub1", "mid", "sub2"}) {
     c.tm(node).SetAppDataHandler(
-        [&c, node](uint64_t txn, const net::NodeId& from, const std::string&) {
+        [&c, node](uint64_t txn, const net::NodeId& from, std::string_view) {
           if (node == "mid" && from != "root") return;
           c.tm(node).Write(txn, 0, node + "_key", "v",
                            [](Status st) { ASSERT_TRUE(st.ok()); });

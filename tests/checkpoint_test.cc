@@ -14,8 +14,8 @@ using harness::NodeOptions;
 
 void SubWritesOnData(Cluster& c, const std::string& node) {
   c.tm(node).SetAppDataHandler(
-      [&c, node](uint64_t txn, const net::NodeId&, const std::string& v) {
-        c.tm(node).Write(txn, 0, "k" + v, v,
+      [&c, node](uint64_t txn, const net::NodeId&, std::string_view v) {
+        c.tm(node).Write(txn, 0, "k" + std::string(v), std::string(v),
                          [](Status st) { ASSERT_TRUE(st.ok()); });
       });
 }

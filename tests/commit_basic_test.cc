@@ -37,7 +37,7 @@ TwoNodeRun RunTwoNodeCommit(ProtocolKind protocol) {
 
   // Subordinate-side work happens when app data arrives.
   c.tm("sub").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("sub").Write(txn, 0, "sub_key", "sub_value",
                           [](Status st) { ASSERT_TRUE(st.ok()); });
       });
@@ -162,7 +162,7 @@ TEST(TwoNodeAbortTest, SubordinateNoVoteAbortsEverywhere) {
   c.AddNode("sub", options);
   c.Connect("coord", "sub");
   c.tm("sub").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("sub").Write(txn, 0, "k", "dirty",
                           [](Status st) { ASSERT_TRUE(st.ok()); });
       });

@@ -25,7 +25,7 @@ std::string RunScriptedCluster(uint64_t seed) {
   c.Connect("a", "d");
   for (const std::string node : {"b", "d"}) {
     c.tm(node).SetAppDataHandler(
-        [&c, node](uint64_t txn, const net::NodeId&, const std::string&) {
+        [&c, node](uint64_t txn, const net::NodeId&, std::string_view) {
           c.tm(node).Write(txn, 0, node, "v", [](Status) {});
         });
   }
@@ -78,7 +78,7 @@ TEST(ContentionTest, ConflictingDistributedTxnsResolveByTimeoutAbort) {
   // servers, in opposite orders.
   for (const std::string node : {"s1", "s2"}) {
     c.tm(node).SetAppDataHandler(
-        [&c, node](uint64_t txn, const net::NodeId&, const std::string&) {
+        [&c, node](uint64_t txn, const net::NodeId&, std::string_view) {
           c.tm(node).Write(txn, 0, "shared", std::to_string(txn),
                            [](Status) { /* may time out: deadlock victim */ });
         });
@@ -125,7 +125,7 @@ TEST(ContentionTest, QueuedWriterProceedsAfterCommit) {
   c.AddNode("sub", options);
   c.Connect("coord", "sub");
   c.tm("sub").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("sub").Write(txn, 0, "hot", std::to_string(txn), [](Status) {});
       });
 

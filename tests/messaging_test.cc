@@ -1,0 +1,454 @@
+// Zero-allocation messaging hot path: pooled payload buffers, small-buffer
+// trace tags, in-place PDU encode/decode (PduWriter/PduCursor), malformed
+// payload fuzzing, and a counting-allocator proof that a steady-state
+// send -> deliver -> decode round trip touches the allocator zero times.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/sim_context.h"
+#include "tm/protocol_messages.h"
+#include "util/binary_io.h"
+
+// --- counting allocator ------------------------------------------------------
+// Replaceable global operator new/delete: every heap allocation in this test
+// binary bumps the counter. The zero-allocation test reads the delta across
+// a warmed-up region; everything else just pays one increment per alloc.
+
+namespace {
+unsigned long long g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tpc {
+namespace {
+
+// --- TraceTag ----------------------------------------------------------------
+
+TEST(TraceTagTest, InlineStorageAndFallback) {
+  net::TraceTag tag;
+  EXPECT_TRUE(tag.empty());
+  tag = "PREPARE";
+  EXPECT_EQ(tag.view(), "PREPARE");
+  tag.append("+ACK");
+  EXPECT_EQ(tag.view(), "PREPARE+ACK");
+  EXPECT_EQ(tag.size(), 11u);
+  tag.append(')');
+  EXPECT_EQ(tag.view(), "PREPARE+ACK)");
+  tag.clear();
+  EXPECT_TRUE(tag.empty());
+  EXPECT_EQ(tag.view(), "");
+
+  // A message with no tag reports its kind name in traces.
+  net::Message msg;
+  msg.kind = net::MsgKind::kPdu;
+  EXPECT_EQ(msg.TagView(), "PDU");
+  msg.trace_tag = "VOTE(YES)";
+  EXPECT_EQ(msg.TagView(), "VOTE(YES)");
+}
+
+TEST(TraceTagTest, LongTagsSpillWithoutTruncation) {
+  // Cross the inline capacity mid-append and byte-for-byte equality must
+  // hold — traces are compared bit-for-bit against the string-backed path.
+  std::string expect;
+  net::TraceTag tag;
+  for (int i = 0; i < 12; ++i) {
+    tag.append("APP_DATA+");
+    expect += "APP_DATA+";
+    EXPECT_EQ(tag.view(), expect) << "piece " << i;
+  }
+  EXPECT_EQ(tag.size(), expect.size());
+
+  // Assigning a short tag after a spill returns to the inline buffer.
+  tag = "ACK";
+  EXPECT_EQ(tag.view(), "ACK");
+
+  // One oversized assignment spills directly.
+  const std::string big(200, 'x');
+  tag = big;
+  EXPECT_EQ(tag.view(), big);
+}
+
+// --- payload pool ------------------------------------------------------------
+
+class CountingEndpoint : public net::Endpoint {
+ public:
+  explicit CountingEndpoint(net::Network* network) : network_(network) {}
+  void OnMessage(const net::Message& msg) override {
+    ++deliveries;
+    last_payload.assign(network_->PayloadOf(msg));
+  }
+  bool IsUp() const override { return true; }
+  uint64_t deliveries = 0;
+  std::string last_payload;
+
+ protected:
+  net::Network* network_;
+};
+
+TEST(PayloadPoolTest, BuffersAreRecycledAfterDelivery) {
+  sim::SimContext ctx;
+  net::Network network(&ctx);
+  CountingEndpoint a(&network), b(&network);
+  network.Register("a", &a);
+  network.Register("b", &b);
+
+  net::Message msg;
+  msg.from = network.IdOf("a");
+  msg.to = network.IdOf("b");
+  msg.payload = network.AcquirePayload();
+  const uint32_t index = msg.payload.index;
+  network.PayloadBuffer(msg.payload) = "hello";
+  ASSERT_TRUE(network.Send(std::move(msg)).ok());
+  ctx.events().Run();
+  EXPECT_EQ(b.last_payload, "hello");
+
+  // The delivered buffer went back on the free list; the next acquire hands
+  // out the same slot, cleared but with its capacity intact.
+  net::PayloadRef reused = network.AcquirePayload();
+  EXPECT_EQ(reused.index, index);
+  EXPECT_TRUE(network.PayloadBuffer(reused).empty());
+  EXPECT_GE(network.PayloadBuffer(reused).capacity(), 5u);
+}
+
+TEST(PayloadPoolTest, RejectedAndDroppedSendsReturnTheBuffer) {
+  sim::SimContext ctx;
+  net::Network network(&ctx);
+  CountingEndpoint a(&network), b(&network);
+  network.Register("a", &a);
+  network.Register("b", &b);
+
+  // Rejected: unknown destination.
+  net::Message msg;
+  msg.from = network.IdOf("a");
+  msg.payload = network.AcquirePayload();
+  const uint32_t index = msg.payload.index;
+  EXPECT_TRUE(network.Send(std::move(msg)).IsInvalidArgument());
+  EXPECT_EQ(network.AcquirePayload().index, index);  // back on the free list
+
+  // Dropped: link down. The buffer still comes back.
+  network.SetLinkDown("a", "b", true);
+  net::Message dropped;
+  dropped.from = network.IdOf("a");
+  dropped.to = network.IdOf("b");
+  dropped.payload = network.AcquirePayload();
+  const uint32_t drop_index = dropped.payload.index;
+  ASSERT_TRUE(network.Send(std::move(dropped)).ok());
+  EXPECT_EQ(network.AcquirePayload().index, drop_index);
+}
+
+// During OnMessage the delivered payload view must survive reentrant sends
+// that force the pool to grow (the deque keeps buffer addresses stable).
+class ReentrantEndpoint : public CountingEndpoint {
+ public:
+  ReentrantEndpoint(net::Network* network, uint32_t* self, uint32_t* peer)
+      : CountingEndpoint(network), self_(self), peer_(peer) {}
+  void OnMessage(const net::Message& msg) override {
+    std::string_view view = network_->PayloadOf(msg);
+    const std::string before(view);
+    if (before.substr(0, 4) == "seed") {
+      for (int i = 0; i < 64; ++i) {  // forces pool growth mid-upcall
+        net::Message out;
+        out.from = *self_;
+        out.to = *peer_;
+        out.payload = network_->AcquirePayload();
+        network_->PayloadBuffer(out.payload).assign("reentrant");
+        ASSERT_TRUE(network_->Send(std::move(out)).ok());
+      }
+    }
+    EXPECT_EQ(view, before);  // the view never moved
+    ++deliveries;
+  }
+
+ private:
+  uint32_t* self_;
+  uint32_t* peer_;
+};
+
+TEST(PayloadPoolTest, ViewsSurviveReentrantPoolGrowth) {
+  sim::SimContext ctx;
+  net::Network network(&ctx);
+  uint32_t a_id = 0, b_id = 0;
+  ReentrantEndpoint a(&network, &a_id, &b_id), b(&network, &b_id, &a_id);
+  network.Register("a", &a);
+  network.Register("b", &b);
+  a_id = network.IdOf("a");
+  b_id = network.IdOf("b");
+
+  net::Message msg;
+  msg.from = a_id;
+  msg.to = b_id;
+  msg.payload = network.AcquirePayload();
+  network.PayloadBuffer(msg.payload).assign("seed payload with some length");
+  ASSERT_TRUE(network.Send(std::move(msg)).ok());
+  ctx.events().Run();
+  EXPECT_EQ(b.deliveries, 1u);
+  EXPECT_EQ(a.deliveries, 64u);
+}
+
+// --- PduWriter / PduCursor ---------------------------------------------------
+
+tm::Pdu FullyLoadedVote() {
+  tm::Pdu pdu;
+  pdu.type = tm::PduType::kVote;
+  pdu.txn = 0xdeadbeefULL;
+  pdu.vote = rm::Vote::kYes;
+  pdu.reliable = true;
+  pdu.ok_to_leave_out = true;
+  pdu.unsolicited = true;
+  pdu.last_agent = true;
+  pdu.vote_long_locks = true;
+  pdu.heur_commit = true;
+  pdu.damage = true;
+  pdu.outcome_pending = true;
+  pdu.from_last_agent = true;
+  pdu.answer = tm::InquiryAnswer::kInDoubt;
+  return pdu;
+}
+
+TEST(PduCursorTest, RoundTripsBundleInPlace) {
+  tm::Pdu ack;
+  ack.type = tm::PduType::kAck;
+  ack.txn = 1;
+  tm::Pdu vote = FullyLoadedVote();
+  tm::Pdu data;
+  data.type = tm::PduType::kAppData;
+  data.txn = 2;
+  data.data = "application bytes";
+
+  std::string buf;
+  tm::PduWriter writer(&buf);
+  writer.Append(ack);
+  writer.Append(vote);
+  writer.Append(data);
+  EXPECT_EQ(writer.count(), 3u);
+  // Same bytes as the vector-based encoder: the two paths interoperate.
+  EXPECT_EQ(buf, tm::EncodePdus({ack, vote, data}));
+
+  tm::PduCursor cursor(buf);
+  ASSERT_TRUE(cursor.Next());
+  EXPECT_EQ(cursor.pdu().type, tm::PduType::kAck);
+  EXPECT_EQ(cursor.pdu().txn, 1u);
+  ASSERT_TRUE(cursor.Next());
+  EXPECT_EQ(cursor.pdu().type, tm::PduType::kVote);
+  EXPECT_EQ(cursor.pdu().txn, 0xdeadbeefULL);
+  EXPECT_TRUE(cursor.pdu().last_agent);
+  EXPECT_TRUE(cursor.pdu().vote_long_locks);
+  EXPECT_EQ(cursor.pdu().answer, tm::InquiryAnswer::kInDoubt);
+  ASSERT_TRUE(cursor.Next());
+  EXPECT_EQ(cursor.pdu().type, tm::PduType::kAppData);
+  EXPECT_TRUE(cursor.pdu().data.empty());  // app bytes stay in the payload
+  EXPECT_EQ(cursor.data(), "application bytes");
+  EXPECT_FALSE(cursor.Next());
+  EXPECT_TRUE(cursor.status().ok());
+  EXPECT_EQ(cursor.index(), 3u);
+}
+
+TEST(PduCursorTest, DescribePayloadMatchesDescribePdus) {
+  tm::Pdu ack;
+  ack.type = tm::PduType::kAck;
+  tm::Pdu vote;
+  vote.type = tm::PduType::kVote;
+  vote.vote = rm::Vote::kReadOnly;
+  vote.unsolicited = true;
+
+  const std::vector<tm::Pdu> bundle = {ack, vote};
+  net::TraceTag tag;
+  tm::DescribePayload(tm::EncodePdus(bundle), &tag);
+  EXPECT_EQ(tag.view(), tm::DescribePdus(bundle));
+  EXPECT_EQ(tag.view(), "ACK+VOTE(READ-ONLY,unsolicited)");
+}
+
+// --- malformed payload fuzz --------------------------------------------------
+
+// Walks the payload with PduCursor, returning (frames, ok).
+std::pair<size_t, bool> CursorWalk(std::string_view payload,
+                                   std::vector<std::string>* datas = nullptr) {
+  tm::PduCursor cursor(payload);
+  while (cursor.Next()) {
+    if (datas != nullptr) datas->emplace_back(cursor.data());
+  }
+  return {cursor.index(), cursor.status().ok()};
+}
+
+// DecodePdus and PduCursor must agree on every input: both accept with the
+// same frames, or both reject. (Empty payloads are the one intentional
+// difference — DecodePdus rejects them outright, a cursor just yields zero
+// frames — and the TM's validation pass handles that case explicitly.)
+void ExpectCodecAgreement(std::string_view payload) {
+  std::vector<std::string> cursor_datas;
+  const auto [frames, ok] = CursorWalk(payload, &cursor_datas);
+  auto decoded = tm::DecodePdus(payload);
+  if (payload.empty()) {
+    EXPECT_FALSE(decoded.ok());
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(frames, 0u);
+    return;
+  }
+  if (ok && frames <= 1024) {
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    ASSERT_EQ(decoded->size(), frames);
+    for (size_t i = 0; i < frames; ++i)
+      EXPECT_EQ((*decoded)[i].data, cursor_datas[i]);
+  } else {
+    EXPECT_FALSE(decoded.ok());
+  }
+}
+
+TEST(PduFuzzTest, MutatedPayloadsNeverCrashOrDisagree) {
+  std::mt19937_64 rng(20260806);
+
+  // Corpus of valid bundles with varied shapes.
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 32; ++i) {
+    std::vector<tm::Pdu> bundle(1 + rng() % 4);
+    for (auto& pdu : bundle) {
+      pdu.type = static_cast<tm::PduType>(
+          1 + rng() % static_cast<int>(tm::PduType::kInquiryReply));
+      pdu.txn = rng();
+      pdu.vote = static_cast<rm::Vote>(rng() % 3);
+      pdu.answer = static_cast<tm::InquiryAnswer>(rng() % 4);
+      pdu.long_locks = rng() % 2;
+      pdu.unsolicited = rng() % 2;
+      pdu.last_agent = rng() % 2;
+      if (pdu.type == tm::PduType::kAppData)
+        pdu.data.assign(rng() % 100, static_cast<char>('a' + rng() % 26));
+    }
+    corpus.push_back(tm::EncodePdus(bundle));
+    ExpectCodecAgreement(corpus.back());  // intact bundles round-trip
+  }
+
+  // >= 1k mutations: truncations, byte flips, random splices.
+  for (int round = 0; round < 1200; ++round) {
+    std::string payload = corpus[rng() % corpus.size()];
+    switch (round % 3) {
+      case 0:  // truncate mid-frame
+        payload.resize(rng() % (payload.size() + 1));
+        break;
+      case 1: {  // flip a byte (type, flags, length, or data)
+        if (!payload.empty()) {
+          const size_t pos = rng() % payload.size();
+          payload[pos] = static_cast<char>(
+              static_cast<uint8_t>(payload[pos]) ^ (1 + rng() % 255));
+        }
+        break;
+      }
+      case 2: {  // splice random garbage into the tail
+        payload.resize(rng() % (payload.size() + 1));
+        const size_t extra = rng() % 16;
+        for (size_t i = 0; i < extra; ++i)
+          payload.push_back(static_cast<char>(rng() % 256));
+        break;
+      }
+    }
+    ExpectCodecAgreement(payload);
+  }
+}
+
+TEST(PduFuzzTest, OversizedAppDataLengthIsRejectedNotOverread) {
+  // Hand-craft a kAppData frame whose declared data length dwarfs the
+  // actual bytes: the decoder must report corruption, not read past the
+  // buffer.
+  std::string payload;
+  AppendU8(payload, 1);  // kAppData
+  AppendVarint(payload, 7);  // txn
+  AppendU8(payload, 0);
+  AppendU8(payload, 0);  // flags
+  AppendU8(payload, 0);  // vote
+  AppendU8(payload, 0);  // answer
+  AppendVarint(payload, uint64_t{1} << 40);  // declared length: 1 TiB
+  payload += "abc";  // actual bytes: 3
+
+  EXPECT_FALSE(tm::DecodePdus(payload).ok());
+  const auto [frames, ok] = CursorWalk(payload);
+  EXPECT_EQ(frames, 0u);
+  EXPECT_FALSE(ok);
+}
+
+// --- zero-allocation round trip ----------------------------------------------
+
+class PduCountingEndpoint : public net::Endpoint {
+ public:
+  explicit PduCountingEndpoint(net::Network* network) : network_(network) {}
+  void OnMessage(const net::Message& msg) override {
+    tm::PduCursor cursor(network_->PayloadOf(msg));
+    while (cursor.Next()) {
+      pdus_seen += 1;
+      data_bytes += cursor.data().size();
+    }
+    ok = ok && cursor.status().ok();
+  }
+  bool IsUp() const override { return true; }
+  uint64_t pdus_seen = 0;
+  uint64_t data_bytes = 0;
+  bool ok = true;
+
+ private:
+  net::Network* network_;
+};
+
+TEST(ZeroAllocationTest, SteadyStateSendDeliverDecodeDoesNotAllocate) {
+  sim::SimContext ctx;
+  net::Network network(&ctx);
+  network.set_tracing(false);
+  ctx.trace().set_capture(false);
+  PduCountingEndpoint a(&network), b(&network);
+  network.Register("a", &a);
+  network.Register("b", &b);
+  const uint32_t a_id = network.IdOf("a");
+  const uint32_t b_id = network.IdOf("b");
+  // 1024us divides the timing wheel size (16384), so deliveries cycle
+  // through only 16 wheel buckets — a short warmup touches them all.
+  network.set_default_latency(1024);
+
+  auto round_trip = [&] {
+    tm::Pdu ack;
+    ack.type = tm::PduType::kAck;
+    ack.txn = 42;
+    tm::Pdu data;
+    data.type = tm::PduType::kAppData;
+    data.txn = 42;
+    data.data = "workbytes";  // fits SSO: building the Pdu never allocates
+
+    net::Message msg;
+    msg.from = a_id;
+    msg.to = b_id;
+    msg.kind = net::MsgKind::kPdu;
+    msg.txn = 42;
+    msg.payload = network.AcquirePayload();
+    tm::PduWriter writer(&network.PayloadBuffer(msg.payload));
+    writer.Append(ack);
+    writer.Append(data);
+    if (!network.Send(std::move(msg)).ok()) b.ok = false;
+    ctx.events().Run();
+  };
+
+  // Warm the payload pool, message slab, free lists, and wheel buckets.
+  for (int i = 0; i < 64; ++i) round_trip();
+
+  const uint64_t before = g_alloc_count;
+  for (int i = 0; i < 256; ++i) round_trip();
+  const uint64_t allocations = g_alloc_count - before;
+
+  EXPECT_EQ(allocations, 0u) << "steady-state round trips must not allocate";
+  EXPECT_TRUE(b.ok);
+  EXPECT_EQ(b.pdus_seen, 2u * (64 + 256));
+  EXPECT_EQ(b.data_bytes, 9u * (64 + 256));
+}
+
+}  // namespace
+}  // namespace tpc

@@ -20,10 +20,15 @@ TEST(TraceTest, FiltersByKindAndTxn) {
   trace.Add({10, sim::TraceKind::kSend, "a", "b", 1, "PREPARE"});
   trace.Add({20, sim::TraceKind::kLogForce, "b", "", 1, "tm.prepared"});
   trace.Add({30, sim::TraceKind::kSend, "b", "a", 2, "VOTE"});
-  EXPECT_EQ(trace.OfKind(sim::TraceKind::kSend).size(), 2u);
-  EXPECT_EQ(trace.OfTxn(1).size(), 2u);
-  EXPECT_EQ(trace.Count(sim::TraceKind::kSend, "a"), 1u);
   EXPECT_EQ(trace.Count(sim::TraceKind::kSend), 2u);
+  EXPECT_EQ(trace.CountTxn(1), 2u);
+  EXPECT_EQ(trace.Count(sim::TraceKind::kSend, "a"), 1u);
+  // ForEach visits matching entries in order without copying them.
+  std::vector<std::string> sends;
+  trace.ForEach(
+      [](const sim::TraceEntry& e) { return e.kind == sim::TraceKind::kSend; },
+      [&sends](const sim::TraceEntry& e) { sends.push_back(e.detail); });
+  EXPECT_EQ(sends, (std::vector<std::string>{"PREPARE", "VOTE"}));
 }
 
 TEST(TraceTest, RenderContainsEssentials) {
@@ -150,8 +155,8 @@ TEST(PduCodecTest, RejectsBadEnumValues) {
   tm::Pdu pdu;
   pdu.type = tm::PduType::kVote;
   std::string payload = tm::EncodePdus({pdu});
-  // Corrupt the type byte (first byte after the count varint).
-  payload[1] = 99;
+  // Corrupt the type byte (frames are packed back to back, no count prefix).
+  payload[0] = 99;
   EXPECT_FALSE(tm::DecodePdus(payload).ok());
 }
 
@@ -260,8 +265,8 @@ TEST(TmEdgeCaseTest, SequentialTransactionsReuseSessions) {
   c.AddNode("b", {});
   c.Connect("a", "b");
   c.tm("b").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string& v) {
-        c.tm("b").Write(txn, 0, "k", v, [](Status st) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view v) {
+        c.tm("b").Write(txn, 0, "k", std::string(v), [](Status st) {
           ASSERT_TRUE(st.ok());
         });
       });
@@ -282,7 +287,7 @@ TEST(TmEdgeCaseTest, MetricsReportCoversEveryNode) {
   c.AddNode("beta", {});
   c.Connect("alpha", "beta");
   c.tm("beta").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("beta").Write(txn, 0, "k", "v", [](Status) {});
       });
   uint64_t txn = c.tm("alpha").Begin();

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "net/network.h"
@@ -11,39 +12,46 @@
 namespace tpc::net {
 namespace {
 
+// Payload buffers are recycled when OnMessage returns, so the endpoint
+// copies the delivered bytes out while they are still live.
 class RecordingEndpoint : public Endpoint {
  public:
-  explicit RecordingEndpoint(sim::SimContext* ctx) : ctx_(ctx) {}
+  RecordingEndpoint(sim::SimContext* ctx, Network* network)
+      : ctx_(ctx), network_(network) {}
 
   void OnMessage(const Message& msg) override {
-    received.push_back({ctx_->now(), msg});
+    received.push_back({ctx_->now(), msg.from, std::string(msg.TagView()),
+                        std::string(network_->PayloadOf(msg))});
   }
   bool IsUp() const override { return up; }
 
   struct Delivery {
     sim::Time at;
-    Message msg;
+    uint32_t from;
+    std::string tag;
+    std::string payload;
   };
   std::vector<Delivery> received;
   bool up = true;
 
  private:
   sim::SimContext* ctx_;
+  Network* network_;
 };
 
 class NetworkTest : public ::testing::Test {
  protected:
-  NetworkTest() : network_(&ctx_), a_(&ctx_), b_(&ctx_) {
+  NetworkTest() : network_(&ctx_), a_(&ctx_, &network_), b_(&ctx_, &network_) {
     network_.Register("a", &a_);
     network_.Register("b", &b_);
   }
 
   Message Make(const std::string& from, const std::string& to,
-               std::string tag = "PING") {
+               std::string_view tag = "PING") {
     Message msg;
-    msg.from = from;
-    msg.to = to;
-    msg.trace_tag = std::move(tag);
+    msg.from = network_.InternId(from);
+    msg.to = network_.InternId(to);
+    msg.trace_tag = tag;
     msg.txn = 1;
     return msg;
   }
@@ -58,7 +66,7 @@ TEST_F(NetworkTest, DeliversWithDefaultLatency) {
   ctx_.events().Run();
   ASSERT_EQ(b_.received.size(), 1u);
   EXPECT_EQ(b_.received[0].at, sim::kMillisecond);
-  EXPECT_EQ(b_.received[0].msg.from, "a");
+  EXPECT_EQ(b_.received[0].from, network_.IdOf("a"));
 }
 
 TEST_F(NetworkTest, PerLinkLatencyOverride) {
@@ -77,14 +85,19 @@ TEST_F(NetworkTest, SessionOrderPreservedWhenLatencyDrops) {
   ASSERT_TRUE(network_.Send(Make("a", "b", "SECOND")).ok());
   ctx_.events().Run();
   ASSERT_EQ(b_.received.size(), 2u);
-  EXPECT_EQ(b_.received[0].msg.trace_tag, "FIRST");
-  EXPECT_EQ(b_.received[1].msg.trace_tag, "SECOND");
+  EXPECT_EQ(b_.received[0].tag, "FIRST");
+  EXPECT_EQ(b_.received[1].tag, "SECOND");
   EXPECT_GE(b_.received[1].at, b_.received[0].at);
 }
 
 TEST_F(NetworkTest, UnknownSenderOrDestinationRejected) {
+  // Interned but never registered: no endpoint behind the id.
   EXPECT_TRUE(network_.Send(Make("ghost", "b")).IsInvalidArgument());
-  EXPECT_TRUE(network_.Send(Make("a", "ghost")).IsInvalidArgument());
+  EXPECT_TRUE(network_.Send(Make("a", "ghost2")).IsInvalidArgument());
+  // Never interned at all (default-initialized message ids).
+  Message blank;
+  EXPECT_TRUE(network_.Send(std::move(blank)).IsInvalidArgument());
+  EXPECT_EQ(network_.stats().messages_rejected, 3u);
 }
 
 TEST_F(NetworkTest, DeadSenderRejected) {
@@ -124,16 +137,52 @@ TEST_F(NetworkTest, LinkDownDropsBothDirections) {
 
 TEST_F(NetworkTest, StatsCountFlowsAndBytes) {
   Message msg = Make("a", "b");
-  msg.payload = "12345";
-  ASSERT_TRUE(network_.Send(msg).ok());
+  msg.payload = network_.AcquirePayload();
+  network_.PayloadBuffer(msg.payload) = "12345";
+  ASSERT_TRUE(network_.Send(std::move(msg)).ok());
   ASSERT_TRUE(network_.Send(Make("b", "a")).ok());
   ctx_.events().Run();
   EXPECT_EQ(network_.stats().messages_sent, 2u);
   EXPECT_EQ(network_.stats().messages_delivered, 2u);
   EXPECT_EQ(network_.stats().bytes_sent, 5u);
+  EXPECT_EQ(network_.stats().bytes_delivered, 5u);
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].payload, "12345");
   EXPECT_EQ(network_.SentBy("a"), 1u);
   EXPECT_EQ(network_.SentBy("b"), 1u);
   EXPECT_EQ(network_.SentBy("ghost"), 0u);
+}
+
+TEST_F(NetworkTest, DroppedBytesCountedSentButNotDelivered) {
+  b_.up = false;
+  Message msg = Make("a", "b");
+  msg.payload = network_.AcquirePayload();
+  network_.PayloadBuffer(msg.payload) = "123";
+  ASSERT_TRUE(network_.Send(std::move(msg)).ok());
+  ctx_.events().Run();
+  EXPECT_EQ(network_.stats().bytes_sent, 3u);
+  EXPECT_EQ(network_.stats().bytes_delivered, 0u);
+}
+
+TEST_F(NetworkTest, LegacySendResolvesNamesAndCopiesPayload) {
+  LegacyMessage msg;
+  msg.from = "a";
+  msg.to = "b";
+  msg.trace_tag = "LEGACY";
+  msg.payload = "abcdef";
+  msg.txn = 7;
+  ASSERT_TRUE(network_.SendLegacy(std::move(msg)).ok());
+  ctx_.events().Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].from, network_.IdOf("a"));
+  EXPECT_EQ(b_.received[0].tag, "LEGACY");
+  EXPECT_EQ(b_.received[0].payload, "abcdef");
+  EXPECT_EQ(network_.stats().bytes_sent, 6u);
+
+  LegacyMessage ghost;
+  ghost.from = "nobody";
+  ghost.to = "b";
+  EXPECT_TRUE(network_.SendLegacy(std::move(ghost)).IsInvalidArgument());
 }
 
 TEST_F(NetworkTest, TraceRecordsSendAndReceive) {

@@ -21,7 +21,7 @@ NodeOptions PaOptions() {
 
 void SubWritesOnData(Cluster& c, const std::string& node) {
   c.tm(node).SetAppDataHandler(
-      [&c, node](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c, node](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm(node).Write(txn, 0, node + "_key", "v",
                          [](Status st) { ASSERT_TRUE(st.ok()); });
       });
@@ -36,7 +36,7 @@ TEST(ReadOnlyOptTest, ReadOnlySubordinateSkipsPhaseTwoAndLogs) {
   c.Connect("coord", "sub");
   // Subordinate only reads.
   c.tm("sub").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("sub").Read(txn, 0, "nonexistent", [](Result<std::string> r) {
           EXPECT_TRUE(r.status().IsNotFound());
         });
@@ -220,7 +220,7 @@ TEST(UnsolicitedVoteTest, ServerVotesEarlyAndPrepareIsSkipped) {
   c.AddNode("sub", PaOptions());
   c.Connect("coord", "sub");
   c.tm("sub").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("sub").Write(txn, 0, "sub_key", "v", [&c, txn](Status st) {
           ASSERT_TRUE(st.ok());
           // Server knows it is done: prepare and vote without being asked.
@@ -499,14 +499,14 @@ TEST(AckTimingTest, EarlyAckCompletesRootBeforeSubtreeAcks) {
     c.network().SetLinkLatency("mid", "leaf", 100 * sim::kMillisecond);
 
     c.tm("mid").SetAppDataHandler(
-        [&c](uint64_t txn, const net::NodeId& from, const std::string&) {
+        [&c](uint64_t txn, const net::NodeId& from, std::string_view) {
           if (from != "root") return;
           c.tm("mid").Write(txn, 0, "m", "v",
                             [](Status st) { ASSERT_TRUE(st.ok()); });
           ASSERT_TRUE(c.tm("mid").SendWork(txn, "leaf").ok());
         });
     c.tm("leaf").SetAppDataHandler(
-        [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+        [&c](uint64_t txn, const net::NodeId&, std::string_view) {
           c.tm("leaf").Write(txn, 0, "l", "v",
                              [](Status st) { ASSERT_TRUE(st.ok()); });
         });

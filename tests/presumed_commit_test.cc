@@ -22,7 +22,7 @@ NodeOptions PcOptions() {
 
 void SubWritesOnData(Cluster& c, const std::string& node) {
   c.tm(node).SetAppDataHandler(
-      [&c, node](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c, node](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm(node).Write(txn, 0, node + "_key", "v",
                          [](Status st) { ASSERT_TRUE(st.ok()); });
       });
@@ -168,7 +168,7 @@ TEST(PresumedCommitTest, CascadedTreeCommits) {
   c.Connect("root", "mid");
   c.Connect("mid", "leaf");
   c.tm("mid").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId& from, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId& from, std::string_view) {
         if (from != "root") return;
         c.tm("mid").Write(txn, 0, "m", "v",
                           [](Status st) { ASSERT_TRUE(st.ok()); });

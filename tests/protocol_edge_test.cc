@@ -24,7 +24,7 @@ NodeOptions Options(ProtocolKind protocol) {
 
 void Writer(Cluster& c, const std::string& node) {
   c.tm(node).SetAppDataHandler(
-      [&c, node](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c, node](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm(node).Write(txn, 0, node + "_key", "v",
                          [](Status st) { ASSERT_TRUE(st.ok()); });
       });
@@ -46,7 +46,7 @@ TEST(IntermediateHeuristicTest, HeuristicAtMidPropagatesToItsSubtree) {
   c.Connect("root", "mid");
   c.Connect("mid", "leaf");
   c.tm("mid").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId& from, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId& from, std::string_view) {
         if (from != "root") return;
         c.tm("mid").Write(txn, 0, "m", "v",
                           [](Status st) { ASSERT_TRUE(st.ok()); });
@@ -94,7 +94,7 @@ TEST(EarlyAckTest, EarlyAckTradesConfidenceForSpeed) {
   c.Connect("mid", "leaf");
   c.network().SetLinkLatency("mid", "leaf", 200 * sim::kMillisecond);
   c.tm("mid").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId& from, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId& from, std::string_view) {
         if (from != "root") return;
         c.tm("mid").Write(txn, 0, "m", "v",
                           [](Status st) { ASSERT_TRUE(st.ok()); });
@@ -197,7 +197,7 @@ TEST(UnsolicitedVoteTest, UnsolicitedNoAbortsTheTransaction) {
   c.AddNode("sub", Options(ProtocolKind::kPresumedAbort));
   c.Connect("coord", "sub");
   c.tm("sub").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("sub").Write(txn, 0, "s", "v", [&c, txn](Status st) {
           ASSERT_TRUE(st.ok());
           // Poison the prepare, then vote early: the unsolicited vote is NO.

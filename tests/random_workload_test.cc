@@ -57,7 +57,7 @@ TEST_P(RandomWorkloadTest, EveryTransactionIsAllOrNothing) {
   for (int i = 0; i < kNodes; ++i) {
     const std::string name = NodeName(i);
     c.tm(name).SetAppDataHandler(
-        [&c, name](uint64_t txn, const net::NodeId&, const std::string&) {
+        [&c, name](uint64_t txn, const net::NodeId&, std::string_view) {
           c.tm(name).Write(txn, 0, "t" + std::to_string(txn), "done",
                            [](Status) { /* may fail if node crashes */ });
         });

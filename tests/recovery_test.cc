@@ -23,7 +23,7 @@ NodeOptions Options(ProtocolKind protocol) {
 
 void SubWritesOnData(Cluster& c, const std::string& node) {
   c.tm(node).SetAppDataHandler(
-      [&c, node](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c, node](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm(node).Write(txn, 0, node + "_key", "v",
                          [](Status st) { ASSERT_TRUE(st.ok()); });
       });

@@ -19,21 +19,21 @@ TEST(RobustnessTest, MalformedMessagesAreDroppedNotFatal) {
   c.AddNode("b", {});
   c.Connect("a", "b");
   c.tm("b").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("b").Write(txn, 0, "k", "v", [](Status) {});
       });
 
   Random rng(1234);
   // Blast garbage at both nodes, interleaved with a real transaction.
   auto blast = [&](const std::string& from, const std::string& to) {
-    net::Message msg;
+    net::LegacyMessage msg;
     msg.from = from;
     msg.to = to;
     msg.trace_tag = "GARBAGE";
     size_t len = rng.Uniform(64);
     for (size_t i = 0; i < len; ++i)
       msg.payload.push_back(static_cast<char>(rng.Uniform(256)));
-    ASSERT_TRUE(c.network().Send(msg).ok());
+    ASSERT_TRUE(c.network().SendLegacy(std::move(msg)).ok());
   };
   for (int i = 0; i < 50; ++i) {
     blast("a", "b");
@@ -65,12 +65,12 @@ TEST(RobustnessTest, TruncatedProtocolMessageIsDropped) {
   pdu.type = tm::PduType::kPrepare;
   pdu.txn = 42;
   std::string payload = tm::EncodePdus({pdu});
-  net::Message msg;
+  net::LegacyMessage msg;
   msg.from = "a";
   msg.to = "b";
   msg.trace_tag = "TRUNCATED";
   msg.payload = payload.substr(0, payload.size() / 2);
-  ASSERT_TRUE(c.network().Send(msg).ok());
+  ASSERT_TRUE(c.network().SendLegacy(std::move(msg)).ok());
   c.RunFor(sim::kSecond);
   // b neither crashed nor created transaction state.
   EXPECT_TRUE(c.tm("b").IsUp());

@@ -35,7 +35,7 @@ SweepCell CommitCell(size_t i) {
                              static_cast<sim::Time>(1 + i) * sim::kMillisecond);
   for (const std::string node : {"s1", "s2"}) {
     c.tm(node).SetAppDataHandler(
-        [&c, node](uint64_t txn, const net::NodeId&, const std::string&) {
+        [&c, node](uint64_t txn, const net::NodeId&, std::string_view) {
           c.tm(node).Write(txn, 0, node + "_k", "v",
                            [](Status st) { TPC_CHECK(st.ok()); });
         });

@@ -24,14 +24,14 @@ NodeOptions Options(ProtocolKind protocol) {
 // Builds root -> mid -> leaf, with updates everywhere, ready to commit.
 uint64_t SetupChain(Cluster& c) {
   c.tm("mid").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId& from, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId& from, std::string_view) {
         if (from != "root") return;
         c.tm("mid").Write(txn, 0, "mid_key", "v",
                           [](Status st) { ASSERT_TRUE(st.ok()); });
         ASSERT_TRUE(c.tm("mid").SendWork(txn, "leaf").ok());
       });
   c.tm("leaf").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("leaf").Write(txn, 0, "leaf_key", "v",
                            [](Status st) { ASSERT_TRUE(st.ok()); });
       });
@@ -214,7 +214,7 @@ TEST(WaitForOutcomeTest, NonBlockingCommitReturnsPendingAndResolvesLater) {
   c.AddNode("sub", Options(ProtocolKind::kPresumedNothing));
   c.Connect("root", "sub");
   c.tm("sub").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("sub").Write(txn, 0, "s", "v",
                           [](Status st) { ASSERT_TRUE(st.ok()); });
       });
@@ -256,7 +256,7 @@ TEST(WaitForOutcomeTest, BlockingModeWaitsForRecovery) {
   c.AddNode("sub", Options(ProtocolKind::kPresumedNothing));
   c.Connect("root", "sub");
   c.tm("sub").SetAppDataHandler(
-      [&c](uint64_t txn, const net::NodeId&, const std::string&) {
+      [&c](uint64_t txn, const net::NodeId&, std::string_view) {
         c.tm("sub").Write(txn, 0, "s", "v",
                           [](Status st) { ASSERT_TRUE(st.ok()); });
       });

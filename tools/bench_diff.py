@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json files and fail on regressions.
+
+Usage:
+  bench_diff.py baseline.json current.json [--tolerance 0.10]
+                [--metrics PATTERN]
+
+Cells are matched by label. By default only metrics whose name contains
+"speedup" are gated: speedups are ratios of two runs on the same machine,
+so they transfer across hardware, while absolute commits/sec or ops/sec do
+not (the checked-in baselines come from a different box than CI). Pass
+--metrics to gate a different set (substring match, comma-separated).
+
+A gated metric regresses when current < baseline * (1 - tolerance). Higher
+is assumed better; wall_seconds-style metrics are never gated by default.
+Exit status: 0 = no regression, 1 = regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    cells = {}
+    for cell in report.get("cells", []):
+        label = cell.get("label")
+        if label is None:
+            raise ValueError(f"{path}: cell without a label")
+        cells[label] = cell
+    if not cells:
+        raise ValueError(f"{path}: no cells")
+    return report.get("bench", "?"), cells
+
+
+def gated_metrics(cell, patterns):
+    skip = {"label", "events", "txns", "sim_seconds"}
+    for name, value in cell.items():
+        if name in skip or not isinstance(value, (int, float)):
+            continue
+        if any(p in name for p in patterns):
+            yield name, float(value)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when a benchmark metric regresses vs a baseline.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional drop (default 0.10)")
+    parser.add_argument("--metrics", default="speedup",
+                        help="comma-separated substrings of metric names to "
+                             "gate (default: speedup)")
+    args = parser.parse_args()
+
+    try:
+        base_name, base_cells = load_cells(args.baseline)
+        cur_name, cur_cells = load_cells(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 1
+    if base_name != cur_name:
+        print(f"bench_diff: comparing different benches "
+              f"({base_name!r} vs {cur_name!r})", file=sys.stderr)
+        return 1
+
+    patterns = [p for p in args.metrics.split(",") if p]
+    regressions = []
+    checked = 0
+    for label, base_cell in sorted(base_cells.items()):
+        cur_cell = cur_cells.get(label)
+        if cur_cell is None:
+            regressions.append(f"{label}: cell missing from {args.current}")
+            continue
+        for metric, base_value in gated_metrics(base_cell, patterns):
+            if metric not in cur_cell:
+                regressions.append(f"{label}.{metric}: missing from current")
+                continue
+            cur_value = float(cur_cell[metric])
+            floor = base_value * (1.0 - args.tolerance)
+            ok = cur_value >= floor
+            checked += 1
+            marker = "ok " if ok else "REG"
+            print(f"  [{marker}] {label:32s} {metric}: "
+                  f"{base_value:.3f} -> {cur_value:.3f} "
+                  f"(floor {floor:.3f})")
+            if not ok:
+                regressions.append(
+                    f"{label}.{metric}: {cur_value:.3f} < {floor:.3f} "
+                    f"(baseline {base_value:.3f}, tolerance "
+                    f"{args.tolerance:.0%})")
+
+    if checked == 0:
+        print("bench_diff: no gated metrics matched "
+              f"{patterns!r} in {args.baseline}", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} regression(s):",
+              file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"bench_diff: {checked} metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
