@@ -27,7 +27,10 @@ Node::Node(sim::SimContext* ctx, net::Network* network, std::string name,
   tm_config.shared_log_with_host = host_log != nullptr;
   tm_ = std::make_unique<tm::TransactionManager>(ctx, network, log_, name_,
                                                  tm_config);
-  for (auto& rm : rms_) tm_->AttachRm(rm.get());
+  for (auto& rm : rms_) {
+    rm->EnableCrashPoints(name_);
+    tm_->AttachRm(rm.get());
+  }
 }
 
 void Node::Crash() {
@@ -76,7 +79,14 @@ Status Node::Checkpoint(std::function<void()> done) {
   return Status::OK();
 }
 
-Cluster::Cluster(uint64_t seed) : ctx_(seed), network_(&ctx_) {}
+Cluster::Cluster(uint64_t seed) : ctx_(seed), network_(&ctx_) {
+  // Scheduled link flaps (FailureInjector::ScheduleLinkFlap) drive the
+  // network's partition state.
+  ctx_.failures().SetLinkController(
+      [this](const std::string& a, const std::string& b, bool down) {
+        network_.SetLinkDown(a, b, down);
+      });
+}
 
 Node& Cluster::AddNode(const std::string& name, const NodeOptions& options) {
   TPC_CHECK(nodes_.find(name) == nodes_.end());
@@ -87,7 +97,8 @@ Node& Cluster::AddNode(const std::string& name, const NodeOptions& options) {
   auto n = std::make_unique<Node>(&ctx_, &network_, name, options, host_log);
   Node* raw = n.get();
   nodes_.emplace(name, std::move(n));
-  ctx_.failures().RegisterNode(name, [raw] { raw->Crash(); });
+  ctx_.failures().RegisterNode(name, [raw] { raw->Crash(); },
+                               [raw] { raw->Restart(); });
   return *raw;
 }
 
@@ -102,6 +113,19 @@ Node& Cluster::node(const std::string& name) {
   auto it = nodes_.find(name);
   TPC_CHECK(it != nodes_.end());
   return *it->second;
+}
+
+const Node& Cluster::node(const std::string& name) const {
+  auto it = nodes_.find(name);
+  TPC_CHECK(it != nodes_.end());
+  return *it->second;
+}
+
+std::vector<std::string> Cluster::NodeNames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, n] : nodes_) names.push_back(name);
+  return names;
 }
 
 uint64_t Cluster::Drain(uint64_t max_events) {

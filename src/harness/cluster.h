@@ -107,9 +107,13 @@ class Cluster {
                tm::SessionOptions b_options = {});
 
   Node& node(const std::string& name);
+  const Node& node(const std::string& name) const;
   tm::TransactionManager& tm(const std::string& name) {
     return node(name).tm();
   }
+
+  /// Node names in deterministic (sorted) order.
+  std::vector<std::string> NodeNames() const;
 
   /// Runs the event loop until it drains (only safe without armed
   /// retry-forever timers). Returns events executed.

@@ -131,6 +131,14 @@ class LockManager {
   /// Number of transactions currently waiting (for blocked-work metrics).
   size_t WaiterCount() const;
 
+  /// Number of (txn, key) holds currently granted, across all transactions.
+  /// Zero at quiescence — the torture oracle's leaked-lock check.
+  size_t HeldLockCount() const {
+    size_t n = 0;
+    for (const auto& entry : table_) n += entry.holders.size();
+    return n;
+  }
+
   const LockStats& stats() const { return stats_; }
   void ResetStats() { stats_ = LockStats{}; }
 

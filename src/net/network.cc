@@ -31,16 +31,19 @@ void Network::GrowTables(uint32_t min_nodes) {
   std::vector<sim::Time> latency(size_t{new_cap} * new_cap, kDefaultLatency);
   std::vector<unsigned char> down(size_t{new_cap} * new_cap, 0);
   std::vector<sim::Time> floor(size_t{new_cap} * new_cap, 0);
+  std::vector<double> loss(size_t{new_cap} * new_cap, 0.0);
   for (uint32_t a = 0; a < cap_; ++a) {
     for (uint32_t b = 0; b < cap_; ++b) {
       latency[size_t{a} * new_cap + b] = latency_[LinkIndex(a, b)];
       down[size_t{a} * new_cap + b] = down_[LinkIndex(a, b)];
       floor[size_t{a} * new_cap + b] = delivery_floor_[LinkIndex(a, b)];
+      loss[size_t{a} * new_cap + b] = loss_[LinkIndex(a, b)];
     }
   }
   latency_ = std::move(latency);
   down_ = std::move(down);
   delivery_floor_ = std::move(floor);
+  loss_ = std::move(loss);
   cap_ = new_cap;
 }
 
@@ -68,6 +71,19 @@ bool Network::IsLinkDown(const NodeId& a, const NodeId& b) const {
   const uint32_t ia = Find(a), ib = Find(b);
   if (ia == kNoNode || ib == kNoNode) return false;
   return down_[LinkIndex(ia, ib)] != 0;
+}
+
+void Network::SetLinkLossRate(const NodeId& a, const NodeId& b, double p) {
+  TPC_CHECK(p >= 0.0 && p <= 1.0);
+  const uint32_t ia = Intern(a), ib = Intern(b);
+  loss_[LinkIndex(ia, ib)] = p;
+  loss_[LinkIndex(ib, ia)] = p;
+}
+
+double Network::LinkLossRate(const NodeId& a, const NodeId& b) const {
+  const uint32_t ia = Find(a), ib = Find(b);
+  if (ia == kNoNode || ib == kNoNode) return 0.0;
+  return loss_[LinkIndex(ia, ib)];
 }
 
 sim::Time Network::LatencyBetween(const NodeId& a, const NodeId& b) const {
@@ -143,6 +159,14 @@ Status Network::Send(Message msg) {
     ++stats_.messages_dropped;
     ReleasePayload(msg.payload);
     return Status::OK();  // silent loss, like a real partition
+  }
+  // Seeded probabilistic loss. A lost message never went on the wire as far
+  // as the receiver is concerned, so the FIFO floor stays where it was.
+  const double loss = loss_[link];
+  if (loss > 0.0 && ctx_->rng().Bernoulli(loss)) {
+    ++stats_.messages_dropped;
+    ReleasePayload(msg.payload);
+    return Status::OK();
   }
 
   const sim::Time link_latency = latency_[link];

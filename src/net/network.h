@@ -78,8 +78,26 @@ class Network {
   /// Takes both directions of the (a, b) link down or up. Messages sent
   /// while a link is down are dropped silently (no error to the sender, as
   /// with a real partition).
+  ///
+  /// In-flight semantics (link flaps): the link state is checked both at
+  /// send time and again at delivery time. A message sent while the link
+  /// was up but *due for delivery during an outage* is dropped retroactively
+  /// — it was on the wire when the link failed, so it never arrives. A
+  /// message whose delivery time falls after the link recovers is delivered
+  /// normally; the outage in between does not affect it. The FIFO delivery
+  /// floor is unaffected by outages, so per-link ordering of surviving
+  /// messages is preserved across a flap.
   void SetLinkDown(const NodeId& a, const NodeId& b, bool down);
   bool IsLinkDown(const NodeId& a, const NodeId& b) const;
+
+  /// Sets a probabilistic loss rate on both directions of the (a, b) link:
+  /// each accepted message is independently dropped with probability `p`
+  /// (0 disables). Draws come from the SimContext RNG, so a given seed
+  /// yields an identical loss pattern on every run. Lost messages count as
+  /// dropped flows (the sender did the work) and do not advance the FIFO
+  /// delivery floor.
+  void SetLinkLossRate(const NodeId& a, const NodeId& b, double p);
+  double LinkLossRate(const NodeId& a, const NodeId& b) const;
 
   /// Sends a message. The sender must be registered and up. Delivery is
   /// in-order per directed pair. Counting: every accepted message is one
@@ -185,6 +203,7 @@ class Network {
   std::vector<sim::Time> latency_;  // kDefaultLatency = use default_latency_
   std::vector<unsigned char> down_;
   std::vector<sim::Time> delivery_floor_;  // per directed pair (FIFO)
+  std::vector<double> loss_;               // per directed pair drop probability
 
   // Payload buffer pool. A deque keeps buffer addresses stable while the
   // pool grows, so payload views held across a reentrant Send (an OnMessage

@@ -3,11 +3,22 @@
 #include <memory>
 #include <utility>
 
+#include "tm/crash_points.h"
 #include "util/binary_io.h"
 #include "util/logging.h"
 
 namespace tpc::rm {
 namespace {
+
+// Indices into tm::kRmCrashPoints (and fi_points_).
+enum RmCrashIdx : size_t {
+  kBeforePreparedLog = 0,
+  kAfterPreparedLog = 1,
+  kBeforeCommittedLog = 2,
+  kAfterCommittedLog = 3,
+  kBeforeAbortLog = 4,
+  kAfterAbortLog = 5,
+};
 
 std::string EncodeUpdateBody(const std::string& key, const std::string& old_value,
                              bool had_old, const std::string& new_value) {
@@ -53,6 +64,18 @@ KVResourceManager::KVResourceManager(sim::SimContext* ctx, std::string name,
       options_(options),
       locks_(ctx, name_, options.lock_timeout),
       store_lock_id_(locks_.InternKey(kStoreLock)) {}
+
+void KVResourceManager::EnableCrashPoints(const std::string& node) {
+  fi_node_ = ctx_->failures().InternNode(node);
+  for (size_t i = 0; i < tm::kRmCrashPointCount; ++i)
+    fi_points_[i] = ctx_->failures().InternPoint(tm::kRmCrashPoints[i]);
+  fi_armed_ = true;
+}
+
+bool KVResourceManager::CrashHere(size_t point) {
+  if (!fi_armed_) return false;
+  return ctx_->failures().CrashPoint(fi_node_, fi_points_[point]);
+}
 
 void KVResourceManager::Read(uint64_t txn, std::string_view key,
                              ReadCallback done) {
@@ -166,6 +189,7 @@ void KVResourceManager::Prepare(uint64_t txn, VoteCallback done) {
     done(info);
     return;
   }
+  if (CrashHere(kBeforePreparedLog)) return;
   it->second.prepared = true;
   wal::LogRecord rec;
   rec.type = wal::RecordType::kRmPrepared;
@@ -173,6 +197,7 @@ void KVResourceManager::Prepare(uint64_t txn, VoteCallback done) {
   rec.owner = name_;
   const bool force = !options_.shared_log_with_tm;
   log_->Append(rec, force, [this, done = std::move(done)] {
+    if (CrashHere(kAfterPreparedLog)) return;
     VoteInfo info;
     info.vote = Vote::kYes;
     info.reliable = options_.reliable;
@@ -187,6 +212,7 @@ void KVResourceManager::Commit(uint64_t txn, DoneCallback done) {
     done(Status::OK());  // nothing local (e.g. read-only already ended)
     return;
   }
+  if (CrashHere(kBeforeCommittedLog)) return;
   if (it->second.recovered) {
     // Recovered in-doubt transaction: the redo phase skipped its updates
     // because the outcome was unknown; apply them now.
@@ -198,6 +224,7 @@ void KVResourceManager::Commit(uint64_t txn, DoneCallback done) {
   rec.owner = name_;
   const bool force = !options_.shared_log_with_tm;
   log_->Append(rec, force, [this, txn, done = std::move(done)] {
+    if (CrashHere(kAfterCommittedLog)) return;
     active_.erase(txn);
     locks_.ReleaseAll(txn);
     done(Status::OK());
@@ -210,6 +237,7 @@ void KVResourceManager::Abort(uint64_t txn, DoneCallback done) {
     done(Status::OK());
     return;
   }
+  if (CrashHere(kBeforeAbortLog)) return;
   if (!it->second.recovered) ApplyUndo(it->second);
   wal::LogRecord rec;
   rec.type = wal::RecordType::kRmAborted;
@@ -218,6 +246,7 @@ void KVResourceManager::Abort(uint64_t txn, DoneCallback done) {
   // Presumed-abort reasoning: losing an abort record is harmless (recovery
   // re-derives abort), so it is never forced.
   log_->Append(rec, /*force=*/false);
+  if (CrashHere(kAfterAbortLog)) return;
   active_.erase(it);
   locks_.ReleaseAll(txn);
   done(Status::OK());

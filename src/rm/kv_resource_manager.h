@@ -14,6 +14,7 @@
 #ifndef TPC_RM_KV_RESOURCE_MANAGER_H_
 #define TPC_RM_KV_RESOURCE_MANAGER_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -102,6 +103,11 @@ class KVResourceManager : public ResourceManager {
   /// Committed value lookup outside any transaction (tests/verification).
   Result<std::string> Peek(std::string_view key) const;
 
+  /// Full committed-store snapshot (oracle/verification use only).
+  const std::map<std::string, std::string, std::less<>>& store() const {
+    return store_;
+  }
+
   /// Writes a checkpoint record (a full store snapshot) to the log,
   /// forced. Requires no active transactions (returns FailedPrecondition
   /// otherwise). `done` receives the checkpoint record's LSN: records
@@ -113,6 +119,13 @@ class KVResourceManager : public ResourceManager {
 
   /// Makes the next Prepare() vote NO (fault injection for abort paths).
   void FailNextPrepare() { fail_next_prepare_ = true; }
+
+  /// Registers this RM's crash points (`rm.before_prepared_log` etc., see
+  /// tm/crash_points.h) with the failure injector under `node`'s identity:
+  /// an armed point crashes the whole node mid-call, exactly as a machine
+  /// failure between two log writes would. Called by the harness; until
+  /// then the points are never consulted.
+  void EnableCrashPoints(const std::string& node);
 
   lock::LockManager& locks() { return locks_; }
   const KVOptions& options() const { return options_; }
@@ -139,6 +152,10 @@ class KVResourceManager : public ResourceManager {
   void LogUpdate(uint64_t txn, const Update& update);
   void ApplyUndo(const TxnState& state);
 
+  /// True means the node crashed inside this call: unwind without invoking
+  /// any callback. `point` indexes tm::kRmCrashPoints.
+  bool CrashHere(size_t point);
+
   sim::SimContext* ctx_;
   std::string name_;
   wal::LogManager* log_;
@@ -150,6 +167,11 @@ class KVResourceManager : public ResourceManager {
   std::map<std::string, std::string, std::less<>> store_;
   std::unordered_map<uint64_t, TxnState> active_;
   bool fail_next_prepare_ = false;
+
+  // Crash-point interning (EnableCrashPoints); disabled by default.
+  bool fi_armed_ = false;
+  uint32_t fi_node_ = 0;
+  std::array<uint32_t, 6> fi_points_{};
 };
 
 }  // namespace tpc::rm

@@ -1,50 +1,172 @@
 #include "sim/failure_injector.h"
 
+#include <utility>
+
 #include "util/logging.h"
 
 namespace tpc::sim {
 
-void FailureInjector::RegisterNode(const std::string& node, CrashFn crash) {
-  nodes_[node] = std::move(crash);
+void FailureInjector::RegisterNode(const std::string& node, CrashFn crash,
+                                   CrashFn restart) {
+  NodeState& st = nodes_[InternNode(node)];
+  st.crash = std::move(crash);
+  st.restart = std::move(restart);
+}
+
+uint32_t FailureInjector::InternNode(const std::string& node) {
+  auto [it, inserted] =
+      node_ids_.emplace(node, static_cast<uint32_t>(nodes_.size()));
+  if (inserted) {
+    nodes_.emplace_back();
+    cells_.emplace_back();
+  }
+  return it->second;
+}
+
+uint32_t FailureInjector::InternPoint(const std::string& point) {
+  auto [it, inserted] =
+      point_ids_.emplace(point, static_cast<uint32_t>(point_count_));
+  if (inserted) ++point_count_;
+  return it->second;
+}
+
+FailureInjector::PointState& FailureInjector::Cell(uint32_t node,
+                                                   uint32_t point) {
+  TPC_CHECK(node < cells_.size());
+  auto& per_node = cells_[node];
+  if (point >= per_node.size()) {
+    per_node.resize(point_count_ > point ? point_count_ : point + 1);
+  }
+  return per_node[point];
 }
 
 void FailureInjector::ArmCrash(const std::string& node,
-                               const std::string& point, int occurrence) {
+                               const std::string& point, int occurrence,
+                               int epoch) {
   TPC_CHECK(occurrence >= 1);
-  triggers_[Key(node, point)].push_back(Trigger{occurrence});
+  const uint32_t n = InternNode(node);
+  const uint32_t p = InternPoint(point);
+  Cell(n, p).armed = true;
+  triggers_[PairKey(n, p)].push_back(Trigger{occurrence, epoch});
 }
 
-bool FailureInjector::CrashPoint(const std::string& node,
-                                 const std::string& point) {
-  const std::string key = Key(node, point);
-  uint64_t count = ++hit_counts_[key];
-  auto it = triggers_.find(key);
+bool FailureInjector::CrashPoint(uint32_t node, uint32_t point) {
+  TPC_CHECK(node < cells_.size());
+  auto& per_node = cells_[node];
+  if (point >= per_node.size()) {
+    // First hit on a point interned after this node's row was last sized.
+    per_node.resize(point_count_ > point ? point_count_ : point + 1);
+  }
+  PointState& cell = per_node[point];
+  ++cell.total_hits;
+  const uint64_t count = ++cell.epoch_hits;
+  if (!cell.armed) return false;
+
+  auto it = triggers_.find(PairKey(node, point));
   if (it == triggers_.end()) return false;
+  const int epoch = nodes_[node].epoch;
   for (auto& t : it->second) {
-    if (!t.fired && count == static_cast<uint64_t>(t.occurrence)) {
-      t.fired = true;
-      CrashNow(node);
-      return true;
-    }
+    if (t.fired) continue;
+    if (t.epoch != kAnyEpoch && t.epoch != epoch) continue;
+    if (count != static_cast<uint64_t>(t.occurrence)) continue;
+    t.fired = true;
+    CrashNode(node);
+    return true;
   }
   return false;
 }
 
+bool FailureInjector::CrashPoint(const std::string& node,
+                                 const std::string& point) {
+  return CrashPoint(InternNode(node), InternPoint(point));
+}
+
+void FailureInjector::CrashNode(uint32_t node) {
+  NodeState& st = nodes_[node];
+  TPC_CHECK(st.crash != nullptr);
+  st.crash();
+  // New epoch: occurrence counters restart so triggers can target the
+  // post-recovery lifetime of the node.
+  ++st.epoch;
+  for (PointState& cell : cells_[node]) cell.epoch_hits = 0;
+}
+
 void FailureInjector::CrashNow(const std::string& node) {
-  auto it = nodes_.find(node);
-  TPC_CHECK(it != nodes_.end());
-  it->second();
+  auto it = node_ids_.find(node);
+  TPC_CHECK(it != node_ids_.end());
+  CrashNode(it->second);
+}
+
+void FailureInjector::RestartNow(const std::string& node) {
+  auto it = node_ids_.find(node);
+  TPC_CHECK(it != node_ids_.end());
+  NodeState& st = nodes_[it->second];
+  TPC_CHECK(st.restart != nullptr);
+  st.restart();
+}
+
+void FailureInjector::ScheduleCrash(const std::string& node, Time at) {
+  TPC_CHECK(events_ != nullptr);
+  events_->ScheduleAt(at, [this, node] { CrashNow(node); });
+}
+
+void FailureInjector::ScheduleRestartAfter(const std::string& node,
+                                           Time delay) {
+  TPC_CHECK(events_ != nullptr);
+  events_->ScheduleAfter(delay, [this, node] { RestartNow(node); });
+}
+
+void FailureInjector::ScheduleLinkFlap(const std::string& a,
+                                       const std::string& b, Time down_at,
+                                       Time up_at) {
+  TPC_CHECK(events_ != nullptr);
+  TPC_CHECK(link_fn_ != nullptr);
+  TPC_CHECK(down_at <= up_at);
+  events_->ScheduleAt(down_at, [this, a, b] { link_fn_(a, b, true); });
+  events_->ScheduleAt(up_at, [this, a, b] { link_fn_(a, b, false); });
 }
 
 uint64_t FailureInjector::hits(const std::string& node,
                                const std::string& point) const {
-  auto it = hit_counts_.find(Key(node, point));
-  return it == hit_counts_.end() ? 0 : it->second;
+  auto n = node_ids_.find(node);
+  auto p = point_ids_.find(point);
+  if (n == node_ids_.end() || p == point_ids_.end()) return 0;
+  const auto& per_node = cells_[n->second];
+  if (p->second >= per_node.size()) return 0;
+  return per_node[p->second].total_hits;
+}
+
+uint64_t FailureInjector::epoch_hits(const std::string& node,
+                                     const std::string& point) const {
+  auto n = node_ids_.find(node);
+  auto p = point_ids_.find(point);
+  if (n == node_ids_.end() || p == point_ids_.end()) return 0;
+  const auto& per_node = cells_[n->second];
+  if (p->second >= per_node.size()) return 0;
+  return per_node[p->second].epoch_hits;
+}
+
+int FailureInjector::node_epoch(const std::string& node) const {
+  auto n = node_ids_.find(node);
+  return n == node_ids_.end() ? 0 : nodes_[n->second].epoch;
+}
+
+void FailureInjector::DisarmAll() {
+  triggers_.clear();
+  for (auto& per_node : cells_) {
+    for (PointState& cell : per_node) cell.armed = false;
+  }
 }
 
 void FailureInjector::Reset() {
   triggers_.clear();
-  hit_counts_.clear();
+  for (auto& per_node : cells_) {
+    for (PointState& cell : per_node) cell = PointState{};
+  }
+  // Drop registrations too: an injector that outlives a harness must not
+  // keep crash callbacks pointing into destroyed nodes. Interned ids stay
+  // valid so components that cached them keep working after re-registration.
+  for (NodeState& st : nodes_) st = NodeState{};
 }
 
 }  // namespace tpc::sim

@@ -17,7 +17,7 @@ namespace tpc::sim {
 /// Shared simulation services. Not copyable; components hold a pointer.
 class SimContext {
  public:
-  explicit SimContext(uint64_t seed = 42) : rng_(seed) {}
+  explicit SimContext(uint64_t seed = 42) : failures_(&events_), rng_(seed) {}
 
   SimContext(const SimContext&) = delete;
   SimContext& operator=(const SimContext&) = delete;

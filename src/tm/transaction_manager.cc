@@ -58,6 +58,14 @@ TransactionManager::TransactionManager(sim::SimContext* ctx,
       config_(config) {
   network_->Register(name_, this);
   self_id_ = network_->InternId(name_);
+  // Intern the full crash-point catalog once; hot-path hits are then flat
+  // array increments in the injector, no string work.
+  sim::FailureInjector& failures = ctx_->failures();
+  fi_node_ = failures.InternNode(name_);
+  for (size_t i = 0; i < kCrashPointCount; ++i)
+    fi_points_[i] = failures.InternPoint(kCrashPointNames[i]);
+  fi_legacy_prepared_ = failures.InternPoint("after_prepared_force");
+  fi_legacy_commit_ = failures.InternPoint("after_commit_force");
 }
 
 void TransactionManager::AttachRm(rm::KVResourceManager* rm) {
@@ -379,14 +387,20 @@ void TransactionManager::StartPhaseOne(Txn& txn) {
       config_.protocol == ProtocolKind::kPresumedCommit;  // PC "collecting"
   if (needs_pre_prepare_record && !txn.commit_pending_logged &&
       !txn.children.empty()) {
+    if (CrashHere(CoordPt(txn, CrashPt::kRootBeforeCommitPendingForce,
+                          CrashPt::kCascBeforeCommitPendingForce)))
+      return;
     txn.commit_pending_logged = true;
     TmRecordBody body;
     body.is_root = !txn.has_upstream;
     if (txn.has_upstream) body.upstream = txn.upstream;
     for (const auto& c : txn.children) body.children.push_back(c.peer);
     const uint64_t id = txn.id;
+    const CrashPt after = CoordPt(txn, CrashPt::kRootAfterCommitPendingForce,
+                                  CrashPt::kCascAfterCommitPendingForce);
     AppendTmRecord(id, wal::RecordType::kTmCommitPending, /*force=*/true,
-                   EncodeBody(body), [this, id] {
+                   EncodeBody(body), [this, id, after] {
+      if (CrashHere(after)) return;
       if (Txn* t = FindTxn(id)) ContinuePhaseOne(*t);
     });
     return;
@@ -423,6 +437,7 @@ void TransactionManager::ContinuePhaseOne(Txn& txn) {
   }
 
   // Send Prepare to everyone except the last agent and the already-voted.
+  bool sent_prepare = false;
   for (auto& child : txn.children) {
     if (child.is_last_agent || child.voted) continue;
     child.prepare_sent = true;
@@ -433,7 +448,12 @@ void TransactionManager::ContinuePhaseOne(Txn& txn) {
     const Session* session = FindSession(child.peer);
     pdu.long_locks = session != nullptr && session->options.long_locks;
     SendPdu(child.peer, std::move(pdu));
+    sent_prepare = true;
   }
+  if (sent_prepare &&
+      CrashHere(CoordPt(txn, CrashPt::kRootAfterPrepareSend,
+                        CrashPt::kCascAfterPrepareSend)))
+    return;
 
   if (txn.votes_outstanding > 0) {
     txn.vote_timer_armed = true;
@@ -463,6 +483,7 @@ void TransactionManager::PrepareLocalRms(Txn& txn) {
   }
   const uint64_t epoch = epoch_;
   for (auto* rm : rms_) {
+    if (!up_) return;  // an RM crash point may have taken the node down
     rm->Prepare(id, [this, epoch, id](rm::VoteInfo info) {
       if (!up_ || epoch != epoch_) return;
       Txn* t = FindTxn(id);
@@ -610,7 +631,12 @@ void TransactionManager::MaybePhaseOneComplete(Txn& txn) {
       const Session* session = FindSession(t->last_agent_peer);
       pdu.vote_long_locks = session != nullptr && session->options.long_locks;
       SendPdu(t->last_agent_peer, std::move(pdu));
+      if (CrashHere(vote == rm::Vote::kReadOnly
+                        ? CrashPt::kRootAfterLaRoVoteSend
+                        : CrashPt::kRootAfterLaVoteSend))
+        return;
       if (vote == rm::Vote::kYes) {
+        t = FindTxn(id);
         // We are now in doubt: arm the usual in-doubt machinery.
         ArmHeuristicTimer(*t);
         ArmInquiryTimer(*t);
@@ -625,6 +651,7 @@ void TransactionManager::MaybePhaseOneComplete(Txn& txn) {
       send_vote_to_last_agent(rm::Vote::kReadOnly);
       return;
     }
+    if (CrashHere(CrashPt::kRootBeforeLaVoteForce)) return;
     TmRecordBody body;
     body.upstream = txn.last_agent_peer;  // decisions/inquiries go there
     body.is_root = true;
@@ -632,7 +659,9 @@ void TransactionManager::MaybePhaseOneComplete(Txn& txn) {
       if (!c.is_last_agent) body.children.push_back(c.peer);
     AppendTmRecord(txn.id, wal::RecordType::kTmPrepared, /*force=*/true,
                    EncodeBody(body), [this, send_vote_to_last_agent] {
-      if (ctx_->failures().CrashPoint(name_, "after_prepared_force")) return;
+      if (CrashHereOrLegacy(CrashPt::kRootAfterLaVoteForce,
+                            fi_legacy_prepared_))
+        return;
       send_vote_to_last_agent(rm::Vote::kYes);
     });
     return;
@@ -689,15 +718,20 @@ void TransactionManager::DecideAndPropagate(Txn& txn, bool commit) {
 
   if (commit) {
     txn.outcome = Outcome::kCommitted;
+    if (CrashHere(CoordPt(txn, CrashPt::kRootBeforeCommitForce,
+                          CrashPt::kCascBeforeCommitForce)))
+      return;
     TmRecordBody body;
     body.is_root = !txn.has_upstream;
     if (txn.has_upstream) body.upstream = txn.upstream;
     for (const auto& c : txn.children)
       if (!c.excluded) body.children.push_back(c.peer);
+    const CrashPt after = CoordPt(txn, CrashPt::kRootAfterCommitForce,
+                                  CrashPt::kCascAfterCommitForce);
     AppendTmRecord(id, wal::RecordType::kTmCommitted,
                    /*force=*/!ForceDowngraded(), EncodeBody(body),
-                   [this, id] {
-      if (ctx_->failures().CrashPoint(name_, "after_commit_force")) return;
+                   [this, id, after] {
+      if (CrashHereOrLegacy(after, fi_legacy_commit_)) return;
       Txn* t = FindTxn(id);
       if (t == nullptr) return;
       SendDecision(*t, /*commit=*/true);
@@ -711,13 +745,19 @@ void TransactionManager::DecideAndPropagate(Txn& txn, bool commit) {
     SendDecision(txn, /*commit=*/false);
     return;
   }
+  if (CrashHere(CoordPt(txn, CrashPt::kRootBeforeAbortForce,
+                        CrashPt::kCascBeforeAbortForce)))
+    return;
   TmRecordBody body;
   body.is_root = !txn.has_upstream;
   if (txn.has_upstream) body.upstream = txn.upstream;
   for (const auto& c : txn.children)
     if (!c.excluded) body.children.push_back(c.peer);
+  const CrashPt after = CoordPt(txn, CrashPt::kRootAfterAbortForce,
+                                CrashPt::kCascAfterAbortForce);
   AppendTmRecord(id, wal::RecordType::kTmAborted, /*force=*/true,
-                 EncodeBody(body), [this, id] {
+                 EncodeBody(body), [this, id, after] {
+    if (CrashHere(after)) return;
     Txn* t = FindTxn(id);
     if (t == nullptr) return;
     SendDecision(*t, /*commit=*/false);
@@ -728,6 +768,7 @@ void TransactionManager::SendDecision(Txn& txn, bool commit) {
   const uint64_t id = txn.id;
   const bool pa = config_.protocol == ProtocolKind::kPresumedAbort;
   const bool pc = config_.protocol == ProtocolKind::kPresumedCommit;
+  bool sent_decision = false;
 
   for (auto& child : txn.children) {
     if (child.is_last_agent) {
@@ -785,6 +826,7 @@ void TransactionManager::SendDecision(Txn& txn, bool commit) {
       BufferPdu(child.peer, std::move(pdu));
     } else {
       SendPdu(child.peer, std::move(pdu));
+      sent_decision = true;
     }
     if (is_la_initiator && commit && child.vote != rm::Vote::kReadOnly) {
       SessionSlot(child.peer).awaiting_implied_ack_txn = id;
@@ -800,10 +842,16 @@ void TransactionManager::SendDecision(Txn& txn, bool commit) {
     if (ack_required && !long_locks_session) ArmAckTimer(txn, child);
   }
 
+  if (sent_decision &&
+      CrashHere(CoordPt(txn, CrashPt::kRootAfterDecisionSend,
+                        CrashPt::kCascAfterDecisionSend)))
+    return;
+
   // Second phase against local resource managers.
   txn.rm_phase2_outstanding = rms_.size();
   const uint64_t epoch = epoch_;
   for (auto* rm : rms_) {
+    if (!up_) return;  // an RM crash point may have taken the node down
     auto done = [this, epoch, id](Status st) {
       TPC_CHECK(st.ok());
       if (!up_ || epoch != epoch_) return;
@@ -819,6 +867,7 @@ void TransactionManager::SendDecision(Txn& txn, bool commit) {
       rm->Abort(id, std::move(done));
     }
   }
+  if (!up_) return;
   if (rms_.empty()) MaybeComplete(txn);
 }
 
@@ -922,8 +971,10 @@ void TransactionManager::MaybeComplete(Txn& txn) {
       txn.commit_decision || !pa || txn.took_heuristic;
   const uint64_t id = txn.id;
   if (logged_something && !txn.end_written) {
+    if (CrashHere(CrashPt::kRootBeforeEndWrite)) return;
     txn.end_written = true;
     AppendTmRecord(id, wal::RecordType::kTmEnd, /*force=*/false, "", nullptr);
+    if (CrashHere(CrashPt::kRootAfterEndWrite)) return;
   }
   CompleteApp(txn, txn.subtree_pending);
   Forget(txn);
@@ -958,8 +1009,27 @@ void TransactionManager::WriteEndIfNeeded(Txn& txn, bool force,
     if (done) done();
     return;
   }
+  // Only subordinate/cascaded completion routes through here; the root's END
+  // is written inline in MaybeComplete.
+  const CrashPt before =
+      force ? SubPt(txn, CrashPt::kCascBeforeEndForce, CrashPt::kSubBeforeEndForce)
+            : SubPt(txn, CrashPt::kCascBeforeEndWrite, CrashPt::kSubBeforeEndWrite);
+  const CrashPt after =
+      force ? SubPt(txn, CrashPt::kCascAfterEndForce, CrashPt::kSubAfterEndForce)
+            : SubPt(txn, CrashPt::kCascAfterEndWrite, CrashPt::kSubAfterEndWrite);
+  if (CrashHere(before)) return;
   txn.end_written = true;
-  AppendTmRecord(txn.id, wal::RecordType::kTmEnd, force, "", std::move(done));
+  if (force) {
+    AppendTmRecord(txn.id, wal::RecordType::kTmEnd, /*force=*/true, "",
+                   [this, after, done = std::move(done)] {
+                     if (CrashHere(after)) return;
+                     if (done) done();
+                   });
+    return;
+  }
+  AppendTmRecord(txn.id, wal::RecordType::kTmEnd, /*force=*/false, "", nullptr);
+  if (CrashHere(after)) return;
+  if (done) done();
 }
 
 // ---------------------------------------------------------------------------
@@ -1010,10 +1080,12 @@ void TransactionManager::OnPreparePdu(const net::NodeId& from,
   if (config_.protocol == ProtocolKind::kPresumedNothing) {
     // PN notes the coordinator's identity as soon as commit processing
     // touches this node (non-forced; it rides the prepared force).
+    if (CrashHere(CrashPt::kSubBeforeJoinWrite)) return;
     TmRecordBody body;
     body.upstream = from;
     AppendTmRecord(txn.id, wal::RecordType::kTmJoin, /*force=*/false,
                    EncodeBody(body), nullptr);
+    if (CrashHere(CrashPt::kSubAfterJoinWrite)) return;
   }
 
   // Cascade phase one to our own subtree.
@@ -1032,7 +1104,10 @@ void TransactionManager::SendVote(Txn& txn) {
     vote.vote = rm::Vote::kYes;
     vote.reliable = txn.all_reliable;
     vote.ok_to_leave_out = config_.ok_to_leave_out && txn.all_leave_out;
+    const CrashPt resend = SubPt(txn, CrashPt::kCascAfterVoteResend,
+                                 CrashPt::kSubAfterVoteResend);
     SendPdu(txn.upstream, std::move(vote));
+    CrashHere(resend);
     return;
   }
 
@@ -1047,7 +1122,10 @@ void TransactionManager::SendVote(Txn& txn) {
     vote.txn = id;
     vote.vote = rm::Vote::kNo;
     vote.unsolicited = txn.unsolicited_sent;
+    const CrashPt no_sent = SubPt(txn, CrashPt::kCascAfterNoVoteSend,
+                                  CrashPt::kSubAfterNoVoteSend);
     SendPdu(txn.upstream, std::move(vote));
+    if (CrashHere(no_sent)) return;
 
     if (config_.protocol == ProtocolKind::kPresumedAbort) {
       // PA: forget immediately; any prepared child that asks later gets the
@@ -1072,12 +1150,18 @@ void TransactionManager::SendVote(Txn& txn) {
     // on, so we must durably remember the abort and drive the subtree to
     // completion ourselves (retrying through crashes). The normal
     // completion path then acknowledges upstream.
+    if (CrashHere(SubPt(txn, CrashPt::kCascBeforeAbortForce,
+                        CrashPt::kSubBeforeAbortForce)))
+      return;
     TmRecordBody body;
     body.upstream = txn.upstream;
     for (const auto& c : txn.children)
       if (c.prepare_sent || c.voted) body.children.push_back(c.peer);
+    const CrashPt after = SubPt(txn, CrashPt::kCascAfterAbortForce,
+                                CrashPt::kSubAfterAbortForce);
     AppendTmRecord(id, wal::RecordType::kTmAborted, /*force=*/true,
-                   EncodeBody(body), [this, id] {
+                   EncodeBody(body), [this, id, after] {
+      if (CrashHere(after)) return;
       Txn* t = FindTxn(id);
       if (t == nullptr) return;
       SendDecision(*t, /*commit=*/false);
@@ -1102,7 +1186,10 @@ void TransactionManager::SendVote(Txn& txn) {
     vote.reliable = txn.all_reliable;
     vote.ok_to_leave_out = config_.ok_to_leave_out && txn.all_leave_out;
     vote.unsolicited = txn.unsolicited_sent;
+    const CrashPt ro_sent = SubPt(txn, CrashPt::kCascAfterRoVoteSend,
+                                  CrashPt::kSubAfterRoVoteSend);
     SendPdu(txn.upstream, std::move(vote));
+    if (CrashHere(ro_sent)) return;
     for (auto* rm : rms_) rm->EndReadOnly(id);
     txn.commit_decision = true;  // archive as committed-equivalent
     Forget(txn);
@@ -1110,6 +1197,9 @@ void TransactionManager::SendVote(Txn& txn) {
   }
 
   // YES vote: force the prepared record, then vote.
+  if (CrashHere(SubPt(txn, CrashPt::kCascBeforePreparedForce,
+                      CrashPt::kSubBeforePreparedForce)))
+    return;
   TmRecordBody body;
   body.upstream = txn.upstream;
   for (const auto& c : txn.children)
@@ -1117,10 +1207,12 @@ void TransactionManager::SendVote(Txn& txn) {
       body.children.push_back(c.peer);
   const bool reliable = txn.all_reliable;
   const bool leave_out = config_.ok_to_leave_out && txn.all_leave_out;
+  const CrashPt after_force = SubPt(txn, CrashPt::kCascAfterPreparedForce,
+                                    CrashPt::kSubAfterPreparedForce);
   AppendTmRecord(id, wal::RecordType::kTmPrepared,
                  /*force=*/!ForceDowngraded(), EncodeBody(body),
-                 [this, id, reliable, leave_out] {
-    if (ctx_->failures().CrashPoint(name_, "after_prepared_force")) return;
+                 [this, id, reliable, leave_out, after_force] {
+    if (CrashHereOrLegacy(after_force, fi_legacy_prepared_)) return;
     Txn* t = FindTxn(id);
     if (t == nullptr) return;
     t->voted_yes = true;
@@ -1134,7 +1226,13 @@ void TransactionManager::SendVote(Txn& txn) {
     vote.reliable = reliable;
     vote.ok_to_leave_out = leave_out;
     vote.unsolicited = t->unsolicited_sent;
+    const CrashPt sent =
+        t->unsolicited_sent ? CrashPt::kSubAfterUnsolicitedVoteSend
+                            : SubPt(*t, CrashPt::kCascAfterYesVoteSend,
+                                    CrashPt::kSubAfterYesVoteSend);
     SendPdu(t->upstream, std::move(vote));
+    if (CrashHere(sent)) return;
+    t = FindTxn(id);
     ArmHeuristicTimer(*t);
     ArmInquiryTimer(*t);
   });
@@ -1151,6 +1249,7 @@ void TransactionManager::OnDecisionPdu(const net::NodeId& from,
     // recovering coordinator can finish collecting acks.
     if (txn != nullptr && txn->phase == Phase::kActive) {
       AbortLocal(*txn);
+      if (!up_) return;
       Forget(*txn);
     }
     const bool should_ack =
@@ -1194,23 +1293,7 @@ void TransactionManager::OnDecisionPdu(const net::NodeId& from,
   if (txn->phase == Phase::kInDoubt) {
     CancelTimers(*txn);
     if (txn->took_heuristic) {
-      // Compare the heuristic decision with the real outcome.
-      const bool we_committed = txn->outcome == Outcome::kHeuristicCommitted;
-      const bool damage = we_committed != commit;
-      txn->decided = true;
-      txn->commit_decision = commit;
-      txn->phase = Phase::kDeciding;
-      if (damage) {
-        ctx_->trace().Add({ctx_->now(), sim::TraceKind::kHeuristic, name_, "",
-                           txn->id, "heuristic damage detected"});
-      }
-      txn->heur_commit = txn->heur_commit || we_committed;
-      txn->heur_abort = txn->heur_abort || !we_committed;
-      txn->damage = txn->damage || damage;
-      // Propagate the real decision to our subtree (they are prepared and
-      // must not be left blocked by our unilateral action); then the
-      // normal completion path acks upstream with the damage report.
-      SendDecision(*txn, commit);
+      ResolveAfterHeuristic(*txn, commit);
       return;
     }
     ApplyDecision(*txn, commit);
@@ -1245,6 +1328,26 @@ void TransactionManager::OnDecisionPdu(const net::NodeId& from,
   // completion path will acknowledge (late-ack semantics preserved).
 }
 
+void TransactionManager::ResolveAfterHeuristic(Txn& txn, bool commit) {
+  // Compare the heuristic decision with the real outcome.
+  const bool we_committed = txn.outcome == Outcome::kHeuristicCommitted;
+  const bool damage = we_committed != commit;
+  txn.decided = true;
+  txn.commit_decision = commit;
+  txn.phase = Phase::kDeciding;
+  if (damage) {
+    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kHeuristic, name_, "",
+                       txn.id, "heuristic damage detected"});
+  }
+  txn.heur_commit = txn.heur_commit || we_committed;
+  txn.heur_abort = txn.heur_abort || !we_committed;
+  txn.damage = txn.damage || damage;
+  // Propagate the real decision to our subtree (they are prepared and
+  // must not be left blocked by our unilateral action); then the
+  // normal completion path acks upstream with the damage report.
+  SendDecision(txn, commit);
+}
+
 void TransactionManager::ApplyDecision(Txn& txn, bool commit) {
   const uint64_t id = txn.id;
   txn.decided = true;
@@ -1253,6 +1356,10 @@ void TransactionManager::ApplyDecision(Txn& txn, bool commit) {
 
   if (commit) {
     txn.outcome = Outcome::kCommitted;
+    if (CrashHere(RolePt(txn, CrashPt::kRootBeforeCommitForce,
+                         CrashPt::kCascBeforeCommitForce,
+                         CrashPt::kSubBeforeCommitForce)))
+      return;
     TmRecordBody body;
     body.upstream = txn.has_upstream ? txn.upstream : "";
     for (const auto& c : txn.children)
@@ -1263,12 +1370,18 @@ void TransactionManager::ApplyDecision(Txn& txn, bool commit) {
     const bool force_commit =
         !ForceDowngraded() &&
         config_.protocol != ProtocolKind::kPresumedCommit;
+    const CrashPt after = RolePt(txn, CrashPt::kRootAfterCommitForce,
+                                 CrashPt::kCascAfterCommitForce,
+                                 CrashPt::kSubAfterCommitForce);
     AppendTmRecord(id, wal::RecordType::kTmCommitted, force_commit,
-                   EncodeBody(body), [this, id] {
-      if (ctx_->failures().CrashPoint(name_, "after_commit_force")) return;
+                   EncodeBody(body), [this, id, after] {
+      if (CrashHereOrLegacy(after, fi_legacy_commit_)) return;
       Txn* t = FindTxn(id);
       if (t == nullptr) return;
       SendDecision(*t, /*commit=*/true);
+      if (!up_) return;
+      t = FindTxn(id);
+      if (t == nullptr) return;
       // Early acknowledgment: ack upstream as soon as our own commit is
       // durable, before the subtree acks arrive.
       if (config_.ack_timing == AckTiming::kEarly && t->has_upstream &&
@@ -1283,17 +1396,33 @@ void TransactionManager::ApplyDecision(Txn& txn, bool commit) {
   txn.outcome = Outcome::kAborted;
   if (config_.protocol == ProtocolKind::kPresumedAbort) {
     // Non-forced abort record; no ack will be sent.
+    if (CrashHere(RolePt(txn, CrashPt::kRootBeforeAbortWrite,
+                         CrashPt::kCascBeforeAbortWrite,
+                         CrashPt::kSubBeforeAbortWrite)))
+      return;
     AppendTmRecord(id, wal::RecordType::kTmAborted, /*force=*/false, "",
                    nullptr);
+    if (CrashHere(RolePt(txn, CrashPt::kRootAfterAbortWrite,
+                         CrashPt::kCascAfterAbortWrite,
+                         CrashPt::kSubAfterAbortWrite)))
+      return;
     SendDecision(txn, /*commit=*/false);
     return;
   }
+  if (CrashHere(RolePt(txn, CrashPt::kRootBeforeAbortForce,
+                       CrashPt::kCascBeforeAbortForce,
+                       CrashPt::kSubBeforeAbortForce)))
+    return;
   TmRecordBody body;
   body.upstream = txn.has_upstream ? txn.upstream : "";
   for (const auto& c : txn.children)
     if (!c.excluded) body.children.push_back(c.peer);
+  const CrashPt after = RolePt(txn, CrashPt::kRootAfterAbortForce,
+                               CrashPt::kCascAfterAbortForce,
+                               CrashPt::kSubAfterAbortForce);
   AppendTmRecord(id, wal::RecordType::kTmAborted, /*force=*/true,
-                 EncodeBody(body), [this, id] {
+                 EncodeBody(body), [this, id, after] {
+    if (CrashHere(after)) return;
     Txn* t = FindTxn(id);
     if (t == nullptr) return;
     SendDecision(*t, /*commit=*/false);
@@ -1326,6 +1455,7 @@ void TransactionManager::AckUpstreamIfReady(Txn& txn) {
   // when that command arrives.
   if (!txn.commit_decision && !txn.voted_yes) {
     WriteEndIfNeeded(txn, /*force=*/false, nullptr);
+    if (!up_) return;
     Forget(txn);
     return;
   }
@@ -1340,6 +1470,7 @@ void TransactionManager::AckUpstreamIfReady(Txn& txn) {
     ack.txn = id;
     BufferPdu(txn.upstream, std::move(ack));
     WriteEndIfNeeded(txn, /*force=*/false, nullptr);
+    if (!up_) return;
     Forget(txn);
     return;
   }
@@ -1347,6 +1478,7 @@ void TransactionManager::AckUpstreamIfReady(Txn& txn) {
   if (txn.ack_sent) {
     // Early ack (or pending ack) already went out; just close the books.
     WriteEndIfNeeded(txn, /*force=*/false, nullptr);
+    if (!up_) return;
     Forget(txn);
     return;
   }
@@ -1359,14 +1491,21 @@ void TransactionManager::AckUpstreamIfReady(Txn& txn) {
       Txn* t = FindTxn(id);
       if (t == nullptr) return;
       DoSendAck(*t, t->subtree_pending);
+      if (!up_) return;
+      t = FindTxn(id);
+      if (t == nullptr) return;
       Forget(*t);
     });
     return;
   }
 
   DoSendAck(txn, txn.subtree_pending);
-  WriteEndIfNeeded(txn, /*force=*/false, nullptr);
-  Forget(txn);
+  if (!up_) return;
+  Txn* t = FindTxn(id);
+  if (t == nullptr) return;
+  WriteEndIfNeeded(*t, /*force=*/false, nullptr);
+  if (!up_) return;
+  Forget(*t);
 }
 
 void TransactionManager::DoSendAck(Txn& txn, bool pending) {
@@ -1396,9 +1535,12 @@ void TransactionManager::DoSendAck(Txn& txn, bool pending) {
   if (txn.upstream_long_locks) {
     // Long locks: the ack rides the first message of the next transaction.
     BufferPdu(txn.upstream, std::move(ack));
-  } else {
-    SendPdu(txn.upstream, std::move(ack));
+    return;
   }
+  const CrashPt sent =
+      SubPt(txn, CrashPt::kCascAfterAckSend, CrashPt::kSubAfterAckSend);
+  SendPdu(txn.upstream, std::move(ack));
+  if (CrashHere(sent)) return;
 }
 
 // ---------------------------------------------------------------------------
@@ -1425,6 +1567,7 @@ void TransactionManager::ArmHeuristicTimer(Txn& txn) {
 void TransactionManager::TakeHeuristicDecision(Txn& txn) {
   const bool commit = config_.heuristic_policy == HeuristicPolicy::kCommit;
   const uint64_t id = txn.id;
+  if (CrashHere(CrashPt::kSubBeforeHeuristicForce)) return;
   txn.took_heuristic = true;
   txn.outcome =
       commit ? Outcome::kHeuristicCommitted : Outcome::kHeuristicAborted;
@@ -1436,20 +1579,26 @@ void TransactionManager::TakeHeuristicDecision(Txn& txn) {
   AppendTmRecord(id, wal::RecordType::kTmHeuristic, /*force=*/true,
                  EncodeBody(body), [this, epoch = epoch_, id, commit] {
     if (!up_ || epoch != epoch_) return;
+    if (CrashHere(CrashPt::kSubAfterHeuristicForce)) return;
     Txn* t = FindTxn(id);
     if (t == nullptr) return;
     // Apply the unilateral outcome locally and release the valuable locks —
     // the entire reason heuristics exist. We stay registered so the real
     // decision (whenever it arrives) can be compared and damage reported.
     for (auto* rm : rms_) {
+      if (!up_) return;
       if (commit) {
         rm->Commit(id, [](Status st) { TPC_CHECK(st.ok()); });
       } else {
         rm->Abort(id, [](Status st) { TPC_CHECK(st.ok()); });
       }
     }
+    if (!up_) return;
+    t = FindTxn(id);
+    if (t == nullptr) return;
     // Children (if any) get our heuristic decision as if it were real;
     // leaving them blocked would defeat the purpose.
+    bool sent = false;
     for (auto& child : t->children) {
       child.ack_required = false;
       if (child.excluded || !child.voted || child.vote != rm::Vote::kYes)
@@ -1458,7 +1607,9 @@ void TransactionManager::TakeHeuristicDecision(Txn& txn) {
       pdu.type = commit ? PduType::kCommit : PduType::kAbort;
       pdu.txn = id;
       SendPdu(child.peer, std::move(pdu));
+      sent = true;
     }
+    if (sent && CrashHere(CrashPt::kSubAfterHeurDecisionSend)) return;
   });
 }
 
@@ -1477,17 +1628,23 @@ void TransactionManager::ArmInquiryTimer(Txn& txn) {
     if (t->phase != Phase::kInDoubt && t->phase != Phase::kAwaitLastAgent)
       return;
     SendInquiry(*t);
+    if (!up_) return;
+    t = FindTxn(id);
+    if (t == nullptr) return;
     ArmInquiryTimer(*t);  // keep asking until resolved
   });
 }
 
 void TransactionManager::SendInquiry(Txn& txn) {
-  const net::NodeId target =
-      txn.phase == Phase::kAwaitLastAgent ? txn.last_agent_peer : txn.upstream;
+  const bool la = txn.phase == Phase::kAwaitLastAgent;
+  const net::NodeId target = la ? txn.last_agent_peer : txn.upstream;
+  const CrashPt sent =
+      la ? CrashPt::kRootAfterLaInquirySend : CrashPt::kSubAfterInquirySend;
   Pdu pdu;
   pdu.type = PduType::kInquiry;
   pdu.txn = txn.id;
   SendPdu(target, std::move(pdu));
+  if (CrashHere(sent)) return;
 }
 
 void TransactionManager::OnInquiryPdu(const net::NodeId& from,
@@ -1505,6 +1662,7 @@ void TransactionManager::OnInquiryPdu(const net::NodeId& from,
     // inquires or re-sends decisions). We never voted, so aborting our
     // own work and answering "aborted" is safe and unblocks the inquirer.
     AbortLocal(*txn);
+    if (!up_) return;
     Forget(*txn);
     txn = nullptr;
   }
@@ -1530,6 +1688,7 @@ void TransactionManager::OnInquiryPdu(const net::NodeId& from,
     }
   }
   SendPdu(from, std::move(reply));
+  if (CrashHere(CrashPt::kAnyAfterInquiryReplySend)) return;
 }
 
 void TransactionManager::OnInquiryReplyPdu(const net::NodeId& from,
@@ -1541,13 +1700,20 @@ void TransactionManager::OnInquiryReplyPdu(const net::NodeId& from,
     return;
   switch (pdu.answer) {
     case InquiryAnswer::kCommitted:
+    case InquiryAnswer::kAborted: {
+      const bool commit = pdu.answer == InquiryAnswer::kCommitted;
       CancelTimers(*txn);
-      ApplyDecision(*txn, /*commit=*/true);
+      // A participant that already took a heuristic decision must run the
+      // damage comparison, exactly as when the decision arrives as a
+      // Commit/Abort PDU — resolving via inquiry must not silently swallow
+      // a heuristic mismatch.
+      if (txn->took_heuristic) {
+        ResolveAfterHeuristic(*txn, commit);
+      } else {
+        ApplyDecision(*txn, commit);
+      }
       break;
-    case InquiryAnswer::kAborted:
-      CancelTimers(*txn);
-      ApplyDecision(*txn, /*commit=*/false);
-      break;
+    }
     case InquiryAnswer::kUnknown:
     case InquiryAnswer::kInDoubt:
       // Stay blocked; the inquiry timer will fire again.
@@ -1561,8 +1727,10 @@ void TransactionManager::OnInquiryReplyPdu(const net::NodeId& from,
 
 void TransactionManager::AbortLocal(Txn& txn) {
   for (auto* rm : rms_) {
+    if (!up_) return;
     rm->Abort(txn.id, [](Status st) { TPC_CHECK(st.ok()); });
   }
+  if (!up_) return;
   txn.outcome = Outcome::kAborted;
 }
 
@@ -1895,9 +2063,11 @@ void TransactionManager::RecoverFromLog() {
         pdu.type = commit ? PduType::kCommit : PduType::kAbort;
         pdu.txn = id;
         SendPdu(child.peer, std::move(pdu));
+        if (CrashHere(CrashPt::kRecoveryAfterDecisionSend)) return;
         if (child.ack_required) ArmAckTimer(txn, child);
       }
       MaybeComplete(txn);
+      if (!up_) return;
       continue;
     }
 
@@ -1925,6 +2095,7 @@ void TransactionManager::RecoverFromLog() {
           config_.protocol != ProtocolKind::kPresumedNothing) {
         ArmInquiryTimer(txn);
         SendInquiry(txn);
+        if (!up_) return;
       }
       continue;
     }
@@ -1950,7 +2121,16 @@ void TransactionManager::RecoverFromLog() {
         if (rm->InDoubt(id)) rm->ResolveRecovered(id, false);
       }
       DecideAndPropagate(txn, /*commit=*/false);
+      if (!up_) return;
       continue;
+    }
+
+    // Join-only image: a non-forced join record survived (covered by a
+    // later force) but the prepared force did not, so the vote was never
+    // sent and nothing can have committed — abort any RM state by
+    // presumption, exactly as if there were no TM record at all.
+    for (auto* rm : rms_) {
+      if (rm->InDoubt(id)) rm->ResolveRecovered(id, false);
     }
   }
 
@@ -1983,6 +2163,7 @@ void TransactionManager::ScheduleRecoveryRetry(uint64_t id) {
       pdu.type = txn->commit_decision ? PduType::kCommit : PduType::kAbort;
       pdu.txn = id;
       SendPdu(child.peer, std::move(pdu));
+      if (CrashHere(CrashPt::kRecoveryAfterDecisionSend)) return;
     }
     if (outstanding) ScheduleRecoveryRetry(id);
   });

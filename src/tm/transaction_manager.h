@@ -21,6 +21,7 @@
 #ifndef TPC_TM_TRANSACTION_MANAGER_H_
 #define TPC_TM_TRANSACTION_MANAGER_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -33,6 +34,7 @@
 #include "rm/kv_resource_manager.h"
 #include "rm/resource_manager.h"
 #include "sim/sim_context.h"
+#include "tm/crash_points.h"
 #include "tm/protocol_messages.h"
 #include "tm/types.h"
 #include "util/status.h"
@@ -360,6 +362,37 @@ class TransactionManager : public net::Endpoint {
                       std::string body, std::function<void()> done);
   bool ForceDowngraded() const { return config_.shared_log_with_host; }
 
+  // --- crash-point instrumentation ------------------------------------------
+  // Point names are interned once at construction; reporting a hit is a flat
+  // array increment in the injector. When CrashHere returns true this node
+  // just crashed: the caller must unwind without touching any Txn state
+  // (slab slots were reset by Crash()).
+  bool CrashHere(CrashPt p) {
+    return ctx_->failures().CrashPoint(fi_node_, PointId(p));
+  }
+  /// Fires `p`, then the legacy alias armed by pre-campaign tests.
+  bool CrashHereOrLegacy(CrashPt p, uint32_t legacy_point) {
+    if (CrashHere(p)) return true;
+    return ctx_->failures().CrashPoint(fi_node_, legacy_point);
+  }
+  uint32_t PointId(CrashPt p) const {
+    return fi_points_[static_cast<size_t>(p)];
+  }
+  /// Coordinator-side role split: decision owner vs cascaded coordinator.
+  static CrashPt CoordPt(const Txn& txn, CrashPt root, CrashPt casc) {
+    return txn.has_upstream ? casc : root;
+  }
+  /// Subordinate-side role split: cascaded (has children) vs leaf.
+  static CrashPt SubPt(const Txn& txn, CrashPt casc, CrashPt sub) {
+    return txn.children.empty() ? sub : casc;
+  }
+  /// Three-way split for sites any role reaches.
+  static CrashPt RolePt(const Txn& txn, CrashPt root, CrashPt casc,
+                        CrashPt sub) {
+    if (!txn.has_upstream) return root;
+    return txn.children.empty() ? sub : casc;
+  }
+
   // --- coordinator path -------------------------------------------------------
   void StartPhaseOne(Txn& txn);
   void ComputeParticipants(Txn& txn);
@@ -387,6 +420,11 @@ class TransactionManager : public net::Endpoint {
   void SendVote(Txn& txn);
   void OnDecisionPdu(const net::NodeId& from, const Pdu& pdu);
   void ApplyDecision(Txn& txn, bool commit);
+  /// Resolves an in-doubt txn that already took a heuristic decision:
+  /// runs the damage comparison against the real outcome, then propagates
+  /// the real decision to the subtree. Shared by the decision-PDU and
+  /// inquiry-reply paths.
+  void ResolveAfterHeuristic(Txn& txn, bool commit);
   void AckUpstreamIfReady(Txn& txn);
   void DoSendAck(Txn& txn, bool pending);
   void ArmHeuristicTimer(Txn& txn);
@@ -411,6 +449,10 @@ class TransactionManager : public net::Endpoint {
   wal::LogManager* log_;
   std::string name_;
   uint32_t self_id_;  ///< our interned network id, cached at construction
+  uint32_t fi_node_;  ///< our interned failure-injector node id
+  std::array<uint32_t, kCrashPointCount> fi_points_;  ///< interned point ids
+  uint32_t fi_legacy_prepared_;  ///< "after_prepared_force" alias
+  uint32_t fi_legacy_commit_;    ///< "after_commit_force" alias
   TmConfig config_;
   bool up_ = true;
   uint64_t epoch_ = 0;  ///< bumped on crash; stale timer closures no-op

@@ -83,6 +83,85 @@ TEST(FailureInjectorTest, ResetClearsTriggers) {
   EXPECT_EQ(crashes, 0);
 }
 
+TEST(FailureInjectorTest, ResetDropsRegistrationsButKeepsIds) {
+  // Regression: a harness destroyed and rebuilt on a reused injector used
+  // to leave the old crash callback dangling into freed nodes.
+  sim::FailureInjector injector;
+  const uint32_t node = injector.InternNode("n");
+  const uint32_t point = injector.InternPoint("p");
+  int old_harness = 0;
+  injector.RegisterNode("n", [&] { ++old_harness; });
+  injector.Reset();
+
+  int new_harness = 0;
+  injector.RegisterNode("n", [&] { ++new_harness; });
+  injector.ArmCrash("n", "p", 1);
+  // Pre-Reset interned ids stay valid for components that cached them.
+  EXPECT_TRUE(injector.CrashPoint(node, point));
+  EXPECT_EQ(old_harness, 0);
+  EXPECT_EQ(new_harness, 1);
+}
+
+TEST(FailureInjectorTest, ReRegisterOverwritesCallbacks) {
+  sim::FailureInjector injector;
+  int stale = 0;
+  int live = 0;
+  injector.RegisterNode("n", [&] { ++stale; });
+  injector.RegisterNode("n", [&] { ++live; });  // rebuild without Reset
+  injector.ArmCrash("n", "p", 1);
+  EXPECT_TRUE(injector.CrashPoint("n", "p"));
+  EXPECT_EQ(stale, 0);
+  EXPECT_EQ(live, 1);
+}
+
+TEST(FailureInjectorTest, OccurrenceCountsArePerEpoch) {
+  // A node's occurrence counters restart when it crashes; hits() keeps the
+  // whole-simulation total.
+  sim::FailureInjector injector;
+  int crashes = 0;
+  injector.RegisterNode("n", [&] { ++crashes; });
+  injector.ArmCrash("n", "p", /*occurrence=*/2, /*epoch=*/0);
+  injector.ArmCrash("n", "p", /*occurrence=*/2, /*epoch=*/1);
+
+  EXPECT_FALSE(injector.CrashPoint("n", "p"));  // epoch 0, count 1
+  EXPECT_TRUE(injector.CrashPoint("n", "p"));   // epoch 0, count 2: crash
+  EXPECT_EQ(injector.node_epoch("n"), 1);
+  EXPECT_EQ(injector.epoch_hits("n", "p"), 0u);  // reset by the crash
+
+  EXPECT_FALSE(injector.CrashPoint("n", "p"));  // epoch 1, count 1
+  EXPECT_TRUE(injector.CrashPoint("n", "p"));   // epoch 1, count 2: crash
+  EXPECT_EQ(crashes, 2);
+  EXPECT_EQ(injector.node_epoch("n"), 2);
+  EXPECT_EQ(injector.hits("n", "p"), 4u);  // totals survive every epoch
+}
+
+TEST(FailureInjectorTest, EpochTargetedTriggerIgnoresOtherEpochs) {
+  sim::FailureInjector injector;
+  int crashes = 0;
+  injector.RegisterNode("n", [&] { ++crashes; });
+  injector.ArmCrash("n", "p", /*occurrence=*/1, /*epoch=*/1);
+  // Epoch 0 hits never match an epoch-1 trigger.
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(injector.CrashPoint("n", "p"));
+  injector.CrashNow("n");  // manually advance to epoch 1
+  EXPECT_EQ(crashes, 1);
+  EXPECT_TRUE(injector.CrashPoint("n", "p"));
+  EXPECT_EQ(crashes, 2);
+}
+
+TEST(FailureInjectorTest, DisarmAllKeepsRegistrationsAndCounters) {
+  sim::FailureInjector injector;
+  int crashes = 0;
+  injector.RegisterNode("n", [&] { ++crashes; });
+  injector.ArmCrash("n", "p", 1);
+  EXPECT_FALSE(injector.CrashPoint("n", "q"));
+  injector.DisarmAll();
+  EXPECT_FALSE(injector.CrashPoint("n", "p"));  // trigger gone
+  EXPECT_EQ(crashes, 0);
+  EXPECT_EQ(injector.hits("n", "q"), 1u);  // counters survive
+  injector.CrashNow("n");                  // registration survives
+  EXPECT_EQ(crashes, 1);
+}
+
 // --- Protocol message codec -------------------------------------------------------
 
 TEST(PduCodecTest, RoundTripsAllFields) {

@@ -199,5 +199,105 @@ TEST_F(NetworkTest, TracingCanBeDisabled) {
   EXPECT_EQ(ctx_.trace().Count(sim::TraceKind::kSend), 0u);
 }
 
+// --- in-flight link-flap semantics (pinned by src/net/network.h) ------------
+
+TEST_F(NetworkTest, InFlightMessageDueDuringOutageIsDroppedRetroactively) {
+  // Sent while the link was up, delivery falls inside the outage window:
+  // the outage destroys it, as a real line failure would.
+  network_.SetLinkLatency("a", "b", 10 * sim::kMillisecond);
+  ASSERT_TRUE(network_.Send(Make("a", "b")).ok());
+  ctx_.events().ScheduleAt(5 * sim::kMillisecond,
+                           [this] { network_.SetLinkDown("a", "b", true); });
+  ctx_.events().Run();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(network_.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, InFlightMessageDueAfterRecoveryIsDelivered) {
+  // The outage opens and closes entirely before the delivery instant: the
+  // message was neither on the wire during the outage (queued at the
+  // sender) nor due during it, so it arrives.
+  network_.SetLinkLatency("a", "b", 20 * sim::kMillisecond);
+  ASSERT_TRUE(network_.Send(Make("a", "b")).ok());
+  ctx_.events().ScheduleAt(2 * sim::kMillisecond,
+                           [this] { network_.SetLinkDown("a", "b", true); });
+  ctx_.events().ScheduleAt(8 * sim::kMillisecond,
+                           [this] { network_.SetLinkDown("a", "b", false); });
+  ctx_.events().Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].at, 20 * sim::kMillisecond);
+}
+
+TEST_F(NetworkTest, FlapPreservesSessionOrderAcrossSurvivors) {
+  // One message dropped by the outage must not reorder the survivors.
+  network_.SetLinkLatency("a", "b", 10 * sim::kMillisecond);
+  ASSERT_TRUE(network_.Send(Make("a", "b", "FIRST")).ok());  // due 10ms: drop
+  ctx_.events().ScheduleAt(5 * sim::kMillisecond,
+                           [this] { network_.SetLinkDown("a", "b", true); });
+  ctx_.events().ScheduleAt(15 * sim::kMillisecond, [this] {
+    network_.SetLinkDown("a", "b", false);
+    ASSERT_TRUE(network_.Send(Make("a", "b", "SECOND")).ok());
+    ASSERT_TRUE(network_.Send(Make("a", "b", "THIRD")).ok());
+  });
+  ctx_.events().Run();
+  ASSERT_EQ(b_.received.size(), 2u);
+  EXPECT_EQ(b_.received[0].tag, "SECOND");
+  EXPECT_EQ(b_.received[1].tag, "THIRD");
+  EXPECT_LE(b_.received[0].at, b_.received[1].at);
+}
+
+// --- probabilistic loss -----------------------------------------------------
+
+TEST_F(NetworkTest, LossRateZeroAndOneAreExact) {
+  network_.SetLinkLossRate("a", "b", 0.0);
+  ASSERT_TRUE(network_.Send(Make("a", "b")).ok());
+  ctx_.events().Run();
+  EXPECT_EQ(b_.received.size(), 1u);
+
+  network_.SetLinkLossRate("a", "b", 1.0);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(network_.Send(Make("a", "b")).ok());
+  ctx_.events().Run();
+  EXPECT_EQ(b_.received.size(), 1u);  // nothing further arrived
+  EXPECT_EQ(network_.stats().messages_dropped, 10u);
+}
+
+TEST_F(NetworkTest, LossAppliesToBothDirections) {
+  network_.SetLinkLossRate("a", "b", 1.0);
+  EXPECT_DOUBLE_EQ(network_.LinkLossRate("b", "a"), 1.0);
+  ASSERT_TRUE(network_.Send(Make("b", "a")).ok());
+  ctx_.events().Run();
+  EXPECT_TRUE(a_.received.empty());
+}
+
+TEST(NetworkLossDeterminism, SameSeedSameDropPattern) {
+  auto run = [](uint64_t seed) {
+    sim::SimContext ctx(seed);
+    Network network(&ctx);
+    RecordingEndpoint a(&ctx, &network), b(&ctx, &network);
+    network.Register("a", &a);
+    network.Register("b", &b);
+    network.SetLinkLossRate("a", "b", 0.5);
+    for (int i = 0; i < 64; ++i) {
+      Message msg;
+      msg.from = network.InternId("a");
+      msg.to = network.InternId("b");
+      msg.trace_tag = "N";
+      msg.txn = static_cast<uint64_t>(i) + 1;
+      EXPECT_TRUE(network.Send(std::move(msg)).ok());
+    }
+    ctx.events().Run();
+    std::vector<uint64_t> delivered;
+    for (const auto& d : b.received) delivered.push_back(d.at);
+    return delivered;
+  };
+  const auto first = run(7);
+  const auto second = run(7);
+  const auto other = run(8);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+  EXPECT_NE(first.size(), 64u);  // some were actually dropped
+  EXPECT_NE(first, other);       // and the pattern is seed-dependent
+}
+
 }  // namespace
 }  // namespace tpc::net
