@@ -47,6 +47,18 @@ std::string JsonNumber(double v) {
 
 }  // namespace
 
+uint64_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  unsigned long long kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<uint64_t>(kb) * 1024;
+}
+
 BenchReport::BenchReport(std::string name)
     : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
 
@@ -105,6 +117,8 @@ std::string BenchReport::ToJson() {
                       static_cast<unsigned long long>(total_txns()));
   out += StringPrintf("  \"sim_txns_per_sec\": %s,\n",
                       JsonNumber(sim_txns_per_sec()).c_str());
+  out += StringPrintf("  \"peak_rss_bytes\": %llu,\n",
+                      static_cast<unsigned long long>(PeakRssBytes()));
   out += "  \"cells\": [\n";
   for (size_t i = 0; i < cells_.size(); ++i) {
     const SweepCell& c = cells_[i];

@@ -15,6 +15,10 @@
 
 namespace tpc::harness {
 
+/// Process peak resident set (VmHWM from /proc/self/status), in bytes.
+/// Returns 0 where procfs is unavailable; callers treat 0 as "unknown".
+uint64_t PeakRssBytes();
+
 /// Collects sweep cells and timing for one bench run, then renders JSON.
 /// Construct before the work starts (it starts the wall-clock timer).
 class BenchReport {

@@ -4,8 +4,18 @@
 
 #include "util/format.h"
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace tpc::harness {
+
+uint32_t Topology::NextHop(uint32_t node, uint32_t target) const {
+  uint32_t hop = target;
+  while (parent[hop] != node) {
+    hop = parent[hop];
+    TPC_CHECK(hop != kNoParent);  // target must descend from node
+  }
+  return hop;
+}
 
 Node::Node(sim::SimContext* ctx, net::Network* network, std::string name,
            const NodeOptions& options, wal::LogManager* host_log)
@@ -107,6 +117,89 @@ void Cluster::Connect(const std::string& a, const std::string& b,
                       tm::SessionOptions b_options) {
   node(a).tm().Connect(b, a_options);
   node(b).tm().Connect(a, b_options);
+}
+
+Topology Cluster::BuildTopology(const TopologyOptions& options) {
+  TPC_CHECK(options.servers >= 1);
+  TPC_CHECK(options.coordinators >= 1);
+  TPC_CHECK(options.shape == TopologyShape::kStar || options.fanout >= 1);
+  Topology topo;
+
+  // Fixed-width names keep lexicographic order equal to index order; the
+  // TM iterates sessions by peer name, so this makes session order in a
+  // generated cluster predictable from indices alone.
+  topo.servers.reserve(options.servers);
+  for (size_t i = 0; i < options.servers; ++i)
+    topo.servers.push_back(StringPrintf("s%05zu", i));
+  for (size_t c = 0; c < options.coordinators; ++c)
+    topo.coordinators.push_back(StringPrintf("c%03zu", c));
+
+  for (const std::string& name : topo.coordinators)
+    AddNode(name, options.node_options);
+  for (const std::string& name : topo.servers)
+    AddNode(name, options.node_options);
+
+  // Wire the servers into a tree.
+  topo.parent.assign(options.servers, Topology::kNoParent);
+  topo.children.resize(options.servers);
+  Random wiring(options.wiring_seed);
+  std::vector<uint32_t> open = {0};  // random-sparse: nodes with spare degree
+  for (uint32_t i = 1; i < options.servers; ++i) {
+    uint32_t parent = 0;
+    switch (options.shape) {
+      case TopologyShape::kTree:
+        parent = (i - 1) / static_cast<uint32_t>(options.fanout);
+        break;
+      case TopologyShape::kStar:
+        parent = 0;
+        break;
+      case TopologyShape::kRandomSparse: {
+        // Pick uniformly among already-placed nodes that still have spare
+        // degree; a fresh node opens once it is placed.
+        const size_t pick = wiring.Uniform(open.size());
+        parent = open[pick];
+        if (topo.children[parent].size() + 1 >= options.fanout) {
+          open[pick] = open.back();
+          open.pop_back();
+        }
+        break;
+      }
+    }
+    topo.parent[i] = parent;
+    topo.children[parent].push_back(i);
+    if (options.shape == TopologyShape::kRandomSparse) open.push_back(i);
+    Connect(topo.servers[parent], topo.servers[i]);
+  }
+
+  for (uint32_t i = 0; i < options.servers; ++i)
+    if (topo.children[i].empty()) topo.leaves.push_back(i);
+
+  // Depth via one pass: depth(i) = depth(parent) + 1; parents always have
+  // smaller indices in every shape above.
+  std::vector<uint32_t> depth(options.servers, 1);
+  for (uint32_t i = 1; i < options.servers; ++i) {
+    depth[i] = depth[topo.parent[i]] + 1;
+    if (depth[i] > topo.depth) topo.depth = depth[i];
+  }
+
+  // Coordinators front the root: every commit tree starts on a distinct
+  // coordinator->root session, then overlaps with its rivals from the root
+  // down.
+  for (const std::string& coord : topo.coordinators)
+    Connect(coord, topo.servers[0]);
+
+  return topo;
+}
+
+MemoryStats Cluster::MemoryUsage() const {
+  MemoryStats stats;
+  stats.network_bytes = network_.ApproxBytes();
+  stats.nodes = nodes_.size();
+  for (const auto& [name, n] : nodes_) {
+    stats.tm_bytes += n->tm().ApproxBytes();
+    if (n->owns_log()) stats.wal_bytes += n->log().ApproxBytes();
+  }
+  return stats;
 }
 
 Node& Cluster::node(const std::string& name) {

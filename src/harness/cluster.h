@@ -69,6 +69,67 @@ class Node {
   std::unique_ptr<tm::TransactionManager> tm_;
 };
 
+/// Shape of a bulk-built cluster topology.
+enum class TopologyShape {
+  kTree,          ///< complete fanout-ary tree rooted at server 0
+  kStar,          ///< every server a direct child of server 0
+  kRandomSparse,  ///< seeded random tree with per-node degree <= fanout
+};
+
+/// Parameters for BuildTopology.
+struct TopologyOptions {
+  TopologyShape shape = TopologyShape::kTree;
+  /// Server (subordinate) node count, excluding coordinators.
+  size_t servers = 64;
+  /// Tree/random-sparse: maximum children per server.
+  size_t fanout = 8;
+  /// Coordinator nodes fronting the root; each owns its own session to
+  /// server 0 so concurrent commit trees overlap from the first hop down.
+  size_t coordinators = 1;
+  /// Seed for random-sparse wiring (independent of the simulation seed, so
+  /// the same topology can be replayed under different event seeds).
+  uint64_t wiring_seed = 1;
+  /// Applied to every node (coordinators and servers alike).
+  NodeOptions node_options;
+};
+
+/// The wiring BuildTopology produced. Server names sort in index order
+/// ("s0000" < "s0001" < ...), so name-lexicographic session iteration —
+/// which is trace-visible — matches index arithmetic.
+struct Topology {
+  static constexpr uint32_t kNoParent = UINT32_MAX;
+
+  std::vector<std::string> coordinators;
+  std::vector<std::string> servers;           ///< index-aligned with parent/children
+  std::vector<uint32_t> parent;               ///< per server; kNoParent at the root
+  std::vector<std::vector<uint32_t>> children;  ///< per server
+  std::vector<uint32_t> leaves;               ///< servers with no children
+  size_t depth = 1;  ///< root-to-deepest-leaf node count
+
+  /// The child of `node` whose subtree contains `target` (walks parent
+  /// links: O(depth), independent of cluster size). Requires `target` to
+  /// be a strict descendant of `node`.
+  uint32_t NextHop(uint32_t node, uint32_t target) const;
+};
+
+/// Heap footprint of the cluster's own tables, by layer. The property the
+/// cluster bench gates: per-node cost stays O(fanout + local work) as the
+/// cluster grows, because link state, sessions, and per-txn side tables are
+/// all sparse.
+struct MemoryStats {
+  uint64_t network_bytes = 0;  ///< interning, link map, payload pool, slab
+  uint64_t tm_bytes = 0;       ///< sessions, txn slab, per-txn meta (all TMs)
+  uint64_t wal_bytes = 0;      ///< log buffers + stats (owned logs only)
+  size_t nodes = 0;
+
+  uint64_t total_bytes() const { return network_bytes + tm_bytes + wal_bytes; }
+  double bytes_per_node() const {
+    return nodes == 0 ? 0.0
+                      : static_cast<double>(total_bytes()) /
+                            static_cast<double>(nodes);
+  }
+};
+
 /// Result of driving a commit through the event loop.
 struct DrivenCommit {
   bool completed = false;  ///< the commit callback fired
@@ -105,6 +166,16 @@ class Cluster {
   void Connect(const std::string& a, const std::string& b,
                tm::SessionOptions a_options = {},
                tm::SessionOptions b_options = {});
+
+  /// Bulk-constructs a cluster: `servers` server nodes wired per the shape,
+  /// plus `coordinators` coordinator nodes each connected to the root
+  /// server. Node creation and wiring are deterministic (names in index
+  /// order, sessions along tree edges only), so a 2048-node cell costs
+  /// O(nodes + links), not O(nodes²).
+  Topology BuildTopology(const TopologyOptions& options);
+
+  /// Sums the heap held by the network, every TM, and every owned log.
+  MemoryStats MemoryUsage() const;
 
   Node& node(const std::string& name);
   const Node& node(const std::string& name) const;

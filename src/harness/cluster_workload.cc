@@ -1,0 +1,283 @@
+#include "harness/cluster_workload.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/format.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace tpc::harness {
+namespace {
+
+// Work payloads are "w<key>|<t1>,<t2>,..." (decimal server indices in
+// ascending order); acks upward are "a" (success) or "x" (a write failed in
+// the subtree).
+constexpr char kWorkTag = 'w';
+constexpr std::string_view kAckOk = "a";
+constexpr std::string_view kAckFailed = "x";
+
+uint64_t ParseDecimal(std::string_view s, size_t* pos) {
+  uint64_t value = 0;
+  while (*pos < s.size() && s[*pos] >= '0' && s[*pos] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(s[*pos] - '0');
+    ++*pos;
+  }
+  return value;
+}
+
+/// One precomputed transaction: which leaves it touches and which hot key
+/// it writes there.
+struct TxnPlan {
+  std::vector<uint32_t> targets;  // unique, ascending
+  uint64_t key = 0;
+};
+
+/// A server's bookkeeping for one in-flight transaction: how many local or
+/// forwarded completions are outstanding before it can ack its requester.
+struct PendingWork {
+  net::NodeId requester;
+  size_t outstanding = 0;
+  bool failed = false;
+};
+
+struct RunState {
+  Cluster* cluster = nullptr;
+  Topology topo;
+  ClusterWorkloadOptions options;
+
+  // Resolved once up front: per-event name->node map lookups are the kind
+  // of avoidable per-message cost this workload exists to measure.
+  std::vector<tm::TransactionManager*> server_tm;
+  std::vector<tm::TransactionManager*> coord_tm;
+
+  std::vector<std::vector<TxnPlan>> plans;  // per coordinator, issue order
+  std::vector<size_t> next_plan;
+  std::vector<uint64_t> inflight_txn;   // per coordinator (0 = none)
+  std::vector<sim::Time> inflight_start;
+
+  std::vector<std::unordered_map<uint64_t, PendingWork>> pending;  // per server
+
+  ClusterWorkloadStats stats;
+  uint64_t finished = 0;  // commit callbacks fired + coordinator aborts
+  double latency_sum_ms = 0.0;
+
+  void StartNext(size_t coord);
+  void OnServerData(uint32_t server, uint64_t txn, const net::NodeId& from,
+                    std::string_view data);
+  void OnCoordinatorAck(size_t coord, uint64_t txn, std::string_view data);
+  void FinishOne(uint32_t server, uint64_t txn);
+};
+
+std::string WorkPayload(uint64_t key, const uint32_t* targets, size_t count) {
+  std::string payload;
+  payload.push_back(kWorkTag);
+  StringAppendF(&payload, "%llu|", static_cast<unsigned long long>(key));
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) payload.push_back(',');
+    StringAppendF(&payload, "%u", targets[i]);
+  }
+  return payload;
+}
+
+void RunState::StartNext(size_t coord) {
+  if (next_plan[coord] >= plans[coord].size()) return;
+  const TxnPlan& plan = plans[coord][next_plan[coord]++];
+  tm::TransactionManager& ctm = *coord_tm[coord];
+  const uint64_t txn = ctm.Begin();
+  inflight_txn[coord] = txn;
+  inflight_start[coord] = cluster->ctx().now();
+  TPC_CHECK_OK(ctm.SendWork(
+      txn, topo.servers[0],
+      WorkPayload(plan.key, plan.targets.data(), plan.targets.size())));
+}
+
+void RunState::OnServerData(uint32_t server, uint64_t txn,
+                            const net::NodeId& from, std::string_view data) {
+  if (data.empty()) return;
+  if (data[0] != kWorkTag) {
+    // Ack from a child subtree.
+    auto it = pending[server].find(txn);
+    if (it == pending[server].end()) return;
+    if (data == kAckFailed) it->second.failed = true;
+    FinishOne(server, txn);
+    return;
+  }
+
+  size_t pos = 1;
+  const uint64_t key = ParseDecimal(data, &pos);
+  TPC_CHECK(pos < data.size() && data[pos] == '|');
+  ++pos;
+
+  // Split the targets: us, and one forward per child subtree that contains
+  // any of them. std::map keeps the forwarding order ascending-by-child,
+  // i.e. deterministic and name-lexicographic (server names sort by index).
+  bool self_target = false;
+  std::map<uint32_t, std::vector<uint32_t>> by_hop;
+  while (pos < data.size()) {
+    const uint32_t target = static_cast<uint32_t>(ParseDecimal(data, &pos));
+    if (pos < data.size() && data[pos] == ',') ++pos;
+    if (target == server) {
+      self_target = true;
+    } else {
+      by_hop[topo.NextHop(server, target)].push_back(target);
+    }
+  }
+
+  PendingWork& work = pending[server][txn];
+  work.requester = from;
+  work.outstanding = by_hop.size() + (self_target ? 1 : 0);
+  work.failed = false;
+  TPC_CHECK(work.outstanding > 0);
+
+  tm::TransactionManager& stm = *server_tm[server];
+  for (const auto& [hop, targets] : by_hop) {
+    TPC_CHECK_OK(stm.SendWork(
+        txn, topo.servers[hop],
+        WorkPayload(key, targets.data(), targets.size())));
+  }
+  if (self_target) {
+    stm.Write(txn, 0, StringPrintf("h%llu", (unsigned long long)key),
+              StringPrintf("%llu", (unsigned long long)txn),
+              [this, server, txn](Status st) {
+      // A failed write (lock timeout breaking a cross-branch deadlock)
+      // poisons the ack chain; the coordinator aborts the transaction.
+      auto it = pending[server].find(txn);
+      if (it == pending[server].end()) return;
+      if (!st.ok()) it->second.failed = true;
+      FinishOne(server, txn);
+    });
+  }
+}
+
+void RunState::FinishOne(uint32_t server, uint64_t txn) {
+  auto it = pending[server].find(txn);
+  TPC_CHECK(it != pending[server].end());
+  TPC_CHECK(it->second.outstanding > 0);
+  if (--it->second.outstanding > 0) return;
+  const net::NodeId requester = it->second.requester;
+  const bool failed = it->second.failed;
+  pending[server].erase(it);
+  TPC_CHECK_OK(
+      server_tm[server]->SendWork(txn, requester, failed ? kAckFailed : kAckOk));
+}
+
+void RunState::OnCoordinatorAck(size_t coord, uint64_t txn,
+                                std::string_view data) {
+  if (inflight_txn[coord] != txn) return;  // stale (already resolved)
+  inflight_txn[coord] = 0;
+  tm::TransactionManager& ctm = *coord_tm[coord];
+  if (data == kAckFailed) {
+    ctm.AbortTxn(txn);
+    ++stats.aborted;
+    ++finished;
+    StartNext(coord);
+    return;
+  }
+  const sim::Time start = inflight_start[coord];
+  ctm.Commit(txn, [this, coord, start](tm::CommitResult result) {
+    if (tm::CommittedEffects(result.outcome)) {
+      ++stats.committed;
+    } else {
+      ++stats.aborted;
+    }
+    latency_sum_ms += static_cast<double>(cluster->ctx().now() - start) /
+                      static_cast<double>(sim::kMillisecond);
+    ++finished;
+    StartNext(coord);
+  });
+}
+
+}  // namespace
+
+double ClusterWorkloadStats::Throughput() const {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(committed + aborted) /
+         (static_cast<double>(elapsed) / static_cast<double>(sim::kSecond));
+}
+
+ClusterWorkloadStats RunClusterWorkload(Cluster* cluster,
+                                        const Topology& topology,
+                                        const ClusterWorkloadOptions& options) {
+  TPC_CHECK(!topology.servers.empty());
+  const size_t coordinators = topology.coordinators.size();
+  TPC_CHECK(coordinators > 0);
+
+  auto state = std::make_shared<RunState>();
+  state->cluster = cluster;
+  state->topo = topology;
+  state->options = options;
+  state->plans.resize(coordinators);
+  state->next_plan.assign(coordinators, 0);
+  state->inflight_txn.assign(coordinators, 0);
+  state->inflight_start.assign(coordinators, 0);
+  state->pending.resize(topology.servers.size());
+  for (const std::string& name : topology.servers)
+    state->server_tm.push_back(&cluster->tm(name));
+  for (const std::string& name : topology.coordinators)
+    state->coord_tm.push_back(&cluster->tm(name));
+
+  // Precompute every transaction's coordinator, targets, and key from one
+  // seeded stream, before any event runs: execution interleaving cannot
+  // perturb the plan, so a cell's trace depends only on (cluster seed,
+  // plan seed, grid parameters).
+  const std::vector<uint32_t>& leaves = topology.leaves;
+  TPC_CHECK(!leaves.empty());
+  Random plan_rng(options.plan_seed);
+  for (uint64_t t = 0; t < options.transactions; ++t) {
+    TxnPlan plan;
+    plan.key = plan_rng.Skewed(options.hot_keys, options.key_theta);
+    for (size_t j = 0; j < options.targets_per_txn; ++j) {
+      const uint32_t leaf = leaves[plan_rng.Skewed(leaves.size(), options.theta)];
+      auto it = std::lower_bound(plan.targets.begin(), plan.targets.end(), leaf);
+      if (it == plan.targets.end() || *it != leaf) plan.targets.insert(it, leaf);
+    }
+    state->plans[t % coordinators].push_back(std::move(plan));
+  }
+
+  // Server handlers route work down and acks up; coordinator handlers turn
+  // the root's ack into Commit/AbortTxn. Handlers hold the shared state
+  // alive, so stray late events after this function returns stay safe.
+  for (uint32_t i = 0; i < topology.servers.size(); ++i) {
+    cluster->tm(topology.servers[i])
+        .SetAppDataHandler([state, i](uint64_t txn, const net::NodeId& from,
+                                      std::string_view data) {
+          state->OnServerData(i, txn, from, data);
+        });
+  }
+  for (size_t c = 0; c < coordinators; ++c) {
+    cluster->tm(topology.coordinators[c])
+        .SetAppDataHandler([state, c](uint64_t txn, const net::NodeId&,
+                                      std::string_view data) {
+          state->OnCoordinatorAck(c, txn, data);
+        });
+  }
+
+  sim::SimContext& ctx = cluster->ctx();
+  const sim::Time start_time = ctx.now();
+  const sim::Time deadline = start_time + options.deadline;
+  const uint64_t events_before = ctx.events().executed();
+  const uint64_t flows_before = cluster->network().stats().messages_sent;
+
+  for (size_t c = 0; c < coordinators; ++c) state->StartNext(c);
+  while (state->finished < options.transactions && ctx.now() <= deadline) {
+    if (!ctx.events().Step()) break;
+  }
+
+  state->stats.incomplete = options.transactions - state->finished;
+  state->stats.flows =
+      cluster->network().stats().messages_sent - flows_before;
+  state->stats.events = ctx.events().executed() - events_before;
+  state->stats.elapsed = ctx.now() - start_time;
+  const uint64_t completed = state->stats.committed + state->stats.aborted;
+  if (completed > 0)
+    state->stats.mean_commit_latency_ms =
+        state->latency_sum_ms / static_cast<double>(completed);
+  return state->stats;
+}
+
+}  // namespace tpc::harness

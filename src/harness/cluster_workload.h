@@ -1,0 +1,71 @@
+// Cluster-scale workload: C coordinators run closed-loop transaction
+// streams concurrently over one shared server tree. Each transaction
+// Zipf-picks a set of target leaves and a hot key, then routes its work
+// down the tree hop by hop (payloads carry the remaining targets, and each
+// server forwards to the child subtree that contains them). Commit trees
+// therefore overlap — at the root by construction, at interior servers
+// whenever target sets share a branch, and on RM locks whenever two
+// transactions pick the same (leaf, key) — which is what makes coordinator
+// count and skew (theta) real contention knobs rather than labels.
+//
+// Determinism: the entire plan (per-transaction coordinator, targets, key)
+// is precomputed from one seeded Random before any event runs, so the
+// simulation's trace depends only on (cluster seed, plan). Coordinator
+// count or issue order cannot perturb the plan stream.
+
+#ifndef TPC_HARNESS_CLUSTER_WORKLOAD_H_
+#define TPC_HARNESS_CLUSTER_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "harness/cluster.h"
+
+namespace tpc::harness {
+
+/// Shape of the multi-coordinator stream.
+struct ClusterWorkloadOptions {
+  /// Seed for the precomputed plan (independent of the cluster seed).
+  uint64_t plan_seed = 7;
+  /// Total transactions, dealt round-robin across the coordinators.
+  uint64_t transactions = 64;
+  /// Zipf-skewed leaf picks per transaction (duplicates collapse, so hot
+  /// leaves also shrink the effective fan-out — as hot data does).
+  size_t targets_per_txn = 3;
+  /// Leaf-pick skew in [0,1); 0 = uniform.
+  double theta = 0.5;
+  /// Per-leaf hot-key space; each transaction writes one Zipf-picked key
+  /// at every target, so key collisions are lock conflicts.
+  uint64_t hot_keys = 64;
+  double key_theta = 0.5;
+  /// Simulated-time budget for the whole stream. Commit is gated on
+  /// application-level acks (a node acks its requester once its own write
+  /// and every forwarded subtree completed), so phase one never races a
+  /// queued lock wait; cross-transaction deadlocks resolve via the RM lock
+  /// timeout, which surfaces as a failed ack and a coordinator abort.
+  sim::Time deadline = 10 * 60 * sim::kSecond;
+};
+
+/// Aggregate results (all counters are cluster-wide totals).
+struct ClusterWorkloadStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t incomplete = 0;  ///< commit callback never fired before deadline
+  uint64_t flows = 0;       ///< protocol messages across all transactions
+  uint64_t events = 0;      ///< simulator events executed during the run
+  sim::Time elapsed = 0;    ///< simulated duration of the stream
+  double mean_commit_latency_ms = 0.0;  ///< completed transactions only
+
+  /// Simulated committed+aborted transactions per simulated second.
+  double Throughput() const;
+};
+
+/// Runs the stream against a topology previously built into `cluster` (the
+/// handlers it installs assume BuildTopology's naming and wiring).
+ClusterWorkloadStats RunClusterWorkload(Cluster* cluster,
+                                        const Topology& topology,
+                                        const ClusterWorkloadOptions& options);
+
+}  // namespace tpc::harness
+
+#endif  // TPC_HARNESS_CLUSTER_WORKLOAD_H_

@@ -15,36 +15,12 @@ uint32_t Network::Intern(const NodeId& name) {
   names_.push_back(name);
   endpoints_.push_back(nullptr);
   sent_by_.push_back(0);
-  if (names_.size() > cap_) GrowTables(static_cast<uint32_t>(names_.size()));
   return id;
 }
 
 uint32_t Network::Find(const NodeId& name) const {
   auto it = ids_.find(name);
   return it == ids_.end() ? kNoNode : it->second;
-}
-
-void Network::GrowTables(uint32_t min_nodes) {
-  uint32_t new_cap = cap_ == 0 ? 8 : cap_;
-  while (new_cap < min_nodes) new_cap *= 2;
-  if (new_cap == cap_) return;
-  std::vector<sim::Time> latency(size_t{new_cap} * new_cap, kDefaultLatency);
-  std::vector<unsigned char> down(size_t{new_cap} * new_cap, 0);
-  std::vector<sim::Time> floor(size_t{new_cap} * new_cap, 0);
-  std::vector<double> loss(size_t{new_cap} * new_cap, 0.0);
-  for (uint32_t a = 0; a < cap_; ++a) {
-    for (uint32_t b = 0; b < cap_; ++b) {
-      latency[size_t{a} * new_cap + b] = latency_[LinkIndex(a, b)];
-      down[size_t{a} * new_cap + b] = down_[LinkIndex(a, b)];
-      floor[size_t{a} * new_cap + b] = delivery_floor_[LinkIndex(a, b)];
-      loss[size_t{a} * new_cap + b] = loss_[LinkIndex(a, b)];
-    }
-  }
-  latency_ = std::move(latency);
-  down_ = std::move(down);
-  delivery_floor_ = std::move(floor);
-  loss_ = std::move(loss);
-  cap_ = new_cap;
 }
 
 void Network::Register(const NodeId& id, Endpoint* endpoint) {
@@ -57,40 +33,46 @@ void Network::Register(const NodeId& id, Endpoint* endpoint) {
 void Network::SetLinkLatency(const NodeId& a, const NodeId& b,
                              sim::Time latency) {
   const uint32_t ia = Intern(a), ib = Intern(b);
-  latency_[LinkIndex(ia, ib)] = latency;
-  latency_[LinkIndex(ib, ia)] = latency;
+  // Sequential GetOrCreate calls: the second may rehash, so never hold the
+  // first reference across it.
+  links_.GetOrCreate(PairKey(ia, ib)).latency = latency;
+  links_.GetOrCreate(PairKey(ib, ia)).latency = latency;
 }
 
 void Network::SetLinkDown(const NodeId& a, const NodeId& b, bool down) {
   const uint32_t ia = Intern(a), ib = Intern(b);
-  down_[LinkIndex(ia, ib)] = down ? 1 : 0;
-  down_[LinkIndex(ib, ia)] = down ? 1 : 0;
+  links_.GetOrCreate(PairKey(ia, ib)).down = down;
+  links_.GetOrCreate(PairKey(ib, ia)).down = down;
 }
 
 bool Network::IsLinkDown(const NodeId& a, const NodeId& b) const {
   const uint32_t ia = Find(a), ib = Find(b);
   if (ia == kNoNode || ib == kNoNode) return false;
-  return down_[LinkIndex(ia, ib)] != 0;
+  const LinkState* link = links_.Find(PairKey(ia, ib));
+  return link != nullptr && link->down;
 }
 
 void Network::SetLinkLossRate(const NodeId& a, const NodeId& b, double p) {
   TPC_CHECK(p >= 0.0 && p <= 1.0);
   const uint32_t ia = Intern(a), ib = Intern(b);
-  loss_[LinkIndex(ia, ib)] = p;
-  loss_[LinkIndex(ib, ia)] = p;
+  links_.GetOrCreate(PairKey(ia, ib)).loss = p;
+  links_.GetOrCreate(PairKey(ib, ia)).loss = p;
 }
 
 double Network::LinkLossRate(const NodeId& a, const NodeId& b) const {
   const uint32_t ia = Find(a), ib = Find(b);
   if (ia == kNoNode || ib == kNoNode) return 0.0;
-  return loss_[LinkIndex(ia, ib)];
+  const LinkState* link = links_.Find(PairKey(ia, ib));
+  return link == nullptr ? 0.0 : link->loss;
 }
 
 sim::Time Network::LatencyBetween(const NodeId& a, const NodeId& b) const {
   const uint32_t ia = Find(a), ib = Find(b);
   if (ia == kNoNode || ib == kNoNode) return default_latency_;
-  const sim::Time t = latency_[LinkIndex(ia, ib)];
-  return t == kDefaultLatency ? default_latency_ : t;
+  const LinkState* link = links_.Find(PairKey(ia, ib));
+  if (link == nullptr || link->latency == kDefaultLatency)
+    return default_latency_;
+  return link->latency;
 }
 
 PayloadRef Network::AcquirePayload() {
@@ -154,28 +136,28 @@ Status Network::Send(Message msg) {
                        names_[to], msg.txn, std::string(msg.TagView())});
   }
 
-  const size_t link = LinkIndex(from, to);
-  if (down_[link] != 0) {
+  // One probe fetches everything the send path needs: down flag, loss rate,
+  // latency override, and the mutable FIFO floor.
+  LinkState& link = links_.GetOrCreate(PairKey(from, to));
+  if (link.down) {
     ++stats_.messages_dropped;
     ReleasePayload(msg.payload);
     return Status::OK();  // silent loss, like a real partition
   }
   // Seeded probabilistic loss. A lost message never went on the wire as far
   // as the receiver is concerned, so the FIFO floor stays where it was.
-  const double loss = loss_[link];
-  if (loss > 0.0 && ctx_->rng().Bernoulli(loss)) {
+  if (link.loss > 0.0 && ctx_->rng().Bernoulli(link.loss)) {
     ++stats_.messages_dropped;
     ReleasePayload(msg.payload);
     return Status::OK();
   }
 
-  const sim::Time link_latency = latency_[link];
   sim::Time deliver_at =
       ctx_->now() +
-      (link_latency == kDefaultLatency ? default_latency_ : link_latency);
-  if (deliver_at < delivery_floor_[link])
-    deliver_at = delivery_floor_[link];  // preserve per-session FIFO order
-  delivery_floor_[link] = deliver_at;
+      (link.latency == kDefaultLatency ? default_latency_ : link.latency);
+  if (deliver_at < link.floor)
+    deliver_at = link.floor;  // preserve per-session FIFO order
+  link.floor = deliver_at;
 
   // Park the message and capture only (this, index, ids): 16 bytes, which
   // the event queue stores inline — no allocation on the send path.
@@ -209,9 +191,10 @@ void Network::Deliver(uint32_t slab_index, uint32_t from, uint32_t to) {
   Message msg = std::move(slab_[slab_index]);
   slab_free_.push_back(slab_index);
 
+  const LinkState* link = links_.Find(PairKey(from, to));
   Endpoint* endpoint = endpoints_[to];
   if (endpoint == nullptr || !endpoint->IsUp() ||
-      down_[LinkIndex(from, to)] != 0) {
+      (link != nullptr && link->down)) {
     ++stats_.messages_dropped;
     ReleasePayload(msg.payload);
     return;
@@ -229,6 +212,21 @@ void Network::Deliver(uint32_t slab_index, uint32_t from, uint32_t to) {
 uint64_t Network::SentBy(const NodeId& node) const {
   const uint32_t id = Find(node);
   return id == kNoNode ? 0 : sent_by_[id];
+}
+
+uint64_t Network::ApproxBytes() const {
+  uint64_t bytes = links_.ApproxBytes();
+  bytes += names_.capacity() * sizeof(std::string);
+  for (const auto& n : names_) bytes += n.capacity();
+  // ids_ is an unordered_map; approximate a node per entry.
+  bytes += ids_.size() * (sizeof(std::string) + 2 * sizeof(void*) + 16);
+  bytes += endpoints_.capacity() * sizeof(Endpoint*);
+  bytes += sent_by_.capacity() * sizeof(uint64_t);
+  for (const auto& p : payload_pool_) bytes += sizeof(std::string) + p.capacity();
+  bytes += payload_free_.capacity() * sizeof(uint32_t);
+  bytes += slab_.capacity() * sizeof(Message);
+  bytes += slab_free_.capacity() * sizeof(uint32_t);
+  return bytes;
 }
 
 }  // namespace tpc::net

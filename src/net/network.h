@@ -6,10 +6,11 @@
 // traffic. Per-node and per-link flow counts feed the cost accounting.
 //
 // Hot-path design: node names are interned into dense uint32 ids, messages
-// carry only those ids, and all per-link state (latency override, link-down
-// flag, FIFO delivery floor) plus per-node counters live in flat vectors
-// indexed by them — a Send performs no string building, no hashing, and no
-// tree walks. Payload bytes live in a network-owned buffer pool with
+// carry only those ids, per-node counters live in flat vectors indexed by
+// them, and all per-link state (latency override, link-down flag, loss
+// rate, FIFO delivery floor) lives in one sparse open-addressed map keyed
+// by the directed pair — a Send performs no string building and one integer
+// hash probe, and a cluster's link memory is O(links used), not O(nodes²). Payload bytes live in a network-owned buffer pool with
 // free-list reuse (senders encode in place via PayloadBuffer), and in-flight
 // messages are parked in a reusable slab so the scheduled delivery closure
 // captures only 16 bytes and fits in the event queue's inline buffer. In
@@ -26,6 +27,7 @@
 
 #include "net/message.h"
 #include "sim/sim_context.h"
+#include "util/flat_map.h"
 #include "util/status.h"
 
 namespace tpc::net {
@@ -169,18 +171,34 @@ class Network {
     return PayloadView(msg.payload);
   }
 
+  /// Heap bytes held by the network's own tables (interning, link state,
+  /// payload pool, in-flight slab). Feeds the cluster memory budget; the
+  /// key property is that link state is O(links used), not O(nodes²).
+  uint64_t ApproxBytes() const;
+
  private:
   static constexpr uint32_t kNoNode = UINT32_MAX;
-  static constexpr sim::Time kDefaultLatency = -1;  // sentinel in latency_
+  static constexpr sim::Time kDefaultLatency = -1;  // sentinel in LinkState
 
-  /// Interns `name`, growing the link tables if needed. Interning does not
-  /// register: link state may be configured before nodes attach.
+  /// Per-directed-pair state, created lazily on first touch. A sparse
+  /// topology of N nodes and L used links costs O(L) entries instead of the
+  /// former four N×N matrices (which hit ~100 MB at 2048 nodes).
+  struct LinkState {
+    sim::Time latency = kDefaultLatency;  // kDefaultLatency: use default_latency_
+    sim::Time floor = 0;                  // FIFO delivery floor
+    double loss = 0.0;                    // per-message drop probability
+    bool down = false;
+  };
+
+  static uint64_t PairKey(uint32_t a, uint32_t b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  /// Interns `name`. Interning does not register: link state may be
+  /// configured before nodes attach.
   uint32_t Intern(const NodeId& name);
   /// Id of `name`, or kNoNode. Never allocates.
   uint32_t Find(const NodeId& name) const;
-
-  size_t LinkIndex(uint32_t a, uint32_t b) const { return a * cap_ + b; }
-  void GrowTables(uint32_t min_nodes);
 
   void ReleasePayload(PayloadRef ref);
   uint32_t AcquireSlab(Message&& msg);
@@ -197,13 +215,9 @@ class Network {
   std::vector<Endpoint*> endpoints_;  // nullptr: interned but not registered
   std::vector<uint64_t> sent_by_;
 
-  // cap_ x cap_ matrices indexed by LinkIndex(a, b); cap_ grows geometrically
-  // so ids stay stable while tables are rebuilt in place.
-  uint32_t cap_ = 0;
-  std::vector<sim::Time> latency_;  // kDefaultLatency = use default_latency_
-  std::vector<unsigned char> down_;
-  std::vector<sim::Time> delivery_floor_;  // per directed pair (FIFO)
-  std::vector<double> loss_;               // per directed pair drop probability
+  // Sparse per-directed-pair link state keyed by PairKey(from, to). Only
+  // pairs that ever carried a message or a configuration own an entry.
+  FlatId64Map<LinkState> links_;
 
   // Payload buffer pool. A deque keeps buffer addresses stable while the
   // pool grows, so payload views held across a reentrant Send (an OnMessage

@@ -82,23 +82,14 @@ void TransactionManager::Connect(const net::NodeId& peer,
 // ---------------------------------------------------------------------------
 
 TransactionManager::TxnMeta& TransactionManager::MetaSlot(uint64_t id) {
-  if (id < kDenseTxnIds) {
-    if (id >= txn_meta_.size()) {
-      size_t want = static_cast<size_t>(id) + 1;
-      if (want < txn_meta_.size() * 2) want = txn_meta_.size() * 2;
-      txn_meta_.resize(want);
-    }
-    return txn_meta_[id];
-  }
-  return txn_meta_overflow_[id];
+  // May rehash: callers use the reference transiently, never across another
+  // MetaSlot/GetOrCreateTxn call.
+  return txn_meta_.GetOrCreate(id);
 }
 
 const TransactionManager::TxnMeta* TransactionManager::FindMeta(
     uint64_t id) const {
-  if (id < kDenseTxnIds)
-    return id < txn_meta_.size() ? &txn_meta_[id] : nullptr;
-  auto it = txn_meta_overflow_.find(id);
-  return it == txn_meta_overflow_.end() ? nullptr : &it->second;
+  return txn_meta_.Find(id);
 }
 
 TransactionManager::Txn& TransactionManager::GetOrCreateTxn(uint64_t id) {
@@ -135,30 +126,41 @@ const TransactionManager::Txn* TransactionManager::FindTxn(uint64_t id) const {
 TransactionManager::Session* TransactionManager::FindSession(
     const net::NodeId& peer) {
   const uint32_t sid = network_->IdOf(peer);
-  if (sid == net::Network::kNoId || sid >= sessions_.size()) return nullptr;
-  Session& session = sessions_[sid];
-  return session.connected ? &session : nullptr;
+  if (sid == net::Network::kNoId) return nullptr;
+  return FindSessionById(sid);
+}
+
+TransactionManager::Session* TransactionManager::FindSessionById(uint32_t sid) {
+  const auto it =
+      std::lower_bound(session_ids_.begin(), session_ids_.end(), sid);
+  if (it == session_ids_.end() || *it != sid) return nullptr;
+  return &sessions_[session_slots_[it - session_ids_.begin()]];
 }
 
 TransactionManager::Session& TransactionManager::SessionSlot(
     const net::NodeId& peer) {
   const uint32_t sid = network_->InternId(peer);
-  if (sid >= sessions_.size()) sessions_.resize(sid + 1);
-  Session& session = sessions_[sid];
-  if (!session.connected) {
-    session.connected = true;
-    RebuildSessionOrder();
-  }
-  return session;
+  if (Session* existing = FindSessionById(sid)) return *existing;
+  const uint32_t slot = static_cast<uint32_t>(sessions_.size());
+  sessions_.emplace_back();
+  sessions_.back().peer_id = sid;
+  const auto it =
+      std::lower_bound(session_ids_.begin(), session_ids_.end(), sid);
+  session_slots_.insert(session_slots_.begin() + (it - session_ids_.begin()),
+                        slot);
+  session_ids_.insert(it, sid);
+  RebuildSessionOrder();
+  return sessions_.back();
 }
 
 void TransactionManager::RebuildSessionOrder() {
   session_order_.clear();
-  for (uint32_t sid = 0; sid < sessions_.size(); ++sid)
-    if (sessions_[sid].connected) session_order_.push_back(sid);
+  for (uint32_t slot = 0; slot < sessions_.size(); ++slot)
+    session_order_.push_back(slot);
   std::sort(session_order_.begin(), session_order_.end(),
             [this](uint32_t a, uint32_t b) {
-              return network_->NameOf(a) < network_->NameOf(b);
+              return network_->NameOf(sessions_[a].peer_id) <
+                     network_->NameOf(sessions_[b].peer_id);
             });
 }
 
@@ -175,9 +177,10 @@ void TransactionManager::SendPdu(const net::NodeId& peer, Pdu pdu,
                                  std::string_view app_data) {
   TPC_CHECK(up_);
   const uint32_t sid = network_->IdOf(peer);
-  TPC_CHECK(sid != net::Network::kNoId && sid < sessions_.size() &&
-            sessions_[sid].connected);
-  Session& session = sessions_[sid];
+  TPC_CHECK(sid != net::Network::kNoId);
+  Session* session_ptr = FindSessionById(sid);
+  TPC_CHECK(session_ptr != nullptr);
+  Session& session = *session_ptr;
 
   const bool protocol_flow = pdu.type != PduType::kAppData;
   const uint64_t primary_txn = pdu.txn;
@@ -352,9 +355,9 @@ void TransactionManager::ComputeParticipants(Txn& txn) {
   // OK_TO_LEAVE_OUT in an earlier commit and is suspended since).
   std::set<net::NodeId> existing;
   for (const auto& c : txn.children) existing.insert(c.peer);
-  for (uint32_t sid : session_order_) {
-    const Session& session = sessions_[sid];
-    const net::NodeId& peer = network_->NameOf(sid);
+  for (uint32_t slot : session_order_) {
+    const Session& session = sessions_[slot];
+    const net::NodeId& peer = network_->NameOf(session.peer_id);
     if (txn.has_upstream && peer == txn.upstream) continue;
     if (existing.count(peer)) continue;
     const bool touched = HasPeer(txn, peer);
@@ -1274,14 +1277,25 @@ void TransactionManager::OnDecisionPdu(const net::NodeId& from,
   }
 
   if (txn->phase == Phase::kAwaitLastAgent) {
-    // We are the initiator; the last agent decided.
+    // The last agent we delegated to has decided.
     CancelTimers(*txn);
     if (txn->my_la_vote_ro) {
       // We voted read-only to the last agent: nothing to log or propagate
-      // (our subtree was read-only too); just report to the application.
+      // (our subtree was read-only too); report to the application. If the
+      // decision was itself delegated to us by an upstream initiator (a
+      // cascaded read-only delegation chain), relay it there exactly as a
+      // fully read-only last agent replies — otherwise the outcome dies
+      // here and every delegator above waits forever.
       txn->decided = true;
       txn->commit_decision = commit;
       txn->outcome = commit ? Outcome::kCommitted : Outcome::kAborted;
+      if (txn->i_am_last_agent) {
+        Pdu relay;
+        relay.type = commit ? PduType::kCommit : PduType::kAbort;
+        relay.txn = txn->id;
+        relay.from_last_agent = true;
+        SendPdu(txn->implied_ack_peer, std::move(relay));
+      }
       CompleteApp(*txn, /*pending=*/false);
       Forget(*txn);
       return;
@@ -2203,6 +2217,23 @@ size_t TransactionManager::InDoubtCount() const {
   for (const Txn& txn : txn_slab_)
     if (txn.in_use && txn.phase == Phase::kInDoubt) ++n;
   return n;
+}
+
+uint64_t TransactionManager::ApproxBytes() const {
+  uint64_t bytes = txn_meta_.ApproxBytes();
+  bytes += sessions_.capacity() * sizeof(Session);
+  for (const Session& s : sessions_)
+    bytes += s.outbox.capacity() * sizeof(Pdu);
+  bytes += session_ids_.capacity() * sizeof(uint32_t);
+  bytes += session_slots_.capacity() * sizeof(uint32_t);
+  bytes += session_order_.capacity() * sizeof(uint32_t);
+  bytes += txn_slab_.size() * sizeof(Txn);
+  for (const Txn& t : txn_slab_) {
+    bytes += t.children.capacity() * sizeof(Child);
+    bytes += t.peers.capacity() * sizeof(net::NodeId);
+  }
+  bytes += free_slots_.capacity() * sizeof(uint32_t);
+  return bytes;
 }
 
 }  // namespace tpc::tm

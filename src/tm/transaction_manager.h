@@ -37,6 +37,7 @@
 #include "tm/crash_points.h"
 #include "tm/protocol_messages.h"
 #include "tm/types.h"
+#include "util/flat_map.h"
 #include "util/status.h"
 #include "wal/log_manager.h"
 
@@ -203,6 +204,12 @@ class TransactionManager : public net::Endpoint {
   rm::KVResourceManager* rm(size_t index) { return rms_.at(index); }
   size_t rm_count() const { return rms_.size(); }
 
+  /// Heap bytes held by this TM's own tables (sessions, txn slab, per-txn
+  /// meta). Feeds the cluster memory budget. The key property at cluster
+  /// scale: a node's footprint is O(fanout + transactions it touched), not
+  /// O(cluster size) or O(global txn-id space).
+  uint64_t ApproxBytes() const;
+
  private:
   struct Child {
     net::NodeId peer;
@@ -312,10 +319,10 @@ class TransactionManager : public net::Endpoint {
   };
 
   struct Session {
+    /// The peer's interned network id (sessions_ is compact, O(fanout), so
+    /// each entry must say who it talks to).
+    uint32_t peer_id = net::Network::kNoId;
     SessionOptions options;
-    /// Slot corresponds to a declared session (sessions_ is indexed by the
-    /// network's dense node ids, so unconnected ids leave holes).
-    bool connected = false;
     /// Peer is suspended after voting OK_TO_LEAVE_OUT (may be left out).
     bool suspended_leave_out = false;
     /// Outbound PDUs buffered for piggybacking (long-locks acks).
@@ -335,8 +342,6 @@ class TransactionManager : public net::Endpoint {
   };
 
   static constexpr uint32_t kNoSlot = UINT32_MAX;
-  /// Ids below this index a vector directly; beyond it, an overflow map.
-  static constexpr uint64_t kDenseTxnIds = 1ull << 22;
 
   // --- plumbing -------------------------------------------------------------
   TxnMeta& MetaSlot(uint64_t id);
@@ -346,6 +351,8 @@ class TransactionManager : public net::Endpoint {
   const Txn* FindTxn(uint64_t id) const;
   /// The session slot for `peer`, or nullptr if none was ever declared.
   Session* FindSession(const net::NodeId& peer);
+  /// Same, by interned network id. O(log fanout). Never allocates.
+  Session* FindSessionById(uint32_t sid);
   /// The session slot for `peer`, creating (and connecting) it if absent —
   /// mirrors the seed's operator[] insertion semantics.
   Session& SessionSlot(const net::NodeId& peer);
@@ -459,23 +466,28 @@ class TransactionManager : public net::Endpoint {
 
   std::vector<rm::KVResourceManager*> rms_;
 
-  // Sessions live in a flat vector indexed by the network's dense node ids;
-  // lookups by peer are one interner probe plus an index, no tree walk.
-  // session_order_ lists the connected ids sorted by peer name so
-  // participant computation iterates in the same (name-lexicographic) order
-  // the old std::map gave — that order is trace-visible.
+  // Sessions live in a compact vector (one entry per declared session, so a
+  // node's session memory is O(fanout) even in a 2048-node cluster, not a
+  // vector with holes sized by the largest interned network id). Lookups by
+  // peer go through a sorted (peer id -> slot) index: one interner probe
+  // plus a binary search over the fanout. session_order_ lists the slots
+  // sorted by peer name so participant computation iterates in the same
+  // (name-lexicographic) order the old std::map gave — that order is
+  // trace-visible.
   std::vector<Session> sessions_;
-  std::vector<uint32_t> session_order_;
+  std::vector<uint32_t> session_ids_;    // sorted peer ids
+  std::vector<uint32_t> session_slots_;  // parallel: slot in sessions_
+  std::vector<uint32_t> session_order_;  // slots, sorted by peer name
 
   // Live transactions sit in a slab (deque: references stay stable while it
   // grows) with freed slots recycled through a free list. TxnMeta maps the
-  // id to its slot and carries the archive view and cost counters, so one
-  // dense index serves what used to be three hash maps.
+  // id to its slot and carries the archive view and cost counters. The map
+  // is sparse: txn ids are global across the cluster, so a dense by-id
+  // table would cost every node O(cluster-wide txn count).
   std::deque<Txn> txn_slab_;
   std::vector<uint32_t> free_slots_;
   size_t live_txns_ = 0;
-  std::vector<TxnMeta> txn_meta_;
-  std::unordered_map<uint64_t, TxnMeta> txn_meta_overflow_;
+  FlatId64Map<TxnMeta> txn_meta_;
 
   AppDataHandler on_app_data_;
 };

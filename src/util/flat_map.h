@@ -1,0 +1,109 @@
+// FlatId64Map: an open-addressed hash map from uint64 keys to inline
+// values, built for the cluster-scale sparse side tables (per-txn TM meta,
+// per-txn WAL stats, per-directed-link network state).
+//
+// Why not a dense vector indexed by id: transaction ids are global across
+// the cluster, so a node that participates in k transactions out of N pays
+// O(max id) memory with a dense table — at 1k+ nodes that multiplies into
+// gigabytes. Why not std::unordered_map: per-insert node allocations and
+// pointer-chasing probes on the commit hot path. This table keeps keys and
+// values in two parallel vectors (linear probing, power-of-two capacity),
+// costs O(entries) memory, performs no allocation in steady state, and a
+// lookup is one multiplicative hash plus a short scan.
+//
+// Contract: keys must not equal kEmptyKey (UINT64_MAX); entries are never
+// erased (Clear drops everything at once). References returned by
+// GetOrCreate/Find are invalidated by the next GetOrCreate (it may rehash)
+// — use them immediately, as all call sites here do. Iteration is
+// deliberately not provided: probe order depends on insertion history, and
+// nothing trace-visible may depend on it.
+
+#ifndef TPC_UTIL_FLAT_MAP_H_
+#define TPC_UTIL_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tpc {
+
+template <typename V>
+class FlatId64Map {
+ public:
+  static constexpr uint64_t kEmptyKey = UINT64_MAX;
+
+  /// The value for `key`, default-constructing it on first sight.
+  V& GetOrCreate(uint64_t key) {
+    if (keys_.empty() || (count_ + 1) * 10 >= keys_.size() * 7) Grow();
+    size_t i = Probe(key);
+    if (keys_[i] == kEmptyKey) {
+      keys_[i] = key;
+      ++count_;
+    }
+    return vals_[i];
+  }
+
+  /// The value for `key`, or nullptr. Never allocates.
+  V* Find(uint64_t key) {
+    if (keys_.empty()) return nullptr;
+    const size_t i = Probe(key);
+    return keys_[i] == kEmptyKey ? nullptr : &vals_[i];
+  }
+  const V* Find(uint64_t key) const {
+    return const_cast<FlatId64Map*>(this)->Find(key);
+  }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Drops every entry; capacity is retained for refill.
+  void Clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+    std::fill(vals_.begin(), vals_.end(), V{});
+    count_ = 0;
+  }
+
+  /// Heap footprint of the table itself (for memory-budget reporting;
+  /// excludes heap owned by the values).
+  uint64_t ApproxBytes() const {
+    return keys_.capacity() * sizeof(uint64_t) + vals_.capacity() * sizeof(V);
+  }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  /// Slot holding `key`, or the empty slot where it would insert.
+  size_t Probe(uint64_t key) const {
+    const size_t mask = keys_.size() - 1;
+    size_t i = static_cast<size_t>(Mix(key)) & mask;
+    while (keys_[i] != kEmptyKey && keys_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Grow() {
+    const size_t new_cap = keys_.empty() ? 16 : keys_.size() * 2;
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    keys_.assign(new_cap, kEmptyKey);
+    vals_.assign(new_cap, V{});
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptyKey) continue;
+      const size_t j = Probe(old_keys[i]);
+      keys_[j] = old_keys[i];
+      vals_[j] = std::move(old_vals[i]);
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<V> vals_;
+  size_t count_ = 0;
+};
+
+}  // namespace tpc
+
+#endif  // TPC_UTIL_FLAT_MAP_H_

@@ -11,15 +11,8 @@ LogManager::LogManager(sim::SimContext* ctx, std::string node,
     : ctx_(ctx), node_(std::move(node)), storage_(ctx, force_latency) {}
 
 LogWriteStats& LogManager::TxnSlot(uint64_t txn) {
-  if (txn < kDenseTxnIds) {
-    if (txn >= txn_stats_.size()) {
-      size_t want = static_cast<size_t>(txn) + 1;
-      if (want < txn_stats_.size() * 2) want = txn_stats_.size() * 2;
-      txn_stats_.resize(want);
-    }
-    return txn_stats_[txn];
-  }
-  return txn_overflow_[txn];
+  // May rehash: Append uses the reference before the next TxnSlot call.
+  return txn_stats_.GetOrCreate(txn);
 }
 
 Lsn LogManager::Append(const LogRecord& record, bool force,
@@ -124,10 +117,8 @@ void LogManager::DiscardPrefix(Lsn lsn) {
 }
 
 LogWriteStats LogManager::StatsForTxn(uint64_t txn) const {
-  if (txn < kDenseTxnIds)
-    return txn < txn_stats_.size() ? txn_stats_[txn] : LogWriteStats{};
-  auto it = txn_overflow_.find(txn);
-  return it == txn_overflow_.end() ? LogWriteStats{} : it->second;
+  const LogWriteStats* stats = txn_stats_.Find(txn);
+  return stats == nullptr ? LogWriteStats{} : *stats;
 }
 
 LogWriteStats LogManager::StatsForOwner(const std::string& owner) const {
@@ -139,9 +130,17 @@ LogWriteStats LogManager::StatsForOwner(const std::string& owner) const {
 
 void LogManager::ResetStats() {
   stats_ = LogWriteStats{};
-  txn_stats_.clear();
-  txn_overflow_.clear();
+  txn_stats_.Clear();
   owner_stats_.clear();  // owner ids stay interned; slots refill on demand
+}
+
+uint64_t LogManager::ApproxBytes() const {
+  uint64_t bytes = txn_stats_.ApproxBytes();
+  bytes += buffer_.capacity();
+  bytes += owner_stats_.capacity() * sizeof(LogWriteStats);
+  bytes += pending_force_.capacity() * sizeof(AppendCallback);
+  bytes += storage_.durable().size();
+  return bytes;
 }
 
 }  // namespace tpc::wal

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/sim_context.h"
+#include "util/flat_map.h"
 #include "util/interner.h"
 #include "wal/log_record.h"
 #include "wal/stable_storage.h"
@@ -97,11 +98,12 @@ class LogManager {
 
   StableStorage& storage() { return storage_; }
 
- private:
-  // Txn ids below this index the dense stats vector directly (simulation
-  // ids are dense, starting at 1); the overflow map is for synthetic ids.
-  static constexpr uint64_t kDenseTxnIds = 1ull << 22;
+  /// Heap bytes held by the log's buffers and stats tables (cluster memory
+  /// budget). Per-txn stats are sparse, so a node pays for the transactions
+  /// it logged, not for the cluster-wide txn-id space.
+  uint64_t ApproxBytes() const;
 
+ private:
   void RequestForce(AppendCallback done);
   void Flush();
   LogWriteStats& TxnSlot(uint64_t txn);
@@ -120,11 +122,12 @@ class LogManager {
   uint64_t epoch_ = 0;
 
   LogWriteStats stats_;
-  // Per-txn counters in a flat vector indexed by txn id; per-owner counters
-  // in a flat vector indexed by interned owner tag. The append hot path
-  // performs no string hashing beyond the one owner-tag intern probe.
-  std::vector<LogWriteStats> txn_stats_;
-  std::unordered_map<uint64_t, LogWriteStats> txn_overflow_;
+  // Per-txn counters in a sparse open-addressed map (txn ids are global
+  // across the cluster, so a dense by-id vector would cost every node
+  // O(cluster-wide txn count)); per-owner counters in a flat vector indexed
+  // by interned owner tag. The append hot path performs one integer hash
+  // probe and no string hashing beyond the one owner-tag intern probe.
+  FlatId64Map<LogWriteStats> txn_stats_;
   StringInterner owner_ids_;
   std::vector<LogWriteStats> owner_stats_;
 };

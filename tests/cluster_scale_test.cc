@@ -1,0 +1,275 @@
+// Cluster-scale harness coverage: bulk topology construction invariants,
+// the multi-coordinator workload (completion, contention, the cascaded
+// read-only last-agent chain), per-node memory budgets, and the
+// determinism contract the cluster bench relies on — a fixed (config,
+// seed) cell renders a bit-identical trace regardless of sweep thread
+// count or the order cells are issued in.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/cluster_workload.h"
+#include "harness/sweep.h"
+#include "sim/trace.h"
+
+namespace tpc {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterWorkloadOptions;
+using harness::ClusterWorkloadStats;
+using harness::Topology;
+using harness::TopologyOptions;
+using harness::TopologyShape;
+
+// --- Topology construction ------------------------------------------------------
+
+void CheckTreeInvariants(const Topology& topo, const TopologyOptions& opts) {
+  ASSERT_EQ(topo.servers.size(), opts.servers);
+  ASSERT_EQ(topo.parent.size(), opts.servers);
+  ASSERT_EQ(topo.children.size(), opts.servers);
+  EXPECT_EQ(topo.coordinators.size(), opts.coordinators);
+  EXPECT_EQ(topo.parent[0], Topology::kNoParent);
+
+  size_t edges = 0, leaves = 0;
+  for (uint32_t i = 0; i < opts.servers; ++i) {
+    if (i > 0) {
+      ASSERT_LT(topo.parent[i], i) << "parents precede children";
+      // The child list of my parent contains me.
+      const auto& sibs = topo.children[topo.parent[i]];
+      EXPECT_NE(std::find(sibs.begin(), sibs.end(), i), sibs.end());
+    }
+    if (opts.shape != TopologyShape::kStar) {
+      EXPECT_LE(topo.children[i].size(), opts.fanout) << "node " << i;
+    }
+    edges += topo.children[i].size();
+    if (topo.children[i].empty()) ++leaves;
+  }
+  EXPECT_EQ(edges, opts.servers - 1) << "a tree";
+  EXPECT_EQ(topo.leaves.size(), leaves);
+  EXPECT_GE(topo.depth, 1u);
+
+  // NextHop from the root reaches every leaf by walking real edges.
+  for (uint32_t leaf : topo.leaves) {
+    if (leaf == 0) continue;
+    uint32_t at = 0;
+    size_t hops = 0;
+    while (at != leaf) {
+      at = topo.NextHop(at, leaf);
+      ASSERT_LE(++hops, topo.depth) << "path longer than depth";
+    }
+  }
+}
+
+TEST(TopologyTest, TreeShape) {
+  Cluster c(1);
+  TopologyOptions opts;
+  opts.shape = TopologyShape::kTree;
+  opts.servers = 73;  // deliberately not a full tree
+  opts.fanout = 4;
+  opts.coordinators = 3;
+  Topology topo = c.BuildTopology(opts);
+  CheckTreeInvariants(topo, opts);
+  EXPECT_EQ(topo.depth, 4u);  // 1 + 4 + 16 + 52-of-64
+}
+
+TEST(TopologyTest, StarShape) {
+  Cluster c(1);
+  TopologyOptions opts;
+  opts.shape = TopologyShape::kStar;
+  opts.servers = 33;
+  opts.coordinators = 1;
+  Topology topo = c.BuildTopology(opts);
+  CheckTreeInvariants(topo, opts);
+  EXPECT_EQ(topo.depth, 2u);
+  EXPECT_EQ(topo.children[0].size(), 32u);
+}
+
+TEST(TopologyTest, RandomSparseRespectsFanoutAndSeed) {
+  Cluster c1(1), c2(1), c3(1);
+  TopologyOptions opts;
+  opts.shape = TopologyShape::kRandomSparse;
+  opts.servers = 200;
+  opts.fanout = 3;
+  opts.wiring_seed = 5;
+  Topology a = c1.BuildTopology(opts);
+  Topology b = c2.BuildTopology(opts);
+  CheckTreeInvariants(a, opts);
+  EXPECT_EQ(a.parent, b.parent) << "same wiring seed, same tree";
+  opts.wiring_seed = 6;
+  Topology d = c3.BuildTopology(opts);
+  CheckTreeInvariants(d, opts);
+  EXPECT_NE(a.parent, d.parent) << "different wiring seed, different tree";
+}
+
+TEST(TopologyTest, Fanout1IsAChain) {
+  for (TopologyShape shape :
+       {TopologyShape::kTree, TopologyShape::kRandomSparse}) {
+    Cluster c(1);
+    TopologyOptions opts;
+    opts.shape = shape;
+    opts.servers = 16;
+    opts.fanout = 1;
+    Topology topo = c.BuildTopology(opts);
+    CheckTreeInvariants(topo, opts);
+    EXPECT_EQ(topo.depth, 16u);
+    EXPECT_EQ(topo.leaves.size(), 1u);
+  }
+}
+
+// --- Workload completion and contention ----------------------------------------
+
+ClusterWorkloadStats RunCell(TopologyShape shape, size_t servers,
+                             size_t fanout, size_t coordinators,
+                             const ClusterWorkloadOptions& wopts,
+                             tm::TmConfig tm_config = {}) {
+  Cluster cluster(42);
+  TopologyOptions topt;
+  topt.shape = shape;
+  topt.servers = servers;
+  topt.fanout = fanout;
+  topt.coordinators = coordinators;
+  topt.node_options.tm = tm_config;
+  Topology topo = cluster.BuildTopology(topt);
+  return RunClusterWorkload(&cluster, topo, wopts);
+}
+
+TEST(ClusterWorkloadTest, CompletesAcrossProtocols) {
+  for (tm::ProtocolKind protocol :
+       {tm::ProtocolKind::kBasic2PC, tm::ProtocolKind::kPresumedAbort,
+        tm::ProtocolKind::kPresumedNothing}) {
+    tm::TmConfig config;
+    config.protocol = protocol;
+    ClusterWorkloadOptions wopts;
+    wopts.transactions = 32;
+    ClusterWorkloadStats stats =
+        RunCell(TopologyShape::kTree, 64, 8, 4, wopts, config);
+    EXPECT_EQ(stats.incomplete, 0u);
+    EXPECT_EQ(stats.committed + stats.aborted, 32u);
+    EXPECT_GT(stats.events, 0u);
+    EXPECT_GT(stats.Throughput(), 0.0);
+  }
+}
+
+// Regression: a deep chain where every node between the initiator and the
+// single writing leaf is read-only used to swallow the last agent's
+// decision — each read-only delegator forgot the transaction on its vote,
+// so the outcome never travelled back up and the coordinator hung.
+TEST(ClusterWorkloadTest, ReadOnlyLastAgentChainCompletes) {
+  tm::TmConfig config;
+  config.protocol = tm::ProtocolKind::kPresumedAbort;
+  config.read_only_opt = true;
+  config.last_agent_opt = true;
+  ClusterWorkloadOptions wopts;
+  wopts.transactions = 32;
+  wopts.targets_per_txn = 1;  // single leaf => fully read-only interior
+  ClusterWorkloadStats stats =
+      RunCell(TopologyShape::kTree, 64, 2, 2, wopts, config);
+  EXPECT_EQ(stats.incomplete, 0u);
+  EXPECT_EQ(stats.committed, 32u);
+}
+
+TEST(ClusterWorkloadTest, HotKeyContentionResolvesWithoutStalling) {
+  // Slam 8 coordinators into two hot keys across overlapping leaf sets:
+  // lock waits and timeout-broken deadlocks must all surface as commits or
+  // aborts before the deadline — never as a stuck stream.
+  ClusterWorkloadOptions wopts;
+  wopts.transactions = 64;
+  wopts.targets_per_txn = 4;
+  wopts.theta = 0.9;
+  wopts.hot_keys = 2;
+  wopts.key_theta = 0.9;
+  ClusterWorkloadStats stats =
+      RunCell(TopologyShape::kTree, 64, 8, 8, wopts);
+  EXPECT_EQ(stats.incomplete, 0u);
+  EXPECT_EQ(stats.committed + stats.aborted, 64u);
+  EXPECT_GT(stats.committed, 0u);
+}
+
+// --- Memory budgets -------------------------------------------------------------
+
+TEST(ClusterMemoryTest, PerNodeFootprintDoesNotGrowWithClusterSize) {
+  auto bytes_per_node = [](size_t servers) {
+    Cluster cluster(42);
+    TopologyOptions topt;
+    topt.servers = servers;
+    topt.fanout = 8;
+    topt.coordinators = 4;
+    Topology topo = cluster.BuildTopology(topt);
+    ClusterWorkloadOptions wopts;
+    wopts.transactions = 16;
+    RunClusterWorkload(&cluster, topo, wopts);
+    harness::MemoryStats mem = cluster.MemoryUsage();
+    EXPECT_EQ(mem.nodes, servers + 4);
+    EXPECT_GT(mem.total_bytes(), 0u);
+    return mem.bytes_per_node();
+  };
+  const double small = bytes_per_node(64);
+  const double large = bytes_per_node(1024);
+  // Sparse link/session/txn tables: a 16x larger cluster must not cost
+  // more per node (fixed per-node state plus O(fanout) links amortize the
+  // shared network tables *better* as the cluster grows).
+  EXPECT_LE(large, small * 1.25);
+}
+
+// --- Determinism ----------------------------------------------------------------
+
+struct CellSpec {
+  uint64_t seed;
+  size_t coordinators;
+};
+
+std::string RunTracedCell(const CellSpec& spec) {
+  Cluster cluster(spec.seed);
+  TopologyOptions topt;
+  topt.servers = 64;
+  topt.fanout = 8;
+  topt.coordinators = spec.coordinators;
+  Topology topo = cluster.BuildTopology(topt);
+  ClusterWorkloadOptions wopts;
+  wopts.transactions = 24;
+  wopts.theta = 0.7;
+  RunClusterWorkload(&cluster, topo, wopts);
+  return cluster.ctx().trace().Render();
+}
+
+TEST(ClusterDeterminismTest, TraceIdenticalAcrossSweepThreadCounts) {
+  const std::vector<CellSpec> grid = {
+      {7, 1}, {7, 2}, {7, 4}, {11, 4}, {13, 8}};
+  auto run_grid = [&](unsigned threads) {
+    std::vector<std::string> traces(grid.size());
+    harness::RunSweep(
+        grid.size(),
+        [&](size_t i) {
+          traces[i] = RunTracedCell(grid[i]);
+          return harness::SweepCell{};
+        },
+        threads);
+    return traces;
+  };
+  const std::vector<std::string> serial = run_grid(1);
+  const std::vector<std::string> parallel = run_grid(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
+    EXPECT_GT(serial[i].size(), 1000u) << "trace is substantive";
+  }
+}
+
+TEST(ClusterDeterminismTest, TraceIndependentOfCoordinatorCountOrdering) {
+  // Running the c=2 cell before or after the c=4 cell (or on another
+  // thread entirely) must not perturb either trace: every cell owns its
+  // SimContext and the whole transaction plan is fixed up front.
+  const std::string c2_first = RunTracedCell({7, 2});
+  const std::string c4 = RunTracedCell({7, 4});
+  const std::string c2_again = RunTracedCell({7, 2});
+  EXPECT_EQ(c2_first, c2_again);
+  EXPECT_NE(c2_first, c4) << "coordinator count is a real knob";
+}
+
+}  // namespace
+}  // namespace tpc

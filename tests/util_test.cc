@@ -247,5 +247,48 @@ TEST(RandomTest, SkewedStaysInRange) {
   EXPECT_GT(seen.size(), 5u);
 }
 
+TEST(RandomTest, SkewedDeterministicPerSeed) {
+  Random a(42), b(42), c(43);
+  int differs = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t va = a.Skewed(1000, 0.7);
+    EXPECT_EQ(va, b.Skewed(1000, 0.7));
+    if (va != c.Skewed(1000, 0.7)) ++differs;
+  }
+  EXPECT_GT(differs, 900);  // a different seed gives a different stream
+}
+
+// The cluster workload leans on Skewed for both leaf and key selection:
+// theta=0 must be uniform (no accidental hotspots) and rising theta must
+// concentrate mass on low indices (real contention when asked for).
+TEST(RandomTest, SkewedThetaZeroIsUniform) {
+  Random r(11);
+  const int n = 10, draws = 50000;
+  std::vector<int> count(n, 0);
+  for (int i = 0; i < draws; ++i) ++count[r.Skewed(n, 0.0)];
+  for (int b = 0; b < n; ++b) {
+    EXPECT_NEAR(count[b], draws / n, draws / n / 5) << "bucket " << b;
+  }
+}
+
+TEST(RandomTest, SkewedConcentratesWithTheta) {
+  const int n = 100, draws = 50000;
+  auto head_mass = [&](double theta) {
+    Random r(11);
+    int head = 0;  // draws landing in the first decile
+    for (int i = 0; i < draws; ++i)
+      if (r.Skewed(n, theta) < static_cast<uint64_t>(n / 10)) ++head;
+    return static_cast<double>(head) / draws;
+  };
+  const double uniform = head_mass(0.0);
+  const double mild = head_mass(0.5);
+  const double hot = head_mass(0.9);
+  EXPECT_NEAR(uniform, 0.10, 0.02);
+  EXPECT_GT(mild, uniform + 0.05);
+  EXPECT_GT(hot, mild + 0.05);
+  // At theta 0.9 the head decile should dominate the distribution.
+  EXPECT_GT(hot, 0.4);
+}
+
 }  // namespace
 }  // namespace tpc

@@ -11,8 +11,14 @@ so they transfer across hardware, while absolute commits/sec or ops/sec do
 not (the checked-in baselines come from a different box than CI). Pass
 --metrics to gate a different set (substring match, comma-separated).
 
-A gated metric regresses when current < baseline * (1 - tolerance). Higher
-is assumed better; wall_seconds-style metrics are never gated by default.
+Each pattern may carry its own tolerance as "pattern:tol", overriding
+--tolerance; mixing is fine:
+
+  --metrics "speedup,scale_efficiency:0.35,txns_per_mevent:0.05"
+
+A metric matched by several patterns uses the first one. A gated metric
+regresses when current < baseline * (1 - tolerance). Higher is assumed
+better; wall_seconds-style metrics are never gated by default.
 Exit status: 0 = no regression, 1 = regression or malformed input.
 """
 
@@ -35,13 +41,29 @@ def load_cells(path):
     return report.get("bench", "?"), cells
 
 
+def parse_patterns(spec, default_tolerance):
+    """'a,b:0.35' -> [('a', default), ('b', 0.35)]."""
+    patterns = []
+    for part in spec.split(","):
+        if not part:
+            continue
+        if ":" in part:
+            name, _, tol = part.rpartition(":")
+            patterns.append((name, float(tol)))
+        else:
+            patterns.append((part, default_tolerance))
+    return patterns
+
+
 def gated_metrics(cell, patterns):
     skip = {"label", "events", "txns", "sim_seconds"}
     for name, value in cell.items():
         if name in skip or not isinstance(value, (int, float)):
             continue
-        if any(p in name for p in patterns):
-            yield name, float(value)
+        for pattern, tolerance in patterns:
+            if pattern in name:
+                yield name, float(value), tolerance
+                break
 
 
 def main():
@@ -53,7 +75,8 @@ def main():
                         help="allowed fractional drop (default 0.10)")
     parser.add_argument("--metrics", default="speedup",
                         help="comma-separated substrings of metric names to "
-                             "gate (default: speedup)")
+                             "gate, each optionally with its own tolerance "
+                             "as NAME:TOL (default: speedup)")
     args = parser.parse_args()
 
     try:
@@ -67,7 +90,11 @@ def main():
               f"({base_name!r} vs {cur_name!r})", file=sys.stderr)
         return 1
 
-    patterns = [p for p in args.metrics.split(",") if p]
+    try:
+        patterns = parse_patterns(args.metrics, args.tolerance)
+    except ValueError as err:
+        print(f"bench_diff: bad --metrics: {err}", file=sys.stderr)
+        return 1
     regressions = []
     checked = 0
     for label, base_cell in sorted(base_cells.items()):
@@ -75,12 +102,13 @@ def main():
         if cur_cell is None:
             regressions.append(f"{label}: cell missing from {args.current}")
             continue
-        for metric, base_value in gated_metrics(base_cell, patterns):
+        for metric, base_value, tolerance in gated_metrics(base_cell,
+                                                           patterns):
             if metric not in cur_cell:
                 regressions.append(f"{label}.{metric}: missing from current")
                 continue
             cur_value = float(cur_cell[metric])
-            floor = base_value * (1.0 - args.tolerance)
+            floor = base_value * (1.0 - tolerance)
             ok = cur_value >= floor
             checked += 1
             marker = "ok " if ok else "REG"
@@ -91,7 +119,7 @@ def main():
                 regressions.append(
                     f"{label}.{metric}: {cur_value:.3f} < {floor:.3f} "
                     f"(baseline {base_value:.3f}, tolerance "
-                    f"{args.tolerance:.0%})")
+                    f"{tolerance:.0%})")
 
     if checked == 0:
         print("bench_diff: no gated metrics matched "
