@@ -23,8 +23,11 @@ Node::Node(sim::SimContext* ctx, net::Network* network, std::string name,
   if (host_log != nullptr) {
     log_ = host_log;
   } else {
-    owned_log_ = std::make_unique<wal::LogManager>(ctx, name_,
-                                                   options.log_force_latency);
+    wal::DeviceOptions device;
+    device.write_latency = options.log_force_latency;
+    device.bandwidth_bytes_per_sec = options.log_bandwidth_bytes_per_sec;
+    device.queue_depth = options.log_queue_depth;
+    owned_log_ = std::make_unique<wal::LogManager>(ctx, name_, device);
     owned_log_->set_group_commit(options.group_commit);
     log_ = owned_log_.get();
   }

@@ -26,6 +26,10 @@ struct NodeOptions {
   rm::KVOptions rm_options;
   /// Log device service time per physical force.
   sim::Time log_force_latency = 2 * sim::kMillisecond;
+  /// Log device streaming bandwidth (0 = infinite) and service concurrency;
+  /// together with log_force_latency these form the node's DeviceOptions.
+  uint64_t log_bandwidth_bytes_per_sec = 0;
+  uint32_t log_queue_depth = 1;
   wal::GroupCommitOptions group_commit;
   /// Non-empty: this node appends to the named host node's log instead of
   /// owning one (the shared-logs configuration). The host must exist.

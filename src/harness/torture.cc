@@ -10,6 +10,7 @@
 #include "tm/crash_points.h"
 #include "util/format.h"
 #include "util/logging.h"
+#include "wal/wal_crash_points.h"
 
 namespace tpc::harness {
 namespace {
@@ -32,6 +33,10 @@ struct Spec {
   bool heuristic = false;    ///< s1 decides heuristic commit when in doubt
   bool abort_vote = false;   ///< s1's RM votes NO
   bool leave_out = false;    ///< leave-out setup txn + exclusion on txn 2
+  /// Group-commit pipeline under test (kCountTimer with gc=false means the
+  /// seed synchronous-flush configuration the original scenarios froze).
+  bool gc = false;
+  wal::FlushPolicy flush = wal::FlushPolicy::kCountTimer;
 };
 
 const Spec kSpecs[] = {
@@ -55,6 +60,24 @@ const Spec kSpecs[] = {
      false, false, false, false, /*abort_vote=*/true},
     {"pn_leaveout", "pn+leaveout", ProtocolKind::kPresumedNothing, Topo::kPair,
      false, false, false, false, false, /*leave_out=*/true},
+    // Group-commit pipeline scenarios: same protocol flows, but forces ride
+    // the WAL policy ladder so the wal.* crash points (flush in flight,
+    // gather windows, steal races) become reachable.
+    {"pa_gc_timer", "pa+gc", ProtocolKind::kPresumedAbort, Topo::kPair,
+     false, false, false, false, false, false,
+     /*gc=*/true, wal::FlushPolicy::kCountTimer},
+    {"basic_gc_pipe", "basic+gc", ProtocolKind::kBasic2PC, Topo::kPair,
+     false, false, false, false, false, false,
+     /*gc=*/true, wal::FlushPolicy::kFlushPipelining},
+    {"pa_gc_pipe", "pa+gc", ProtocolKind::kPresumedAbort, Topo::kPair,
+     false, false, false, false, false, false,
+     /*gc=*/true, wal::FlushPolicy::kFlushPipelining},
+    {"pa_gc_wwl", "pa+gc", ProtocolKind::kPresumedAbort, Topo::kChain,
+     false, false, false, false, false, false,
+     /*gc=*/true, wal::FlushPolicy::kWorkersWriteLog},
+    {"pn_gc_wilo", "pn+gc", ProtocolKind::kPresumedNothing, Topo::kPair,
+     false, false, false, false, false, false,
+     /*gc=*/true, wal::FlushPolicy::kWiloSteal},
 };
 
 const Spec* FindSpec(const std::string& name) {
@@ -222,6 +245,21 @@ TortureResult RunTortureCell(const TortureConfig& config) {
   base.tm.ack_timeout = 3 * sim::kSecond;
   base.tm.inquiry_delay = 4 * sim::kSecond;
   base.tm.recovery_retry_interval = 6 * sim::kSecond;
+  if (spec->gc) {
+    base.group_commit.enabled = true;
+    base.group_commit.policy = spec->flush;
+    base.group_commit.group_size = 8;
+    base.group_commit.group_timeout = 5 * sim::kMillisecond;
+    // Depth 1 makes the single-txn workload exercise the submit-on-
+    // completion path: the second force of a commit accumulates behind the
+    // first and is submitted from the device completion (a wal.* window).
+    base.group_commit.max_pipeline_depth = 1;
+    base.group_commit.daemon_interval = 1 * sim::kMillisecond;
+    // Small enough that a single record overflows an owner buffer, so WILO
+    // steals race the protocol's crash windows on nearly every append.
+    base.group_commit.worker_buffer_bytes = 32;
+    base.log_queue_depth = 2;
+  }
   for (const std::string& n : nodes) {
     NodeOptions options = base;
     if (n == "c0") {
@@ -336,6 +374,33 @@ TortureResult RunTortureCell(const TortureConfig& config) {
 
   Driver driver{c, nodes, config.recovery_delay, {}};
   auto commit = c.StartCommit("c0", txn);
+  if (spec->gc) {
+    // Background local commits on every node, overlapping the audited
+    // transaction's commit window: concurrent force requests are what makes
+    // the pipelined / daemon submit paths (and their crash windows)
+    // reachable — a single transaction's forces never queue behind each
+    // other on one node. Keys are disjoint from the audited writers'.
+    for (const std::string& n : nodes) {
+      for (int i = 0; i < 3; ++i) {
+        // Each event issues two back-to-back commits: whatever the protocol
+        // timing, the second force lands while the first flush is still in
+        // flight on the 2ms device.
+        c.ctx().events().ScheduleAfter((2 + 3 * i) * sim::kMillisecond,
+                                       [&c, n, i] {
+          for (int j = 0; j < 2; ++j) {
+            // Re-check per iteration: Commit below can synchronously hit a
+            // TM/RM crash point and take the node down mid-loop.
+            if (!c.tm(n).IsUp()) return;
+            const uint64_t bg = c.tm(n).Begin();
+            c.tm(n).Write(bg, 0,
+                          StringPrintf("bg_%s_%d_%d", n.c_str(), i, j), "v",
+                          [](Status) {});
+            c.tm(n).Commit(bg, [](tm::CommitResult) {});
+          }
+        });
+      }
+    }
+  }
   if (config.flap) {
     const auto& [a, b] = links.front();
     failures.ScheduleLinkFlap(a, b, c.ctx().now() + 3 * sim::kMillisecond,
@@ -510,6 +575,10 @@ TortureResult RunTortureCell(const TortureConfig& config) {
     for (size_t i = 0; i < tm::kRmCrashPointCount; ++i) {
       const uint64_t h = failures.hits(n, tm::kRmCrashPoints[i]);
       if (h > 0) result.reached.push_back({n, tm::kRmCrashPoints[i], h});
+    }
+    for (size_t i = 0; i < wal::kWalCrashPointCount; ++i) {
+      const uint64_t h = failures.hits(n, wal::kWalCrashPoints[i]);
+      if (h > 0) result.reached.push_back({n, wal::kWalCrashPoints[i], h});
     }
   }
   return result;

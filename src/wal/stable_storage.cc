@@ -4,33 +4,85 @@
 
 namespace tpc::wal {
 
-void StableStorage::Write(std::string data, WriteCallback done) {
-  queue_.push_back(Pending{std::move(data), std::move(done)});
-  if (!busy_) StartNext();
+void StableStorage::Grow() {
+  const size_t cap = ring_.empty() ? 4 : ring_.size() * 2;
+  std::vector<Pending> bigger(cap);
+  for (size_t i = 0; i < ring_size_; ++i) bigger[i] = std::move(Slot(i));
+  ring_ = std::move(bigger);
+  ring_head_ = 0;
 }
 
-void StableStorage::StartNext() {
-  if (queue_.empty()) {
-    busy_ = false;
-    return;
+void StableStorage::Write(std::string data, WriteCallback done) {
+  if (ring_size_ == ring_.size()) Grow();
+  Pending& slot = Slot(ring_size_);
+  slot.data = std::move(data);
+  slot.done = std::move(done);
+  slot.completed = false;
+  ++ring_size_;
+  ++next_write_id_;
+  Dispatch();
+}
+
+void StableStorage::Dispatch() {
+  while (dispatched_ < ring_size_ && in_service_ < device_.queue_depth) {
+    const uint64_t id = front_id_ + dispatched_;
+    const sim::Time service = device_.ServiceTime(Slot(dispatched_).data.size());
+    ++dispatched_;
+    ++in_service_;
+    const uint64_t epoch = epoch_;
+    ctx_->events().ScheduleAfter(service, [this, epoch, id] {
+      if (epoch != epoch_) return;  // crashed while in flight: write lost
+      // Service finished; the write retires once every earlier write has.
+      Slot(id - front_id_).completed = true;
+      RetireCompleted(epoch);
+      if (epoch != epoch_) return;  // a retirement callback crashed the node
+      // The device slot frees only after retirement work, so callbacks that
+      // reentrantly Write() see the slot busy — matching the seed's ordering
+      // of completion work before the next dispatch.
+      --in_service_;
+      Dispatch();
+    });
   }
-  busy_ = true;
-  const uint64_t epoch = epoch_;
-  ctx_->events().ScheduleAfter(write_latency_, [this, epoch] {
-    if (epoch != epoch_) return;  // crashed while in flight: write lost
-    Pending p = std::move(queue_.front());
-    queue_.pop_front();
-    durable_ += p.data;
+}
+
+void StableStorage::RetireCompleted(uint64_t epoch) {
+  while (ring_size_ > 0 && Slot(0).completed) {
+    // Move the payload and callback out before touching ring state: `done`
+    // may reentrantly Write() and grow the ring.
+    Pending& front = Slot(0);
+    std::string data = std::move(front.data);
+    WriteCallback done = std::move(front.done);
+    front.data.clear();
+    front.completed = false;
+    ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+    --ring_size_;
+    ++front_id_;
+    --dispatched_;
+    durable_ += data;
     ++completed_writes_;
-    if (p.done) p.done();
-    StartNext();
-  });
+    bytes_written_ += data.size();
+    if (recycler_) {
+      data.clear();  // capacity survives; contents already folded in
+      recycler_(std::move(data));
+    }
+    if (done) done();
+    if (epoch != epoch_) return;  // callback crashed the node
+  }
 }
 
 void StableStorage::Crash() {
   ++epoch_;
-  queue_.clear();
-  busy_ = false;
+  for (size_t i = 0; i < ring_size_; ++i) {
+    Pending& p = Slot(i);
+    p.data.clear();
+    p.done.reset();  // drop captured state; ring capacity survives the crash
+    p.completed = false;
+  }
+  ring_head_ = 0;
+  ring_size_ = 0;
+  dispatched_ = 0;
+  in_service_ = 0;
+  front_id_ = next_write_id_;
 }
 
 void StableStorage::Truncate(uint64_t bytes) {

@@ -1,35 +1,72 @@
 // Simulated stable storage (the log device).
 //
-// Writes are serialized through a single device queue with a configurable
-// service time, so force-write latency and I/O queueing — the effects group
-// commit exists to mitigate — are actually modeled. Bytes become durable
-// when their device write *completes*; an in-flight write is lost on crash.
+// The device is modeled after Gray & Reuter-style log-device queueing:
+// every write costs a fixed per-op latency plus its size over the device
+// bandwidth, and up to `queue_depth` writes can be in service concurrently
+// (the rest queue FIFO behind them). Writes *retire* strictly in submission
+// order — a write becomes durable only once it and every earlier write have
+// finished service — so the durable log is always a prefix of what was
+// submitted. Bytes become durable when their write retires; an in-flight or
+// queued write is lost on crash.
+//
+// The defaults (latency only, infinite bandwidth, queue depth 1) reproduce
+// the seed device event-for-event: one write in service at a time, each
+// completing `write_latency` after it reaches the head of the queue.
 
 #ifndef TPC_WAL_STABLE_STORAGE_H_
 #define TPC_WAL_STABLE_STORAGE_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
+#include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/sim_context.h"
 
 namespace tpc::wal {
 
+/// Log-device service model.
+struct DeviceOptions {
+  /// Fixed per-operation service time (seek + rotational + command cost).
+  sim::Time write_latency = 2 * sim::kMillisecond;
+  /// Streaming bandwidth applied to the write's payload size; 0 = infinite
+  /// (the seed behavior: size never matters).
+  uint64_t bandwidth_bytes_per_sec = 0;
+  /// Writes concurrently in service; further writes queue FIFO.
+  uint32_t queue_depth = 1;
+
+  /// Service time for one write of `bytes` payload bytes.
+  sim::Time ServiceTime(uint64_t bytes) const {
+    sim::Time t = write_latency;
+    if (bandwidth_bytes_per_sec > 0)
+      t += static_cast<sim::Time>((bytes * static_cast<uint64_t>(sim::kSecond)) /
+                                  bandwidth_bytes_per_sec);
+    return t;
+  }
+};
+
 /// One simulated log device.
 class StableStorage {
  public:
-  using WriteCallback = std::function<void()>;
+  /// Completion callback; runs when the write retires (durable). Sized for
+  /// the log manager's flush closure (this + epoch + a callback vector).
+  using WriteCallback = sim::InlineFunction<48>;
+  /// Installed by the owner to get flush-buffer capacity back after the
+  /// payload is folded into the durable image (allocation-free flush loop).
+  using BufferRecycler = sim::InlineFunction<24, void(std::string&&)>;
 
   StableStorage(sim::SimContext* ctx, sim::Time write_latency)
-      : ctx_(ctx), write_latency_(write_latency) {}
+      : ctx_(ctx) {
+    device_.write_latency = write_latency;
+  }
+  StableStorage(sim::SimContext* ctx, const DeviceOptions& device)
+      : ctx_(ctx), device_(device) {}
 
-  /// Queues `data` for durable append; `done` runs at completion time.
-  /// FIFO; one write in service at a time.
+  /// Queues `data` for durable append; `done` runs at retirement time.
+  /// Submission order is retirement order regardless of queue depth.
   void Write(std::string data, WriteCallback done);
 
-  /// Crash: in-flight and queued writes are lost; completed writes survive.
+  /// Crash: in-flight and queued writes are lost; retired writes survive.
   void Crash();
 
   /// Durable contents (what a recovery scan reads), starting at
@@ -43,32 +80,67 @@ class StableStorage {
   /// Offset of durable()[0] in the log's LSN space (grows with Truncate).
   uint64_t base_offset() const { return base_offset_; }
 
-  /// Completed device writes (the physical-force count for group-commit
+  /// Retired device writes (the physical-force count for group-commit
   /// accounting).
   uint64_t completed_writes() const { return completed_writes_; }
+
+  /// Payload bytes retired (bandwidth accounting).
+  uint64_t bytes_written() const { return bytes_written_; }
 
   /// End of the durable log in LSN space (base offset + retained bytes).
   uint64_t durable_bytes() const { return base_offset_ + durable_.size(); }
 
-  sim::Time write_latency() const { return write_latency_; }
-  void set_write_latency(sim::Time t) { write_latency_ = t; }
+  /// Writes submitted and not yet retired (in service or queued).
+  size_t writes_outstanding() const { return ring_size_; }
+
+  const DeviceOptions& device() const { return device_; }
+  void set_device(const DeviceOptions& device) { device_ = device; }
+  sim::Time write_latency() const { return device_.write_latency; }
+  void set_write_latency(sim::Time t) { device_.write_latency = t; }
+
+  /// Flush-buffer recycling: once a write's payload is durable, its string
+  /// (cleared, capacity intact) is handed back through `recycler`.
+  void set_buffer_recycler(BufferRecycler recycler) {
+    recycler_ = std::move(recycler);
+  }
 
  private:
   struct Pending {
     std::string data;
     WriteCallback done;
+    bool completed = false;  ///< service finished; awaiting in-order retire
   };
 
-  void StartNext();
+  /// Starts service on queued writes while device slots are free.
+  void Dispatch();
+  /// Retires the completed prefix of the queue (durability + callbacks).
+  void RetireCompleted(uint64_t epoch);
+  /// Slot holding the `logical`-th oldest pending write.
+  Pending& Slot(size_t logical) {
+    return ring_[(ring_head_ + logical) & (ring_.size() - 1)];
+  }
+  void Grow();
 
   sim::SimContext* ctx_;
-  sim::Time write_latency_;
+  DeviceOptions device_;
   std::string durable_;
   uint64_t base_offset_ = 0;
-  std::deque<Pending> queue_;
-  bool busy_ = false;
+  // Pending writes sit in a power-of-two ring (a deque would churn block
+  // allocations in steady state; the warm ring allocates nothing). Logical
+  // slots [0 .. dispatched_) are in service (or done, awaiting retire); the
+  // rest wait for a device slot. front_id_ names the logical front in the
+  // monotonically increasing per-write id space completion events carry.
+  std::vector<Pending> ring_;
+  size_t ring_head_ = 0;
+  size_t ring_size_ = 0;
+  size_t dispatched_ = 0;
+  uint32_t in_service_ = 0;
+  uint64_t next_write_id_ = 0;
+  uint64_t front_id_ = 0;
   uint64_t epoch_ = 0;  // bumped on crash to invalidate in-flight completions
   uint64_t completed_writes_ = 0;
+  uint64_t bytes_written_ = 0;
+  BufferRecycler recycler_;
 };
 
 }  // namespace tpc::wal

@@ -61,7 +61,8 @@ bool AnyViolationContains(const TortureResult& r, const std::string& needle) {
 TEST(TortureCampaign, FullCrashPointMatrix) {
   const bool smoke = Level() == "smoke";
   std::set<std::string> smoke_scenarios = {"basic_pair", "pa_pair", "pa_la_ro",
-                                           "pn_pair"};
+                                           "pn_pair", "pa_gc_pipe",
+                                           "pn_gc_wilo"};
 
   std::set<std::string> fired_points;     // distinct point names that fired
   std::set<std::string> fired_protocols;  // protocol configs they fired under
@@ -143,6 +144,41 @@ TEST(TortureCampaign, FullCrashPointMatrix) {
         << "basic-2PC coordinator crashes should exhibit blocking";
   } else {
     EXPECT_GE(fired_points.size(), 10u);
+  }
+}
+
+// Targeted cells for the group-commit pipeline's own crash windows: a flush
+// in flight when the node dies, a workers-write-log crash between gather and
+// submit (the gathered bytes are volatile and must be recoverable as lost),
+// and a WILO steal racing the crash. Each must fire and satisfy the oracle —
+// in particular invariant 1: no commit ack can have run unless its covering
+// device write completed (the covering-LSN TPC_CHECK aborts the process
+// otherwise, so a violation cannot even reach the oracle silently).
+TEST(TortureCampaign, GroupCommitPipelineWindows) {
+  struct Cell {
+    const char* scenario;
+    const char* node;
+    const char* point;
+  };
+  const Cell kCells[] = {
+      {"pa_gc_timer", "c0", "wal.before_flush_submit"},
+      {"pa_gc_timer", "c0", "wal.after_flush_submit"},
+      {"basic_gc_pipe", "c0", "wal.after_flush_submit"},
+      {"pa_gc_pipe", "c0", "wal.before_flush_submit"},
+      {"pa_gc_pipe", "s1", "wal.after_flush_submit"},
+      {"pa_gc_wwl", "c0", "wal.before_gather"},
+      {"pa_gc_wwl", "m1", "wal.between_gather_submit"},
+      {"pa_gc_wwl", "s2", "wal.between_gather_submit"},
+      {"pn_gc_wilo", "s1", "wal.after_steal_submit"},
+      {"pn_gc_wilo", "c0", "wal.after_steal_submit"},
+  };
+  for (const Cell& cell : kCells) {
+    TortureConfig cfg = BaseConfig(cell.scenario);
+    cfg.crash_node = cell.node;
+    cfg.crash_point = cell.point;
+    const TortureResult res = RunTortureCell(cfg);
+    EXPECT_TRUE(res.crash_fired) << cfg.Repro();
+    for (const std::string& v : res.violations) ADD_FAILURE() << v;
   }
 }
 

@@ -19,6 +19,14 @@ Each pattern may carry its own tolerance as "pattern:tol", overriding
 A metric matched by several patterns uses the first one. A gated metric
 regresses when current < baseline * (1 - tolerance). Higher is assumed
 better; wall_seconds-style metrics are never gated by default.
+
+A pattern prefixed with "=" gates two-sided: the metric must stay within
+tolerance of the baseline in *either* direction. Use this for deterministic
+simulated-time quantities (device forces, simulated latency percentiles)
+where a silent drop *or* rise is a behavior change worth flagging:
+
+  --metrics "=device_forces:0.10,=p99_force_latency_us:0.15"
+
 Exit status: 0 = no regression, 1 = regression or malformed input.
 """
 
@@ -42,16 +50,19 @@ def load_cells(path):
 
 
 def parse_patterns(spec, default_tolerance):
-    """'a,b:0.35' -> [('a', default), ('b', 0.35)]."""
+    """'a,=b:0.35' -> [('a', default, False), ('b', 0.35, True)]."""
     patterns = []
     for part in spec.split(","):
         if not part:
             continue
+        two_sided = part.startswith("=")
+        if two_sided:
+            part = part[1:]
         if ":" in part:
             name, _, tol = part.rpartition(":")
-            patterns.append((name, float(tol)))
+            patterns.append((name, float(tol), two_sided))
         else:
-            patterns.append((part, default_tolerance))
+            patterns.append((part, default_tolerance, two_sided))
     return patterns
 
 
@@ -60,9 +71,9 @@ def gated_metrics(cell, patterns):
     for name, value in cell.items():
         if name in skip or not isinstance(value, (int, float)):
             continue
-        for pattern, tolerance in patterns:
+        for pattern, tolerance, two_sided in patterns:
             if pattern in name:
-                yield name, float(value), tolerance
+                yield name, float(value), tolerance, two_sided
                 break
 
 
@@ -102,22 +113,27 @@ def main():
         if cur_cell is None:
             regressions.append(f"{label}: cell missing from {args.current}")
             continue
-        for metric, base_value, tolerance in gated_metrics(base_cell,
-                                                           patterns):
+        for metric, base_value, tolerance, two_sided in gated_metrics(
+                base_cell, patterns):
             if metric not in cur_cell:
                 regressions.append(f"{label}.{metric}: missing from current")
                 continue
             cur_value = float(cur_cell[metric])
             floor = base_value * (1.0 - tolerance)
-            ok = cur_value >= floor
+            ceiling = base_value * (1.0 + tolerance)
+            if two_sided:
+                ok = min(floor, ceiling) <= cur_value <= max(floor, ceiling)
+                bound = f"range [{floor:.3f}, {ceiling:.3f}]"
+            else:
+                ok = cur_value >= floor
+                bound = f"floor {floor:.3f}"
             checked += 1
             marker = "ok " if ok else "REG"
             print(f"  [{marker}] {label:32s} {metric}: "
-                  f"{base_value:.3f} -> {cur_value:.3f} "
-                  f"(floor {floor:.3f})")
+                  f"{base_value:.3f} -> {cur_value:.3f} ({bound})")
             if not ok:
                 regressions.append(
-                    f"{label}.{metric}: {cur_value:.3f} < {floor:.3f} "
+                    f"{label}.{metric}: {cur_value:.3f} outside {bound} "
                     f"(baseline {base_value:.3f}, tolerance "
                     f"{tolerance:.0%})")
 
