@@ -2,10 +2,24 @@
 
 #include <algorithm>
 
+#include "runtime/sim_runtime.h"
+
 #include "util/format.h"
 #include "util/logging.h"
 
 namespace tpc::lock {
+
+LockManager::LockManager(sim::SimContext* ctx, std::string node,
+                         sim::Time wait_timeout)
+    : owned_rt_(std::make_unique<runtime::SimRuntime>(ctx)),
+      rt_(owned_rt_.get()),
+      ctx_(ctx),
+      node_(std::move(node)),
+      wait_timeout_(wait_timeout) {}
+
+LockManager::LockManager(runtime::Runtime* rt, sim::SimContext* ctx,
+                         std::string node, sim::Time wait_timeout)
+    : rt_(rt), ctx_(ctx), node_(std::move(node)), wait_timeout_(wait_timeout) {}
 
 std::string_view LockModeToString(LockMode mode) {
   switch (mode) {
@@ -95,7 +109,7 @@ void LockManager::AppendHeld(uint64_t txn, KeyId key) {
 void LockManager::TraceGrant(uint64_t txn, KeyId key, LockMode mode) {
   if (!ctx_->trace().capturing()) return;
   ctx_->trace().Add(
-      {ctx_->now(), sim::TraceKind::kLock, node_, "", txn,
+      {rt_->Now(), sim::TraceKind::kLock, node_, "", txn,
        interner_.NameOf(key) + ":" + std::string(LockModeToString(mode))});
 }
 
@@ -142,7 +156,7 @@ void LockManager::Acquire(uint64_t txn, KeyId key, LockMode mode,
       for (auto& h : entry.holders)
         if (h.txn == txn) h.mode = wanted;
     } else {
-      entry.holders.push_back(Holder{txn, mode, ctx_->now()});
+      entry.holders.push_back(Holder{txn, mode, rt_->Now()});
       AppendHeld(txn, key);
       TraceGrant(txn, key, mode);
     }
@@ -157,8 +171,8 @@ void LockManager::Acquire(uint64_t txn, KeyId key, LockMode mode,
   w.txn = txn;
   w.mode = wanted;
   w.done = std::move(done);
-  w.queued_at = ctx_->now();
-  w.timeout_event = ctx_->events().ScheduleAfter(
+  w.queued_at = rt_->Now();
+  w.timeout_event = rt_->ArmTimer(
       wait_timeout_, [this, key, txn] { OnTimeout(txn, key); });
   if (is_upgrade) {
     entry.waiters.insert(entry.waiters.begin(), std::move(w));
@@ -182,8 +196,8 @@ void LockManager::OnTimeout(uint64_t txn, KeyId key) {
 }
 
 void LockManager::Grant(KeyId key, Waiter waiter) {
-  ctx_->events().Cancel(waiter.timeout_event);
-  stats_.wait_time.Add(static_cast<double>(ctx_->now() - waiter.queued_at));
+  rt_->CancelTimer(waiter.timeout_event);
+  stats_.wait_time.Add(static_cast<double>(rt_->Now() - waiter.queued_at));
   ++stats_.acquisitions;
 
   Entry& entry = table_[key];
@@ -196,7 +210,7 @@ void LockManager::Grant(KeyId key, Waiter waiter) {
     }
   }
   if (!upgraded) {
-    entry.holders.push_back(Holder{waiter.txn, waiter.mode, ctx_->now()});
+    entry.holders.push_back(Holder{waiter.txn, waiter.mode, rt_->Now()});
     AppendHeld(waiter.txn, key);
     TraceGrant(waiter.txn, key, waiter.mode);
   }
@@ -236,7 +250,7 @@ void LockManager::ReleaseAll(uint64_t txn) {
   *list_slot = HeldList{};
 
   if (ctx_->trace().capturing()) {
-    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kUnlock, node_, "", txn,
+    ctx_->trace().Add({rt_->Now(), sim::TraceKind::kUnlock, node_, "", txn,
                        StringPrintf("%zu locks", size_t{list.count})});
   }
   uint32_t idx = list.head;
@@ -248,7 +262,7 @@ void LockManager::ReleaseAll(uint64_t txn) {
     Entry& entry = table_[node.key];
     for (auto h = entry.holders.begin(); h != entry.holders.end(); ++h) {
       if (h->txn == txn) {
-        stats_.hold_time.Add(static_cast<double>(ctx_->now() - h->granted_at));
+        stats_.hold_time.Add(static_cast<double>(rt_->Now() - h->granted_at));
         entry.holders.erase(h);
         break;
       }

@@ -34,6 +34,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
+#include "runtime/runtime.h"
 #include "sim/inline_function.h"
 #include "sim/sim_context.h"
 #include "util/histogram.h"
@@ -92,9 +95,15 @@ class LockManager {
   /// done) is 112 bytes, so that is the inline capacity.
   using GrantCallback = sim::InlineFunction<112, void(Status)>;
 
+  /// Compatibility constructor for the sim path: owns a SimRuntime adapter
+  /// over `ctx`.
   explicit LockManager(sim::SimContext* ctx, std::string node,
-                       sim::Time wait_timeout = 10 * sim::kSecond)
-      : ctx_(ctx), node_(std::move(node)), wait_timeout_(wait_timeout) {}
+                       sim::Time wait_timeout = 10 * sim::kSecond);
+
+  /// Backend-explicit constructor: `rt` supplies the clock and wait-timeout
+  /// timers; `ctx` supplies the trace.
+  LockManager(runtime::Runtime* rt, sim::SimContext* ctx, std::string node,
+              sim::Time wait_timeout = 10 * sim::kSecond);
 
   /// Interns `key`, returning its dense id. Callers performing several
   /// operations against one key intern once and use the KeyId overloads.
@@ -209,7 +218,9 @@ class LockManager {
   void Grant(KeyId key, Waiter waiter);
   void OnTimeout(uint64_t txn, KeyId key);
 
-  sim::SimContext* ctx_;
+  std::unique_ptr<runtime::Runtime> owned_rt_;  ///< compat-ctor SimRuntime
+  runtime::Runtime* rt_;
+  sim::SimContext* ctx_;  ///< trace only
   std::string node_;
   sim::Time wait_timeout_;
   StringInterner interner_;

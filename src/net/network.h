@@ -26,25 +26,12 @@
 #include <vector>
 
 #include "net/message.h"
+#include "net/transport.h"
 #include "sim/sim_context.h"
 #include "util/flat_map.h"
 #include "util/status.h"
 
 namespace tpc::net {
-
-/// Receiver interface implemented by simulated nodes.
-class Endpoint {
- public:
-  virtual ~Endpoint() = default;
-
-  /// Delivery upcall. Never invoked while the endpoint reports itself down.
-  /// The message's payload buffer is recycled when this returns: read it via
-  /// Network::PayloadOf during the call, copy it if it must outlive it.
-  virtual void OnMessage(const Message& msg) = 0;
-
-  /// A crashed node neither sends nor receives.
-  virtual bool IsUp() const = 0;
-};
 
 /// Aggregate traffic counters. Invariant: every *accepted* message is one
 /// flow (messages_sent), and ends up delivered or dropped (or still in
@@ -62,13 +49,13 @@ struct NetworkStats {
   uint64_t bytes_delivered = 0;
 };
 
-/// The cluster interconnect.
-class Network {
+/// The cluster interconnect: the deterministic Transport backend.
+class Network : public Transport {
  public:
   explicit Network(sim::SimContext* ctx) : ctx_(ctx) {}
 
   /// Registers a node. Names must be unique.
-  void Register(const NodeId& id, Endpoint* endpoint);
+  void Register(const NodeId& id, Endpoint* endpoint) override;
 
   /// Latency applied when no per-link override exists.
   void set_default_latency(sim::Time latency) { default_latency_ = latency; }
@@ -108,16 +95,16 @@ class Network {
   /// Ownership: Send consumes msg.payload on every path — accepted, dropped,
   /// or rejected, the pooled buffer returns to the free list once the
   /// message reaches its terminal state. Callers never release it.
-  Status Send(Message msg);
+  Status Send(Message msg) override;
 
   /// String-path compatibility entry taking the seed message shape:
   /// resolves the names, copies payload and tag into pooled storage, and
   /// forwards to Send. Benches measure this as the pre-interning baseline;
   /// tests use it to inject traffic by name.
-  Status SendLegacy(LegacyMessage msg);
+  Status SendLegacy(LegacyMessage msg) override;
 
   /// Latency the next message from `a` to `b` would experience.
-  sim::Time LatencyBetween(const NodeId& a, const NodeId& b) const;
+  sim::Time LatencyBetween(const NodeId& a, const NodeId& b) const override;
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats(); }
@@ -129,21 +116,19 @@ class Network {
   /// turn off for large throughput benches). Senders may also consult this
   /// to skip building per-message trace tags.
   void set_tracing(bool on) { tracing_ = on; }
-  bool tracing() const { return tracing_; }
+  bool tracing() const override { return tracing_; }
 
   // --- public interning surface --------------------------------------------
   // Node names map to dense uint32 ids. Components that keep per-peer flat
   // tables (the TM's session vector) index them by these ids instead of
   // hashing names per message.
 
-  static constexpr uint32_t kNoId = UINT32_MAX;
-
   /// Interns `name`, returning its dense id (stable for the network's life).
-  uint32_t InternId(const NodeId& name) { return Intern(name); }
+  uint32_t InternId(const NodeId& name) override { return Intern(name); }
   /// Id of `name`, or kNoId if never interned. Never allocates.
-  uint32_t IdOf(const NodeId& name) const { return Find(name); }
+  uint32_t IdOf(const NodeId& name) const override { return Find(name); }
   /// The name interned as `id`. Requires a valid id.
-  const NodeId& NameOf(uint32_t id) const { return names_[id]; }
+  const NodeId& NameOf(uint32_t id) const override { return names_[id]; }
 
   // --- pooled payload buffers ----------------------------------------------
   // Senders acquire a buffer, encode the payload directly into it via
@@ -153,22 +138,18 @@ class Network {
 
   /// Acquires a cleared buffer from the pool (capacity retained from its
   /// previous use).
-  PayloadRef AcquirePayload();
+  PayloadRef AcquirePayload() override;
 
   /// The mutable buffer behind `ref` — encode the payload in place here
   /// before Send. Requires a ref obtained from AcquirePayload.
-  std::string& PayloadBuffer(PayloadRef ref) { return payload_pool_[ref.index]; }
-
-  /// Read-only view of the bytes behind `ref`; empty for the null ref.
-  std::string_view PayloadView(PayloadRef ref) const {
-    return ref.valid() ? std::string_view(payload_pool_[ref.index])
-                       : std::string_view();
+  std::string& PayloadBuffer(PayloadRef ref) override {
+    return payload_pool_[ref.index];
   }
 
-  /// The payload of a message (empty if it carries none). During OnMessage
-  /// this is the delivered bytes; the view dies with the upcall.
-  std::string_view PayloadOf(const Message& msg) const {
-    return PayloadView(msg.payload);
+  /// Read-only view of the bytes behind `ref`; empty for the null ref.
+  std::string_view PayloadView(PayloadRef ref) const override {
+    return ref.valid() ? std::string_view(payload_pool_[ref.index])
+                       : std::string_view();
   }
 
   /// Heap bytes held by the network's own tables (interning, link state,

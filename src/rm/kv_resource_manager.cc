@@ -65,6 +65,16 @@ KVResourceManager::KVResourceManager(sim::SimContext* ctx, std::string name,
       locks_(ctx, name_, options.lock_timeout),
       store_lock_id_(locks_.InternKey(kStoreLock)) {}
 
+KVResourceManager::KVResourceManager(runtime::Runtime* rt,
+                                     sim::SimContext* ctx, std::string name,
+                                     wal::LogManager* log, KVOptions options)
+    : ctx_(ctx),
+      name_(std::move(name)),
+      log_(log),
+      options_(options),
+      locks_(rt, ctx, name_, options.lock_timeout),
+      store_lock_id_(locks_.InternKey(kStoreLock)) {}
+
 void KVResourceManager::EnableCrashPoints(const std::string& node) {
   fi_node_ = ctx_->failures().InternNode(node);
   for (size_t i = 0; i < tm::kRmCrashPointCount; ++i)

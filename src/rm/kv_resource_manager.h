@@ -25,6 +25,7 @@
 
 #include "lock/lock_manager.h"
 #include "rm/resource_manager.h"
+#include "runtime/runtime.h"
 #include "sim/sim_context.h"
 #include "util/result.h"
 #include "wal/log_manager.h"
@@ -51,8 +52,16 @@ class KVResourceManager : public ResourceManager {
 
   /// `log` is the node's WAL (shared with the TM when the shared-log
   /// optimization is on, which is also the common single-log deployment).
+  /// The sim-path compatibility constructor builds the lock manager on a
+  /// SimRuntime over `ctx`.
   KVResourceManager(sim::SimContext* ctx, std::string name,
                     wal::LogManager* log, KVOptions options = {});
+
+  /// Backend-explicit constructor: `rt` drives the lock manager's clock and
+  /// wait-timeout timers; `ctx` supplies the trace and failure injector.
+  KVResourceManager(runtime::Runtime* rt, sim::SimContext* ctx,
+                    std::string name, wal::LogManager* log,
+                    KVOptions options = {});
 
   const std::string& name() const override { return name_; }
 

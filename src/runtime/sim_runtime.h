@@ -1,0 +1,45 @@
+// SimRuntime: the deterministic Runtime backend — a stateless forwarding
+// adapter over SimContext.
+//
+// Every call maps 1:1 onto the call the engines made before the seam
+// existed (events().ScheduleAfter, events().Cancel, now(), NextTxnId), in
+// the same order, returning the same EventId values. The adapter is
+// therefore bit-identity-preserving by construction: frozen traces, the
+// torture matrix, and all sweeps exercise it on every run.
+//
+// ArmTimer moves the caller's TimerCallback into the event slab via
+// InlineFunction's same-type adoption, so the adapter adds zero heap
+// allocations to the hot path (proven by the counting-allocator test in
+// tests/messaging_test.cc).
+
+#ifndef TPC_RUNTIME_SIM_RUNTIME_H_
+#define TPC_RUNTIME_SIM_RUNTIME_H_
+
+#include <utility>
+
+#include "runtime/runtime.h"
+#include "sim/sim_context.h"
+
+namespace tpc::runtime {
+
+class SimRuntime final : public Runtime {
+ public:
+  explicit SimRuntime(sim::SimContext* ctx) : ctx_(ctx) {}
+
+  sim::Time Now() const override { return ctx_->now(); }
+
+  TimerId ArmTimer(sim::Time delay, TimerCallback fn) override {
+    return ctx_->events().ScheduleAfter(delay, std::move(fn));
+  }
+
+  bool CancelTimer(TimerId id) override { return ctx_->events().Cancel(id); }
+
+  uint64_t NextTxnId() override { return ctx_->NextTxnId(); }
+
+ private:
+  sim::SimContext* ctx_;
+};
+
+}  // namespace tpc::runtime
+
+#endif  // TPC_RUNTIME_SIM_RUNTIME_H_

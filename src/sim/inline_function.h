@@ -39,15 +39,22 @@ class InlineFunction<BufSize, R(Args...)> {
 
   /// Destroys the current target (if any) and constructs `f` in place —
   /// lets callers skip the move-construct a temporary would cost.
+  /// Emplacing another InlineFunction of the same type adopts its target
+  /// rather than wrapping it (wrapping would double-indirect the call and,
+  /// for buffers at capacity, force a heap allocation — the runtime
+  /// adapters forward Callback values through this path).
   template <typename F>
   void emplace(F&& f) {
-    reset();
     using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= BufSize && alignof(Fn) <= kAlign &&
-                  std::is_nothrow_move_constructible_v<Fn>) {
+    if constexpr (std::is_same_v<Fn, InlineFunction>) {
+      *this = std::move(f);
+    } else if constexpr (sizeof(Fn) <= BufSize && alignof(Fn) <= kAlign &&
+                         std::is_nothrow_move_constructible_v<Fn>) {
+      reset();
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       ops_ = &InlineOps<Fn>::table;
     } else {
+      reset();
       ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = &HeapOps<Fn>::table;
     }

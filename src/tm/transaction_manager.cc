@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "runtime/sim_runtime.h"
 #include "util/binary_io.h"
 #include "util/format.h"
 #include "util/logging.h"
@@ -48,14 +49,34 @@ Status DecodeBody(std::string_view data, TmRecordBody* body) {
 }  // namespace
 
 TransactionManager::TransactionManager(sim::SimContext* ctx,
-                                       net::Network* network,
+                                       net::Transport* network,
                                        wal::LogManager* log, std::string name,
                                        TmConfig config)
-    : ctx_(ctx),
+    : owned_rt_(std::make_unique<runtime::SimRuntime>(ctx)),
+      rt_(owned_rt_.get()),
+      ctx_(ctx),
       network_(network),
       log_(log),
       name_(std::move(name)),
       config_(config) {
+  Init();
+}
+
+TransactionManager::TransactionManager(runtime::Runtime* rt,
+                                       sim::SimContext* ctx,
+                                       net::Transport* network,
+                                       wal::LogManager* log, std::string name,
+                                       TmConfig config)
+    : rt_(rt),
+      ctx_(ctx),
+      network_(network),
+      log_(log),
+      name_(std::move(name)),
+      config_(config) {
+  Init();
+}
+
+void TransactionManager::Init() {
   network_->Register(name_, this);
   self_id_ = network_->InternId(name_);
   // Intern the full crash-point catalog once; hot-path hits are then flat
@@ -126,7 +147,7 @@ const TransactionManager::Txn* TransactionManager::FindTxn(uint64_t id) const {
 TransactionManager::Session* TransactionManager::FindSession(
     const net::NodeId& peer) {
   const uint32_t sid = network_->IdOf(peer);
-  if (sid == net::Network::kNoId) return nullptr;
+  if (sid == net::Transport::kNoId) return nullptr;
   return FindSessionById(sid);
 }
 
@@ -177,7 +198,7 @@ void TransactionManager::SendPdu(const net::NodeId& peer, Pdu pdu,
                                  std::string_view app_data) {
   TPC_CHECK(up_);
   const uint32_t sid = network_->IdOf(peer);
-  TPC_CHECK(sid != net::Network::kNoId);
+  TPC_CHECK(sid != net::Transport::kNoId);
   Session* session_ptr = FindSessionById(sid);
   TPC_CHECK(session_ptr != nullptr);
   Session& session = *session_ptr;
@@ -269,7 +290,7 @@ void TransactionManager::AppendTmRecord(uint64_t txn, wal::RecordType type,
 // ---------------------------------------------------------------------------
 
 uint64_t TransactionManager::Begin() {
-  uint64_t id = ctx_->NextTxnId();
+  uint64_t id = rt_->NextTxnId();
   GetOrCreateTxn(id);
   return id;
 }
@@ -312,8 +333,8 @@ void TransactionManager::Commit(uint64_t txn_id, CommitCallback done) {
   txn.is_root = true;
   txn.has_app_cb = true;
   txn.app_cb = std::move(done);
-  txn.commit_started = ctx_->now();
-  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kState, name_, "", txn_id,
+  txn.commit_started = rt_->Now();
+  ctx_->trace().Add({rt_->Now(), sim::TraceKind::kState, name_, "", txn_id,
                      "commit initiated"});
   StartPhaseOne(txn);
 }
@@ -461,7 +482,7 @@ void TransactionManager::ContinuePhaseOne(Txn& txn) {
   if (txn.votes_outstanding > 0) {
     txn.vote_timer_armed = true;
     const uint64_t epoch = epoch_;
-    txn.vote_timer = ctx_->events().ScheduleAfter(config_.vote_timeout,
+    txn.vote_timer = rt_->ArmTimer(config_.vote_timeout,
                                                   [this, epoch, id] {
       if (!up_ || epoch != epoch_) return;
       Txn* t = FindTxn(id);
@@ -587,7 +608,7 @@ void TransactionManager::MaybePhaseOneComplete(Txn& txn) {
   if (txn.phase != Phase::kPreparing) return;
   if (txn.votes_outstanding > 0 || txn.rms_outstanding > 0) return;
   if (txn.vote_timer_armed) {
-    ctx_->events().Cancel(txn.vote_timer);
+    rt_->CancelTimer(txn.vote_timer);
     txn.vote_timer_armed = false;
   }
 
@@ -879,7 +900,7 @@ void TransactionManager::ArmAckTimer(Txn& txn, Child& child) {
   const net::NodeId peer = child.peer;
   const uint64_t epoch = epoch_;
   child.ack_timer_armed = true;
-  child.ack_timer = ctx_->events().ScheduleAfter(config_.ack_timeout,
+  child.ack_timer = rt_->ArmTimer(config_.ack_timeout,
                                                  [this, epoch, id, peer] {
     if (!up_ || epoch != epoch_) return;
     Txn* t = FindTxn(id);
@@ -936,7 +957,7 @@ void TransactionManager::OnAckPdu(const net::NodeId& from, const Pdu& pdu) {
   for (auto& child : txn->children) {
     if (child.peer != from) continue;
     if (child.ack_timer_armed) {
-      ctx_->events().Cancel(child.ack_timer);
+      rt_->CancelTimer(child.ack_timer);
       child.ack_timer_armed = false;
     }
     child.acked = true;
@@ -999,7 +1020,7 @@ void TransactionManager::CompleteApp(Txn& txn, bool pending) {
   result.heuristic_damage = mismatch;
   result.outcome_pending = pending;
   ctx_->trace().Add(
-      {ctx_->now(), sim::TraceKind::kState, name_, "", txn.id,
+      {rt_->Now(), sim::TraceKind::kState, name_, "", txn.id,
        StringPrintf("commit complete (%s%s%s)",
                     std::string(OutcomeToString(txn.outcome)).c_str(),
                     mismatch ? ", damage" : "", pending ? ", pending" : "")});
@@ -1140,7 +1161,7 @@ void TransactionManager::SendVote(Txn& txn) {
       if (survivor != nullptr) {
         for (auto& child : survivor->children) {
           if (child.ack_timer_armed) {
-            ctx_->events().Cancel(child.ack_timer);
+            rt_->CancelTimer(child.ack_timer);
             child.ack_timer_armed = false;
           }
           child.ack_required = false;
@@ -1350,7 +1371,7 @@ void TransactionManager::ResolveAfterHeuristic(Txn& txn, bool commit) {
   txn.commit_decision = commit;
   txn.phase = Phase::kDeciding;
   if (damage) {
-    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kHeuristic, name_, "",
+    ctx_->trace().Add({rt_->Now(), sim::TraceKind::kHeuristic, name_, "",
                        txn.id, "heuristic damage detected"});
   }
   txn.heur_commit = txn.heur_commit || we_committed;
@@ -1566,7 +1587,7 @@ void TransactionManager::ArmHeuristicTimer(Txn& txn) {
   const uint64_t id = txn.id;
   const uint64_t epoch = epoch_;
   txn.heur_timer_armed = true;
-  txn.heur_timer = ctx_->events().ScheduleAfter(config_.heuristic_delay,
+  txn.heur_timer = rt_->ArmTimer(config_.heuristic_delay,
                                                 [this, epoch, id] {
     if (!up_ || epoch != epoch_) return;
     Txn* t = FindTxn(id);
@@ -1585,7 +1606,7 @@ void TransactionManager::TakeHeuristicDecision(Txn& txn) {
   txn.took_heuristic = true;
   txn.outcome =
       commit ? Outcome::kHeuristicCommitted : Outcome::kHeuristicAborted;
-  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kHeuristic, name_, "", id,
+  ctx_->trace().Add({rt_->Now(), sim::TraceKind::kHeuristic, name_, "", id,
                      commit ? "heuristic commit" : "heuristic abort"});
   TmRecordBody body;
   body.upstream = txn.has_upstream ? txn.upstream : "";
@@ -1633,7 +1654,7 @@ void TransactionManager::ArmInquiryTimer(Txn& txn) {
   const uint64_t id = txn.id;
   const uint64_t epoch = epoch_;
   txn.inq_timer_armed = true;
-  txn.inq_timer = ctx_->events().ScheduleAfter(config_.inquiry_delay,
+  txn.inq_timer = rt_->ArmTimer(config_.inquiry_delay,
                                                [this, epoch, id] {
     if (!up_ || epoch != epoch_) return;
     Txn* t = FindTxn(id);
@@ -1750,20 +1771,20 @@ void TransactionManager::AbortLocal(Txn& txn) {
 
 void TransactionManager::CancelTimers(Txn& txn) {
   if (txn.heur_timer_armed) {
-    ctx_->events().Cancel(txn.heur_timer);
+    rt_->CancelTimer(txn.heur_timer);
     txn.heur_timer_armed = false;
   }
   if (txn.inq_timer_armed) {
-    ctx_->events().Cancel(txn.inq_timer);
+    rt_->CancelTimer(txn.inq_timer);
     txn.inq_timer_armed = false;
   }
   if (txn.vote_timer_armed) {
-    ctx_->events().Cancel(txn.vote_timer);
+    rt_->CancelTimer(txn.vote_timer);
     txn.vote_timer_armed = false;
   }
   for (auto& child : txn.children) {
     if (child.ack_timer_armed) {
-      ctx_->events().Cancel(child.ack_timer);
+      rt_->CancelTimer(child.ack_timer);
       child.ack_timer_armed = false;
     }
   }
@@ -1814,7 +1835,7 @@ void TransactionManager::NoteImpliedAck(const net::NodeId& from) {
   txn->awaiting_implied_ack = false;
   for (auto& child : txn->children)
     if (child.peer == from) child.acked = true;
-  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kState, name_, from, id,
+  ctx_->trace().Add({rt_->Now(), sim::TraceKind::kState, name_, from, id,
                      "implied ack received"});
   MaybeComplete(*txn);
 }
@@ -1832,7 +1853,7 @@ void TransactionManager::OnMessage(const net::Message& msg) {
     // into an owned PDU vector, re-allocating per delivery.
     auto pdus = DecodePdus(payload);
     if (!pdus.ok()) {
-      ctx_->trace().Add({ctx_->now(), sim::TraceKind::kApp, name_, from, 0,
+      ctx_->trace().Add({rt_->Now(), sim::TraceKind::kApp, name_, from, 0,
                          "dropped malformed message: " +
                              std::string(pdus.status().message())});
       return;
@@ -1858,7 +1879,7 @@ void TransactionManager::OnMessage(const net::Message& msg) {
   if (!bad.ok()) {
     // Corrupt or malformed traffic: drop it rather than crash. Protocol
     // retries and recovery treat a dropped message like any other loss.
-    ctx_->trace().Add({ctx_->now(), sim::TraceKind::kApp, name_, from, 0,
+    ctx_->trace().Add({rt_->Now(), sim::TraceKind::kApp, name_, from, 0,
                        "dropped malformed message: " +
                            std::string(bad.message())});
     return;
@@ -1907,7 +1928,7 @@ void TransactionManager::Crash() {
   TPC_CHECK(up_);
   up_ = false;
   ++epoch_;
-  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kCrash, name_, "", 0, ""});
+  ctx_->trace().Add({rt_->Now(), sim::TraceKind::kCrash, name_, "", 0, ""});
   // Free every live slot. The archive views in TxnMeta survive the crash,
   // as the old separate archive_ map did.
   for (uint32_t slot = 0; slot < txn_slab_.size(); ++slot) {
@@ -1929,7 +1950,7 @@ void TransactionManager::Restart() {
   TPC_CHECK(!up_);
   up_ = true;
   ++epoch_;
-  ctx_->trace().Add({ctx_->now(), sim::TraceKind::kRecover, name_, "", 0, ""});
+  ctx_->trace().Add({rt_->Now(), sim::TraceKind::kRecover, name_, "", 0, ""});
   RecoverFromLog();
 }
 
@@ -2161,7 +2182,7 @@ void TransactionManager::RecoverFromLog() {
 
 void TransactionManager::ScheduleRecoveryRetry(uint64_t id) {
   const uint64_t epoch = epoch_;
-  ctx_->events().ScheduleAfter(config_.recovery_retry_interval,
+  rt_->ArmTimer(config_.recovery_retry_interval,
                                [this, epoch, id] {
     if (!up_ || epoch != epoch_) return;
     Txn* txn = FindTxn(id);

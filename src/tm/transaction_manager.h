@@ -30,8 +30,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "net/network.h"
+#include "net/transport.h"
 #include "rm/kv_resource_manager.h"
+#include "runtime/runtime.h"
 #include "rm/resource_manager.h"
 #include "sim/sim_context.h"
 #include "tm/crash_points.h"
@@ -114,9 +115,20 @@ struct TxnView {
 /// The transaction manager.
 class TransactionManager : public net::Endpoint {
  public:
-  TransactionManager(sim::SimContext* ctx, net::Network* network,
+  /// Compatibility constructor for the sim path: owns a SimRuntime adapter
+  /// over `ctx`, so every pre-seam call site (tests, benches, harness)
+  /// compiles unchanged while exercising the adapter on every run.
+  TransactionManager(sim::SimContext* ctx, net::Transport* network,
                      wal::LogManager* log, std::string name,
                      TmConfig config = {});
+
+  /// Backend-explicit constructor. `rt` supplies the clock/timers/txn ids;
+  /// `ctx` supplies the trace and failure injector (live nodes pass a
+  /// private per-node SimContext for those); `network` is either the
+  /// simulated interconnect or a live transport.
+  TransactionManager(runtime::Runtime* rt, sim::SimContext* ctx,
+                     net::Transport* network, wal::LogManager* log,
+                     std::string name, TmConfig config = {});
 
   const std::string& name() const { return name_; }
   const TmConfig& config() const { return config_; }
@@ -321,7 +333,7 @@ class TransactionManager : public net::Endpoint {
   struct Session {
     /// The peer's interned network id (sessions_ is compact, O(fanout), so
     /// each entry must say who it talks to).
-    uint32_t peer_id = net::Network::kNoId;
+    uint32_t peer_id = net::Transport::kNoId;
     SessionOptions options;
     /// Peer is suspended after voting OK_TO_LEAVE_OUT (may be left out).
     bool suspended_leave_out = false;
@@ -344,6 +356,7 @@ class TransactionManager : public net::Endpoint {
   static constexpr uint32_t kNoSlot = UINT32_MAX;
 
   // --- plumbing -------------------------------------------------------------
+  void Init();  ///< shared constructor body (register, intern crash points)
   TxnMeta& MetaSlot(uint64_t id);
   const TxnMeta* FindMeta(uint64_t id) const;
   Txn& GetOrCreateTxn(uint64_t id);
@@ -451,8 +464,10 @@ class TransactionManager : public net::Endpoint {
   void RecoverFromLog();
   void ScheduleRecoveryRetry(uint64_t txn);
 
-  sim::SimContext* ctx_;
-  net::Network* network_;
+  std::unique_ptr<runtime::Runtime> owned_rt_;  ///< compat-ctor SimRuntime
+  runtime::Runtime* rt_;
+  sim::SimContext* ctx_;  ///< trace + failure injector only
+  net::Transport* network_;
   wal::LogManager* log_;
   std::string name_;
   uint32_t self_id_;  ///< our interned network id, cached at construction

@@ -1,0 +1,106 @@
+// FileStorage: the real-disk StorageBackend — an append-only file with
+// fdatasync durability.
+//
+// Write() performs the pwrite + fdatasync *inline on the calling thread*
+// (the owning node's worker). That is deliberate: a force parks the node's
+// worker in the kernel, so a live cluster's throughput scales with worker
+// threads by overlapping different nodes' fsyncs — the same I/O-overlap
+// effect group commit exploits on one device — and a process kill leaves
+// exactly the synced prefix on disk. Completion callbacks are never run
+// re-entrantly from Write: they are handed to `post`, which enqueues them
+// on the node's mailbox, preserving the sim backend's submit-now/ack-later
+// shape that LogManager's flush policies are written against.
+//
+// An optional service-time floor (`floor_us`) pads each write to a minimum
+// wall-clock duration. On a filesystem whose fsync is microseconds (tmpfs,
+// battery-backed cache) the floor restores a realistic device cost, which
+// the contended live_bench cells rely on.
+//
+// fdatasync over O_DIRECT: the write path appends variable-length records,
+// so O_DIRECT's alignment contract would force a block-sized staging layer;
+// fdatasync on an O_APPEND fd gives the same durability statement (data +
+// size are on stable media when the call returns) without it.
+//
+// Single-threaded per instance: all calls must come from the owning node's
+// serialized execution context. Reconstruction: a new FileStorage on an
+// existing path reloads the file into the durable mirror, which is how the
+// kill-and-recover test proves the bytes actually reached the file.
+//
+// Truncate() only trims the in-memory mirror and advances base_offset();
+// the file keeps its full contents (a reopened instance sees base offset 0
+// with the full log — an equivalent image, since truncation only ever
+// discards records recovery no longer needs).
+
+#ifndef TPC_WAL_FILE_STORAGE_H_
+#define TPC_WAL_FILE_STORAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "wal/storage_backend.h"
+
+namespace tpc::wal {
+
+/// Namespace-scope (not nested) so it can be a defaulted constructor
+/// argument — GCC rejects brace-defaulting a nested aggregate with member
+/// initializers inside the enclosing class.
+struct FileStorageOptions {
+  /// fdatasync after every write (the durability point). Tests may turn
+  /// it off to measure the sync cost itself; a real deployment never does.
+  bool sync = true;
+  /// Minimum wall-clock service time per write, microseconds (0 = none).
+  int64_t floor_us = 0;
+};
+
+class FileStorage final : public StorageBackend {
+ public:
+  using FileOptions = FileStorageOptions;
+
+  /// Defers a completion to the owning node's execution context.
+  using PostFn = std::function<void(WriteCallback&&)>;
+
+  /// Opens (creating if absent) the append-only file at `path` and loads
+  /// any existing contents into the durable mirror.
+  FileStorage(std::string path, PostFn post, FileOptions options = {});
+  ~FileStorage() override;
+
+  FileStorage(const FileStorage&) = delete;
+  FileStorage& operator=(const FileStorage&) = delete;
+
+  void Write(std::string data, WriteCallback done) override;
+  void Crash() override;
+  const std::string& durable() const override { return durable_; }
+  void Truncate(uint64_t bytes) override;
+  uint64_t base_offset() const override { return base_offset_; }
+  uint64_t completed_writes() const override { return completed_writes_; }
+  uint64_t bytes_written() const override { return bytes_written_; }
+  uint64_t durable_bytes() const override {
+    return base_offset_ + durable_.size();
+  }
+  size_t writes_outstanding() const override { return 0; }
+  void set_buffer_recycler(BufferRecycler recycler) override {
+    recycler_ = std::move(recycler);
+  }
+
+  const std::string& path() const { return path_; }
+  /// Cumulative wall-clock time spent inside pwrite+fdatasync (+floor),
+  /// microseconds — live_bench reports it as the real device cost.
+  int64_t sync_wall_us() const { return sync_wall_us_; }
+
+ private:
+  std::string path_;
+  PostFn post_;
+  FileOptions options_;
+  int fd_ = -1;
+  std::string durable_;  ///< in-memory mirror of the synced file contents
+  uint64_t base_offset_ = 0;
+  uint64_t completed_writes_ = 0;
+  uint64_t bytes_written_ = 0;
+  int64_t sync_wall_us_ = 0;
+  BufferRecycler recycler_;
+};
+
+}  // namespace tpc::wal
+
+#endif  // TPC_WAL_FILE_STORAGE_H_

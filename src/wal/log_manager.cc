@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "runtime/sim_runtime.h"
 #include "util/logging.h"
 
 namespace tpc::wal {
@@ -40,13 +41,28 @@ LogManager::LogManager(sim::SimContext* ctx, std::string node,
 
 LogManager::LogManager(sim::SimContext* ctx, std::string node,
                        const DeviceOptions& device)
-    : ctx_(ctx), node_(std::move(node)), storage_(ctx, device) {
+    : owned_rt_(std::make_unique<runtime::SimRuntime>(ctx)),
+      owned_storage_(std::make_unique<StableStorage>(ctx, device)),
+      rt_(owned_rt_.get()),
+      ctx_(ctx),
+      node_(std::move(node)),
+      storage_(owned_storage_.get()) {
+  Init();
+}
+
+LogManager::LogManager(runtime::Runtime* rt, sim::SimContext* ctx,
+                       std::string node, StorageBackend* storage)
+    : rt_(rt), ctx_(ctx), node_(std::move(node)), storage_(storage) {
+  Init();
+}
+
+void LogManager::Init() {
   fi_node_ = ctx_->failures().InternNode(node_);
   for (size_t i = 0; i < kWalCrashPointCount; ++i)
     wal_points_[i] = ctx_->failures().InternPoint(kWalCrashPoints[i]);
   // Flush buffers come back (cleared, capacity intact) once the device has
   // folded their payload into the durable image.
-  storage_.set_buffer_recycler(
+  storage_->set_buffer_recycler(
       [this](std::string&& s) { RecycleBuffer(std::move(s)); });
 }
 
@@ -90,7 +106,7 @@ Lsn LogManager::Append(const LogRecord& record, bool force,
   ++os.writes;
 
   if (ctx_->trace().capturing()) {
-    ctx_->trace().Add({ctx_->now(),
+    ctx_->trace().Add({rt_->Now(),
                        force ? sim::TraceKind::kLogForce : sim::TraceKind::kLogWrite,
                        node_, "", record.txn,
                        std::string(RecordTypeToString(record.type))});
@@ -125,7 +141,7 @@ void LogManager::ForceAll(AppendCallback done) {
 void LogManager::RequestForce(AppendCallback done) {
   if (done)
     pending_force_.push_back(
-        PendingForce{std::move(done), next_lsn_, ctx_->now()});
+        PendingForce{std::move(done), next_lsn_, rt_->Now()});
   ++pending_force_requests_;
 
   if (!group_.enabled) {
@@ -140,7 +156,7 @@ void LogManager::RequestForce(AppendCallback done) {
         group_timer_armed_ = true;
         const uint64_t epoch = epoch_;
         group_timer_ =
-            ctx_->events().ScheduleAfter(group_.group_timeout, [this, epoch] {
+            rt_->ArmTimer(group_.group_timeout, [this, epoch] {
           if (epoch != epoch_) return;
           group_timer_armed_ = false;
           if (pending_force_requests_ == 0) return;
@@ -171,7 +187,7 @@ void LogManager::RequestForce(AppendCallback done) {
 void LogManager::Flush() {
   if (group_timer_armed_) {
     // An armed flag must always name a live pending event.
-    TPC_CHECK(ctx_->events().Cancel(group_timer_));
+    TPC_CHECK(rt_->CancelTimer(group_timer_));
     group_timer_armed_ = false;
   }
   std::string bytes = std::move(buffer_);
@@ -193,7 +209,7 @@ void LogManager::SubmitWrite(std::string bytes) {
   // writes are durable, so we still enqueue a (possibly empty) write.
   ++flushes_in_flight_;
   const uint64_t epoch = epoch_;
-  storage_.Write(std::move(bytes),
+  storage_->Write(std::move(bytes),
                  [this, epoch, cbs = std::move(cbs)]() mutable {
     if (epoch != epoch_) return;
     --flushes_in_flight_;
@@ -208,9 +224,9 @@ void LogManager::AckForces(std::vector<PendingForce>& cbs, uint64_t epoch) {
   for (PendingForce& pf : cbs) {
     // The group-commit safety invariant, whatever the policy: an ack may
     // only run once the log is durable through the tail the force covered.
-    TPC_CHECK(storage_.durable_bytes() >= pf.cover);
+    TPC_CHECK(storage_->durable_bytes() >= pf.cover);
     if (collect_force_latency_)
-      force_latency_.Add(static_cast<double>(ctx_->now() - pf.requested));
+      force_latency_.Add(static_cast<double>(rt_->Now() - pf.requested));
     if (pf.done) pf.done();
     if (epoch != epoch_) return;  // callback crashed this node: stop acking
   }
@@ -231,7 +247,7 @@ void LogManager::ArmDaemonTimer() {
   daemon_timer_armed_ = true;
   const uint64_t epoch = epoch_;
   daemon_timer_ =
-      ctx_->events().ScheduleAfter(group_.daemon_interval, [this, epoch] {
+      rt_->ArmTimer(group_.daemon_interval, [this, epoch] {
     if (epoch != epoch_) return;
     daemon_timer_armed_ = false;
     if (pending_force_requests_ == 0 && segments_.empty()) return;
@@ -245,7 +261,7 @@ void LogManager::ScheduleWake(bool steal) {
     return;
   }
   if (daemon_timer_armed_) {
-    TPC_CHECK(ctx_->events().Cancel(daemon_timer_));
+    TPC_CHECK(rt_->CancelTimer(daemon_timer_));
     daemon_timer_armed_ = false;
   }
   wake_armed_ = true;
@@ -254,7 +270,7 @@ void LogManager::ScheduleWake(bool steal) {
   // triggered it has fully unwound out of Append before any crash point in
   // the gather path can fire.
   const uint64_t epoch = epoch_;
-  wake_event_ = ctx_->events().ScheduleAfter(0, [this, epoch] {
+  wake_event_ = rt_->ArmTimer(0, [this, epoch] {
     if (epoch != epoch_) return;
     wake_armed_ = false;
     DaemonGatherAndSubmit(wake_is_steal_);
@@ -338,28 +354,28 @@ void LogManager::Crash() {
   // before running any body code, so a crash from inside one never reaches
   // this cancel for the event being executed.
   if (group_timer_armed_) {
-    TPC_CHECK(ctx_->events().Cancel(group_timer_));
+    TPC_CHECK(rt_->CancelTimer(group_timer_));
     group_timer_armed_ = false;
   }
   if (daemon_timer_armed_) {
-    TPC_CHECK(ctx_->events().Cancel(daemon_timer_));
+    TPC_CHECK(rt_->CancelTimer(daemon_timer_));
     daemon_timer_armed_ = false;
   }
   if (wake_armed_) {
-    TPC_CHECK(ctx_->events().Cancel(wake_event_));
+    TPC_CHECK(rt_->CancelTimer(wake_event_));
     wake_armed_ = false;
   }
   wake_is_steal_ = false;
   flushes_in_flight_ = 0;
-  storage_.Crash();
+  storage_->Crash();
   // LSN space continues from the durable prefix after restart.
-  next_lsn_ = storage_.durable_bytes();
+  next_lsn_ = storage_->durable_bytes();
 }
 
 void LogManager::DiscardPrefix(Lsn lsn) {
-  TPC_CHECK(lsn <= storage_.durable_bytes());
-  if (lsn <= storage_.base_offset()) return;
-  storage_.Truncate(lsn - storage_.base_offset());
+  TPC_CHECK(lsn <= storage_->durable_bytes());
+  if (lsn <= storage_->base_offset()) return;
+  storage_->Truncate(lsn - storage_->base_offset());
 }
 
 LogWriteStats LogManager::StatsForTxn(uint64_t txn) const {
@@ -397,7 +413,7 @@ uint64_t LogManager::ApproxBytes() const {
     bytes += v.capacity() * sizeof(PendingForce);
   bytes += spare_cb_vecs_.capacity() * sizeof(std::vector<PendingForce>);
   bytes += force_latency_.count() * sizeof(double);
-  bytes += storage_.durable().size();
+  bytes += storage_->durable().size();
   return bytes;
 }
 

@@ -44,12 +44,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
+#include "runtime/runtime.h"
 #include "sim/sim_context.h"
 #include "util/flat_map.h"
 #include "util/histogram.h"
 #include "util/interner.h"
 #include "wal/log_record.h"
 #include "wal/stable_storage.h"
+#include "wal/storage_backend.h"
 #include "wal/wal_crash_points.h"
 
 namespace tpc::wal {
@@ -97,12 +101,19 @@ class LogManager {
   using AppendCallback = std::function<void()>;
 
   /// `node` names the owning node in traces. `force_latency` is the log
-  /// device service time per physical write.
+  /// device service time per physical write. Compatibility constructors for
+  /// the sim path: own a simulated StableStorage device and a SimRuntime
+  /// adapter over `ctx`, so pre-seam call sites compile unchanged.
   LogManager(sim::SimContext* ctx, std::string node,
              sim::Time force_latency = 2 * sim::kMillisecond);
   /// Full device model (latency + bandwidth + queue depth).
   LogManager(sim::SimContext* ctx, std::string node,
              const DeviceOptions& device);
+  /// Backend-explicit constructor. `rt` supplies the clock and group-commit
+  /// timers; `ctx` supplies the trace and failure injector; `storage` is the
+  /// durability backend (not owned — a live node passes its FileStorage).
+  LogManager(runtime::Runtime* rt, sim::SimContext* ctx, std::string node,
+             StorageBackend* storage);
 
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
@@ -128,10 +139,10 @@ class LogManager {
   void DiscardPrefix(Lsn lsn);
 
   /// Recovery scan of durable content.
-  std::vector<LogRecord> Recover() const { return ScanLog(storage_.durable()); }
+  std::vector<LogRecord> Recover() const { return ScanLog(storage_->durable()); }
 
   /// First LSN not yet guaranteed durable.
-  Lsn durable_lsn() const { return storage_.durable_bytes(); }
+  Lsn durable_lsn() const { return storage_->durable_bytes(); }
   Lsn next_lsn() const { return next_lsn_; }
 
   const LogWriteStats& stats() const { return stats_; }
@@ -140,7 +151,7 @@ class LogManager {
   /// Logical writes attributed to one owner tag.
   LogWriteStats StatsForOwner(const std::string& owner) const;
   /// Physical device writes completed (group commit reduces this).
-  uint64_t device_forces() const { return storage_.completed_writes(); }
+  uint64_t device_forces() const { return storage_->completed_writes(); }
   /// WILO steal flushes submitted.
   uint64_t steals() const { return steals_; }
 
@@ -152,7 +163,7 @@ class LogManager {
   void set_collect_force_latency(bool on) { collect_force_latency_ = on; }
   const Histogram& force_latency() const { return force_latency_; }
 
-  StableStorage& storage() { return storage_; }
+  StorageBackend& storage() { return *storage_; }
 
   /// Heap bytes held by the log's buffers (including per-owner buffers and
   /// the recycled flush-buffer pool) and stats tables (cluster memory
@@ -176,6 +187,7 @@ class LogManager {
     uint32_t bytes;
   };
 
+  void Init();  ///< shared constructor body
   void RequestForce(AppendCallback done);
   /// Count+timer / pipelining: submits the central buffer and the pending
   /// force callbacks as one device write.
@@ -213,9 +225,12 @@ class LogManager {
 
   LogWriteStats& TxnSlot(uint64_t txn);
 
-  sim::SimContext* ctx_;
+  std::unique_ptr<runtime::Runtime> owned_rt_;    ///< compat-ctor SimRuntime
+  std::unique_ptr<StorageBackend> owned_storage_; ///< compat-ctor device
+  runtime::Runtime* rt_;
+  sim::SimContext* ctx_;  ///< trace + failure injector only
   std::string node_;
-  StableStorage storage_;
+  StorageBackend* storage_;
   GroupCommitOptions group_;
 
   std::string buffer_;  // encoded records not yet handed to the device

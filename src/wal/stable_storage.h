@@ -22,6 +22,7 @@
 
 #include "sim/inline_function.h"
 #include "sim/sim_context.h"
+#include "wal/storage_backend.h"
 
 namespace tpc::wal {
 
@@ -45,15 +46,11 @@ struct DeviceOptions {
   }
 };
 
-/// One simulated log device.
-class StableStorage {
+/// One simulated log device: the deterministic StorageBackend.
+class StableStorage : public StorageBackend {
  public:
-  /// Completion callback; runs when the write retires (durable). Sized for
-  /// the log manager's flush closure (this + epoch + a callback vector).
-  using WriteCallback = sim::InlineFunction<48>;
-  /// Installed by the owner to get flush-buffer capacity back after the
-  /// payload is folded into the durable image (allocation-free flush loop).
-  using BufferRecycler = sim::InlineFunction<24, void(std::string&&)>;
+  using WriteCallback = StorageBackend::WriteCallback;
+  using BufferRecycler = StorageBackend::BufferRecycler;
 
   StableStorage(sim::SimContext* ctx, sim::Time write_latency)
       : ctx_(ctx) {
@@ -64,34 +61,36 @@ class StableStorage {
 
   /// Queues `data` for durable append; `done` runs at retirement time.
   /// Submission order is retirement order regardless of queue depth.
-  void Write(std::string data, WriteCallback done);
+  void Write(std::string data, WriteCallback done) override;
 
   /// Crash: in-flight and queued writes are lost; retired writes survive.
-  void Crash();
+  void Crash() override;
 
   /// Durable contents (what a recovery scan reads), starting at
   /// base_offset().
-  const std::string& durable() const { return durable_; }
+  const std::string& durable() const override { return durable_; }
 
   /// Discards the first `bytes` of durable content (checkpoint-driven log
   /// truncation) and advances base_offset() accordingly.
-  void Truncate(uint64_t bytes);
+  void Truncate(uint64_t bytes) override;
 
   /// Offset of durable()[0] in the log's LSN space (grows with Truncate).
-  uint64_t base_offset() const { return base_offset_; }
+  uint64_t base_offset() const override { return base_offset_; }
 
   /// Retired device writes (the physical-force count for group-commit
   /// accounting).
-  uint64_t completed_writes() const { return completed_writes_; }
+  uint64_t completed_writes() const override { return completed_writes_; }
 
   /// Payload bytes retired (bandwidth accounting).
-  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_written() const override { return bytes_written_; }
 
   /// End of the durable log in LSN space (base offset + retained bytes).
-  uint64_t durable_bytes() const { return base_offset_ + durable_.size(); }
+  uint64_t durable_bytes() const override {
+    return base_offset_ + durable_.size();
+  }
 
   /// Writes submitted and not yet retired (in service or queued).
-  size_t writes_outstanding() const { return ring_size_; }
+  size_t writes_outstanding() const override { return ring_size_; }
 
   const DeviceOptions& device() const { return device_; }
   void set_device(const DeviceOptions& device) { device_ = device; }
@@ -100,7 +99,7 @@ class StableStorage {
 
   /// Flush-buffer recycling: once a write's payload is durable, its string
   /// (cleared, capacity intact) is handed back through `recycler`.
-  void set_buffer_recycler(BufferRecycler recycler) {
+  void set_buffer_recycler(BufferRecycler recycler) override {
     recycler_ = std::move(recycler);
   }
 

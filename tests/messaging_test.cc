@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "runtime/sim_runtime.h"
 #include "sim/sim_context.h"
 #include "tm/protocol_messages.h"
 #include "util/binary_io.h"
@@ -448,6 +449,42 @@ TEST(ZeroAllocationTest, SteadyStateSendDeliverDecodeDoesNotAllocate) {
   EXPECT_TRUE(b.ok);
   EXPECT_EQ(b.pdus_seen, 2u * (64 + 256));
   EXPECT_EQ(b.data_bytes, 9u * (64 + 256));
+}
+
+// The runtime seam must be free on the sim path: forwarding clock reads,
+// txn ids, and timer arm/cancel/fire through the SimRuntime adapter adds
+// zero allocations over calling the event queue directly. The trap this
+// guards: wrapping the caller's InlineFunction callback in another callable
+// at the adapter boundary would silently heap-allocate every timer (the
+// same-type emplace adoption in InlineFunction is what prevents it).
+TEST(ZeroAllocationTest, SimRuntimeAdapterAddsNoAllocations) {
+  sim::SimContext ctx;
+  runtime::SimRuntime rt(&ctx);
+
+  uint64_t fired = 0;
+  bool cancels_ok = true;
+  auto cycle = [&] {
+    // Arm-and-cancel (the TM's ack/vote timer pattern) plus arm-and-fire.
+    // 1024/2048 divide the timing wheel size (16384), so the deadlines
+    // cycle through a fixed set of wheel buckets a short warmup fills —
+    // the same trick the round-trip test plays with its link latency.
+    runtime::TimerId cancelled = rt.ArmTimer(2048, [&fired] { ++fired; });
+    cancels_ok = cancels_ok && rt.CancelTimer(cancelled);
+    rt.ArmTimer(1024, [&fired] { ++fired; });
+    ctx.events().Run();
+    (void)rt.Now();
+    (void)rt.NextTxnId();
+  };
+
+  for (int i = 0; i < 64; ++i) cycle();  // warm the slab + wheel buckets
+
+  const uint64_t before = g_alloc_count;
+  for (int i = 0; i < 256; ++i) cycle();
+  const uint64_t allocations = g_alloc_count - before;
+
+  EXPECT_EQ(allocations, 0u) << "the adapter must not wrap timer callbacks";
+  EXPECT_TRUE(cancels_ok);
+  EXPECT_EQ(fired, 64u + 256u);
 }
 
 }  // namespace

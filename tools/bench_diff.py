@@ -27,6 +27,12 @@ where a silent drop *or* rise is a behavior change worth flagging:
 
   --metrics "=device_forces:0.10,=p99_force_latency_us:0.15"
 
+A metric whose *name* starts with "~" is report-only: it is printed with
+its baseline (when present) for eyeballing trends, but it is never gated,
+no matter what --metrics matches. Benches use the prefix for wall-clock
+quantities (live commits/sec, latency percentiles on real hardware) that
+are machine property, not code property.
+
 Exit status: 0 = no regression, 1 = regression or malformed input.
 """
 
@@ -71,10 +77,18 @@ def gated_metrics(cell, patterns):
     for name, value in cell.items():
         if name in skip or not isinstance(value, (int, float)):
             continue
+        if name.startswith("~"):  # report-only class: never gated
+            continue
         for pattern, tolerance, two_sided in patterns:
             if pattern in name:
                 yield name, float(value), tolerance, two_sided
                 break
+
+
+def report_only_metrics(cell):
+    for name, value in cell.items():
+        if name.startswith("~") and isinstance(value, (int, float)):
+            yield name, float(value)
 
 
 def main():
@@ -113,6 +127,11 @@ def main():
         if cur_cell is None:
             regressions.append(f"{label}: cell missing from {args.current}")
             continue
+        for metric, cur_value in report_only_metrics(cur_cell):
+            base = base_cell.get(metric)
+            trend = (f"{float(base):.3f} -> {cur_value:.3f}"
+                     if isinstance(base, (int, float)) else f"{cur_value:.3f}")
+            print(f"  [---] {label:32s} {metric}: {trend} (report-only)")
         for metric, base_value, tolerance, two_sided in gated_metrics(
                 base_cell, patterns):
             if metric not in cur_cell:
