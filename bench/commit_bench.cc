@@ -60,6 +60,28 @@ std::vector<ProtocolConfig> Protocols() {
   combo.options.tm.read_only_opt = true;
   configs.push_back(combo);
 
+  // Paxos Commit: the three cell nodes double as the 2F+1 acceptor set
+  // (F=1), so every commit pays the 2a/2b fan-out and acceptor forces on
+  // top of the conversation traffic — the messaging-path delta now includes
+  // the paxos body codec.
+  ProtocolConfig paxos;
+  paxos.name = "paxos_commit";
+  paxos.options.tm.protocol = tm::ProtocolKind::kPaxosCommit;
+  paxos.options.tm.acceptors = {"coord", "s1", "s2"};
+  configs.push_back(paxos);
+
+  // One-phase family: subordinates vote unsolicited when their work
+  // quiesces, so the commit round starts with votes already in flight.
+  ProtocolConfig one_phase;
+  one_phase.name = "one_phase";
+  one_phase.options.tm.protocol = tm::ProtocolKind::kOnePhase;
+  configs.push_back(one_phase);
+
+  ProtocolConfig logless;
+  logless.name = "one_phase_logless";
+  logless.options.tm.protocol = tm::ProtocolKind::kOnePhaseLogless;
+  configs.push_back(logless);
+
   return configs;
 }
 

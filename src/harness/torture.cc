@@ -17,11 +17,13 @@ namespace {
 
 using tm::ProtocolKind;
 
-enum class Topo { kPair, kChain, kStar };
+enum class Topo { kPair, kChain, kStar, kPaxos };
 
 /// Internal scenario definition: protocol config + topology + workload
 /// switches. Node naming: root "c0"; pair adds "s1"; chain adds cascaded
-/// "m1" and leaf "s2"; star adds "s1" and (read-only) "r2".
+/// "m1" and leaf "s2"; star adds "s1" and (read-only) "r2"; paxos adds
+/// "s1" and the acceptor-only "a2" (no RMs) — acceptors = {c0, s1, a2},
+/// i.e. 2F+1 with F = 1.
 struct Spec {
   const char* name;
   const char* proto_label;
@@ -78,6 +80,19 @@ const Spec kSpecs[] = {
     {"pn_gc_wilo", "pn+gc", ProtocolKind::kPresumedNothing, Topo::kPair,
      false, false, false, false, false, false,
      /*gc=*/true, wal::FlushPolicy::kWiloSteal},
+    // Paxos Commit: the liveness oracle is strict here — a coordinator
+    // crash must NOT block (in-doubt after full recovery is a violation,
+    // never a `blocked` verdict), because any prepared participant can
+    // finish the consensus against the surviving acceptor majority.
+    {"paxos_flat", "paxos", ProtocolKind::kPaxosCommit, Topo::kPaxos},
+    {"paxos_abort", "paxos", ProtocolKind::kPaxosCommit, Topo::kPaxos,
+     false, false, false, false, /*abort_vote=*/true},
+    // One-phase family: no explicit Prepare — subordinates early-prepare
+    // from a data-flow quiesce timer; the logless variant also skips the
+    // subordinate's prepared force.
+    {"onephase_pair", "1pc", ProtocolKind::kOnePhase, Topo::kPair},
+    {"onephase_logless", "1pc-ll", ProtocolKind::kOnePhaseLogless,
+     Topo::kPair},
 };
 
 const Spec* FindSpec(const std::string& name) {
@@ -91,6 +106,7 @@ std::vector<std::string> SpecNodes(const Spec& spec) {
     case Topo::kPair: return {"c0", "s1"};
     case Topo::kChain: return {"c0", "m1", "s2"};
     case Topo::kStar: return {"c0", "s1", "r2"};
+    case Topo::kPaxos: return {"c0", "s1", "a2"};
   }
   return {};
 }
@@ -100,6 +116,9 @@ std::vector<std::pair<std::string, std::string>> SpecLinks(const Spec& spec) {
     case Topo::kPair: return {{"c0", "s1"}};
     case Topo::kChain: return {{"c0", "m1"}, {"m1", "s2"}};
     case Topo::kStar: return {{"c0", "s1"}, {"c0", "r2"}};
+    // Full mesh: consensus traffic flows on every pair, so link loss and
+    // flaps exercise the paxos paths too.
+    case Topo::kPaxos: return {{"c0", "s1"}, {"c0", "a2"}, {"s1", "a2"}};
   }
   return {};
 }
@@ -260,8 +279,11 @@ TortureResult RunTortureCell(const TortureConfig& config) {
     base.group_commit.worker_buffer_bytes = 32;
     base.log_queue_depth = 2;
   }
+  if (tm::IsPaxos(spec->protocol))
+    base.tm.acceptors = {"c0", "s1", "a2"};
   for (const std::string& n : nodes) {
     NodeOptions options = base;
+    if (n == "a2") options.num_rms = 0;  // acceptor-only machine
     if (n == "c0") {
       options.tm.last_agent_opt = spec->last_agent;
       if (spec->leave_out) {
@@ -302,6 +324,7 @@ TortureResult RunTortureCell(const TortureConfig& config) {
   };
   switch (spec->topo) {
     case Topo::kPair:
+    case Topo::kPaxos:  // a2 holds no data; the work fans to s1 only
       add_writer("s1");
       writers.emplace_back("s1", "k_s1");
       break;
@@ -358,6 +381,7 @@ TortureResult RunTortureCell(const TortureConfig& config) {
   } else {
     switch (spec->topo) {
       case Topo::kPair:
+      case Topo::kPaxos:
         (void)c.tm("c0").SendWork(txn, "s1");
         break;
       case Topo::kChain:

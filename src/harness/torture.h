@@ -111,7 +111,7 @@ struct TortureResult {
 /// Scenario metadata for campaign enumeration.
 struct TortureScenario {
   const char* name;
-  const char* protocol;  ///< "basic", "pa", "pn" (display/grouping)
+  const char* protocol;  ///< "basic", "pa", "pn", "paxos", "1pc" (grouping)
   /// Participant node names (root first).
   std::vector<std::string> nodes;
 };

@@ -111,7 +111,20 @@ namespace tpc::tm {
   X(kRootAfterLaInquirySend, "root.after_la_inquiry_send")              \
   X(kAnyAfterInquiryReplySend, "any.after_inquiry_reply_send")          \
   /* recovery-driven decision re-sends */                               \
-  X(kRecoveryAfterDecisionSend, "recovery.after_decision_send")
+  X(kRecoveryAfterDecisionSend, "recovery.after_decision_send")         \
+  /* paxos commit: participant 2a votes (the prepared force reuses the
+     sub.*_prepared_force pair above) */                                \
+  X(kRootAfterPaxosVoteSend, "root.after_paxos_vote_send")              \
+  X(kSubAfterPaxosVoteSend, "sub.after_paxos_vote_send")                \
+  /* paxos commit: acceptor durability + replies */                     \
+  X(kAcceptorBeforeAcceptForce, "acceptor.before_accept_force")         \
+  X(kAcceptorAfterAcceptForce, "acceptor.after_accept_force")           \
+  X(kAcceptorAfterAcceptedSend, "acceptor.after_accepted_send")         \
+  X(kAcceptorAfterPromiseSend, "acceptor.after_promise_send")           \
+  /* paxos commit: takeover by a new leader */                          \
+  X(kSubAfterTakeoverSend, "sub.after_takeover_send")                   \
+  X(kTakeoverAfterQuerySend, "takeover.after_query_send")               \
+  X(kTakeoverAfterProposalSend, "takeover.after_proposal_send")
 
 enum class CrashPt : unsigned {
 #define TPC_CRASH_POINT_ENUM(id, name) id,

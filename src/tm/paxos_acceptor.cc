@@ -1,0 +1,106 @@
+#include "tm/paxos_acceptor.h"
+
+#include "util/binary_io.h"
+
+namespace tpc::tm {
+
+const AcceptorInstance* AcceptorTxn::Find(std::string_view instance) const {
+  for (const AcceptorInstance& a : accepted)
+    if (a.name == instance) return &a;
+  return nullptr;
+}
+
+bool PaxosAcceptor::Promise(uint64_t txn, uint32_t ballot) {
+  AcceptorTxn& state = txns_[txn];
+  if (ballot < state.promised) return false;
+  state.promised = ballot;
+  return true;
+}
+
+bool PaxosAcceptor::Accept(uint64_t txn, std::string_view instance,
+                           uint32_t ballot, bool prepared,
+                           const std::vector<std::string>& cohort,
+                           std::string_view leader) {
+  AcceptorTxn& state = txns_[txn];
+  if (ballot < state.promised) return false;
+  state.promised = ballot;
+  AcceptorInstance* slot = nullptr;
+  for (AcceptorInstance& a : state.accepted)
+    if (a.name == instance) slot = &a;
+  if (slot == nullptr) {
+    state.accepted.emplace_back();
+    slot = &state.accepted.back();
+    slot->name.assign(instance);
+  }
+  // ballot >= promised >= any previously accepted ballot, so overwriting is
+  // always the classic acceptor rule.
+  slot->ballot = ballot;
+  slot->prepared = prepared;
+  if (state.cohort.size() < cohort.size()) state.cohort = cohort;
+  if (ballot == 0 && !leader.empty() && state.leader0.empty())
+    state.leader0.assign(leader);
+  return true;
+}
+
+const AcceptorTxn* PaxosAcceptor::Find(uint64_t txn) const {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+uint32_t PaxosAcceptor::Promised(uint64_t txn) const {
+  const AcceptorTxn* state = Find(txn);
+  return state == nullptr ? 0 : state->promised;
+}
+
+void PaxosAcceptor::EncodeSnapshot(uint64_t txn, std::string* out) const {
+  static const AcceptorTxn kEmpty;
+  const AcceptorTxn* state = Find(txn);
+  if (state == nullptr) state = &kEmpty;
+  AppendVarint(*out, state->promised);
+  AppendLengthPrefixed(*out, state->leader0);
+  AppendVarint(*out, state->cohort.size());
+  for (const std::string& n : state->cohort) AppendLengthPrefixed(*out, n);
+  AppendVarint(*out, state->accepted.size());
+  for (const AcceptorInstance& a : state->accepted) {
+    AppendLengthPrefixed(*out, a.name);
+    AppendVarint(*out, a.ballot);
+    AppendU8(*out, a.prepared ? 1 : 0);
+  }
+}
+
+Status PaxosAcceptor::RestoreSnapshot(uint64_t txn, std::string_view body) {
+  Decoder dec(body);
+  AcceptorTxn state;
+  uint64_t v = 0;
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&v));
+  if (v > UINT32_MAX) return Status::Corruption("acceptor ballot overflow");
+  state.promised = static_cast<uint32_t>(v);
+  TPC_RETURN_IF_ERROR(dec.GetString(&state.leader0));
+  uint64_t n = 0;
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&n));
+  if (n > 4096) return Status::Corruption("acceptor cohort implausible");
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    TPC_RETURN_IF_ERROR(dec.GetString(&name));
+    state.cohort.push_back(std::move(name));
+  }
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&n));
+  if (n > 4096) return Status::Corruption("acceptor instances implausible");
+  for (uint64_t i = 0; i < n; ++i) {
+    AcceptorInstance a;
+    TPC_RETURN_IF_ERROR(dec.GetString(&a.name));
+    TPC_RETURN_IF_ERROR(dec.GetVarint(&v));
+    if (v > UINT32_MAX) return Status::Corruption("acceptor ballot overflow");
+    a.ballot = static_cast<uint32_t>(v);
+    uint8_t prepared = 0;
+    TPC_RETURN_IF_ERROR(dec.GetU8(&prepared));
+    if (prepared > 1) return Status::Corruption("bad acceptor value");
+    a.prepared = prepared != 0;
+    state.accepted.push_back(std::move(a));
+  }
+  if (!dec.empty()) return Status::Corruption("trailing acceptor bytes");
+  txns_[txn] = std::move(state);
+  return Status::OK();
+}
+
+}  // namespace tpc::tm

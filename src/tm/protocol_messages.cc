@@ -16,6 +16,11 @@ std::string_view PduTypeToString(PduType type) {
     case PduType::kAck: return "ACK";
     case PduType::kInquiry: return "INQUIRY";
     case PduType::kInquiryReply: return "INQUIRY_REPLY";
+    case PduType::kPaxosAccept: return "PX_ACCEPT";
+    case PduType::kPaxosAccepted: return "PX_ACCEPTED";
+    case PduType::kPaxosQuery: return "PX_QUERY";
+    case PduType::kPaxosPromise: return "PX_PROMISE";
+    case PduType::kPaxosTakeover: return "PX_TAKEOVER";
   }
   return "?";
 }
@@ -44,7 +49,7 @@ Status DecodeFrame(std::string_view* rest, Pdu* pdu, std::string_view* data) {
   Decoder dec(*rest);
   uint8_t type = 0;
   TPC_RETURN_IF_ERROR(dec.GetU8(&type));
-  if (type < 1 || type > static_cast<uint8_t>(PduType::kInquiryReply))
+  if (type < 1 || type > static_cast<uint8_t>(PduType::kPaxosTakeover))
     return Status::Corruption("bad pdu type");
   pdu->type = static_cast<PduType>(type);
   TPC_RETURN_IF_ERROR(dec.GetVarint(&pdu->txn));
@@ -92,7 +97,103 @@ void AppendPduTag(Sink* out, const Pdu& pdu, bool first) {
   }
 }
 
+// Guards the list sizes of a decoded paxos body: the cohort can at most be
+// the whole cluster, and even the 2048-server sweeps stay under this.
+constexpr uint64_t kMaxPaxosList = 4096;
+
+Status GetBoundedCount(Decoder* dec, uint64_t* n) {
+  TPC_RETURN_IF_ERROR(dec->GetVarint(n));
+  if (*n > kMaxPaxosList) return Status::Corruption("paxos list implausible");
+  return Status::OK();
+}
+
+Status GetName(Decoder* dec, std::string* s) {
+  std::string_view view;
+  TPC_RETURN_IF_ERROR(dec->GetStringView(&view));
+  s->assign(view);  // reuses the string's capacity when warm
+  return Status::OK();
+}
+
+Status DecodeNameList(Decoder* dec, std::vector<std::string>* out) {
+  uint64_t n = 0;
+  TPC_RETURN_IF_ERROR(GetBoundedCount(dec, &n));
+  if (out->size() > n) out->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i >= out->size()) out->emplace_back();
+    TPC_RETURN_IF_ERROR(GetName(dec, &(*out)[i]));
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+void PaxosBody::Clear() {
+  ballot = 0;
+  promised = 0;
+  granted = false;
+  prepared = false;
+  instance.clear();
+  leader.clear();
+  cohort.clear();
+  acceptors.clear();
+  accepted.clear();
+}
+
+void EncodePaxosBody(const PaxosBody& body, std::string* out) {
+  AppendVarint(*out, body.ballot);
+  AppendVarint(*out, body.promised);
+  AppendU8(*out, static_cast<uint8_t>((body.granted ? 1 : 0) |
+                                      (body.prepared ? 2 : 0)));
+  AppendLengthPrefixed(*out, body.instance);
+  AppendLengthPrefixed(*out, body.leader);
+  AppendVarint(*out, body.cohort.size());
+  for (const std::string& n : body.cohort) AppendLengthPrefixed(*out, n);
+  AppendVarint(*out, body.acceptors.size());
+  for (const std::string& n : body.acceptors) AppendLengthPrefixed(*out, n);
+  AppendVarint(*out, body.accepted.size());
+  for (const PaxosAccepted& a : body.accepted) {
+    AppendLengthPrefixed(*out, a.instance);
+    AppendVarint(*out, a.ballot);
+    AppendU8(*out, a.prepared ? 1 : 0);
+  }
+}
+
+Status DecodePaxosBody(std::string_view data, PaxosBody* out) {
+  Decoder dec(data);
+  uint64_t v = 0;
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&v));
+  if (v > UINT32_MAX) return Status::Corruption("paxos ballot overflow");
+  out->ballot = static_cast<uint32_t>(v);
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&v));
+  if (v > UINT32_MAX) return Status::Corruption("paxos ballot overflow");
+  out->promised = static_cast<uint32_t>(v);
+  uint8_t flags = 0;
+  TPC_RETURN_IF_ERROR(dec.GetU8(&flags));
+  if (flags > 3) return Status::Corruption("bad paxos flags");
+  out->granted = flags & 1;
+  out->prepared = flags & 2;
+  TPC_RETURN_IF_ERROR(GetName(&dec, &out->instance));
+  TPC_RETURN_IF_ERROR(GetName(&dec, &out->leader));
+  TPC_RETURN_IF_ERROR(DecodeNameList(&dec, &out->cohort));
+  TPC_RETURN_IF_ERROR(DecodeNameList(&dec, &out->acceptors));
+  uint64_t n = 0;
+  TPC_RETURN_IF_ERROR(GetBoundedCount(&dec, &n));
+  if (out->accepted.size() > n) out->accepted.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i >= out->accepted.size()) out->accepted.emplace_back();
+    PaxosAccepted& a = out->accepted[i];
+    TPC_RETURN_IF_ERROR(GetName(&dec, &a.instance));
+    TPC_RETURN_IF_ERROR(dec.GetVarint(&v));
+    if (v > UINT32_MAX) return Status::Corruption("paxos ballot overflow");
+    a.ballot = static_cast<uint32_t>(v);
+    uint8_t prepared = 0;
+    TPC_RETURN_IF_ERROR(dec.GetU8(&prepared));
+    if (prepared > 1) return Status::Corruption("bad paxos accepted value");
+    a.prepared = prepared != 0;
+  }
+  if (!dec.empty()) return Status::Corruption("trailing paxos body bytes");
+  return Status::OK();
+}
 
 void Pdu::EncodeTo(std::string* out, std::string_view data_bytes) const {
   uint16_t flags = 0;

@@ -37,9 +37,57 @@ enum class PduType : uint8_t {
   kAck,           ///< decision acknowledged (carries heuristic report)
   kInquiry,       ///< recovery: what happened to txn?
   kInquiryReply,  ///< recovery answer
+
+  // Paxos Commit (Gray & Lamport). Each carries a PaxosBody in the frame's
+  // data field; the frame layout itself is unchanged.
+  kPaxosAccept,    ///< 2a: proposer -> acceptor (ballot-0 vote or takeover)
+  kPaxosAccepted,  ///< 2b: acceptor -> leader
+  kPaxosQuery,     ///< 1a: takeover leader -> acceptor (promise request)
+  kPaxosPromise,   ///< 1b: acceptor -> takeover leader (grant or nack)
+  kPaxosTakeover,  ///< stuck participant asks a candidate to lead
 };
 
 std::string_view PduTypeToString(PduType type);
+
+/// One accepted instance reported in a 1b promise: the participant whose
+/// instance it is, the ballot it was accepted at, and the accepted value.
+struct PaxosAccepted {
+  std::string instance;
+  uint32_t ballot = 0;
+  bool prepared = false;
+};
+
+/// Body of the paxos PDU family, carried in the frame's data field. A flat
+/// union like Pdu: only the fields relevant to the PDU type are meaningful.
+///
+///   kPaxosAccept:   ballot, instance, prepared, leader, cohort, acceptors
+///   kPaxosAccepted: ballot, instance, prepared
+///   kPaxosQuery:    ballot
+///   kPaxosPromise:  ballot, granted, promised (nack), accepted, cohort,
+///                   acceptors, leader (ballot-0 leader, if known)
+///   kPaxosTakeover: cohort, acceptors
+struct PaxosBody {
+  uint32_t ballot = 0;
+  uint32_t promised = 0;  ///< nack: the higher ballot already promised
+  bool granted = false;
+  bool prepared = false;  ///< the proposed/accepted value of an instance
+  std::string instance;   ///< which participant's instance
+  std::string leader;     ///< where 2b replies go
+  std::vector<std::string> cohort;     ///< all instances of the transaction
+  std::vector<std::string> acceptors;  ///< the 2F+1 acceptor set
+  std::vector<PaxosAccepted> accepted;
+
+  /// Resets every field, keeping container capacity (decode-loop reuse).
+  void Clear();
+};
+
+/// Appends the body's encoding to `out` (no clear — callers reuse a warm
+/// scratch buffer and pass the result as the frame's data bytes).
+void EncodePaxosBody(const PaxosBody& body, std::string* out);
+
+/// Decodes a paxos body, reusing `out`'s container capacity. Corruption on
+/// truncated or malformed input; implausible list sizes are rejected.
+Status DecodePaxosBody(std::string_view data, PaxosBody* out);
 
 /// Answer carried by kInquiryReply.
 enum class InquiryAnswer : uint8_t {

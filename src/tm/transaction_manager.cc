@@ -21,6 +21,9 @@ struct TmRecordBody {
   bool is_root = false;
   bool heur_commit = false;  // kTmHeuristic only
   std::vector<std::string> children;
+  /// Paxos Commit: the full cohort, persisted in the prepared record so a
+  /// recovered participant can lead a takeover. Empty for other protocols.
+  std::vector<std::string> cohort;
 };
 
 std::string EncodeBody(const TmRecordBody& body) {
@@ -30,6 +33,8 @@ std::string EncodeBody(const TmRecordBody& body) {
   enc.PutBool(body.heur_commit);
   enc.PutVarint(body.children.size());
   for (const auto& c : body.children) enc.PutString(c);
+  enc.PutVarint(body.cohort.size());
+  for (const auto& c : body.cohort) enc.PutString(c);
   return enc.Release();
 }
 
@@ -43,6 +48,10 @@ Status DecodeBody(std::string_view data, TmRecordBody* body) {
   body->children.resize(n);
   for (uint64_t i = 0; i < n; ++i)
     TPC_RETURN_IF_ERROR(dec.GetString(&body->children[i]));
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&n));
+  body->cohort.resize(n);
+  for (uint64_t i = 0; i < n; ++i)
+    TPC_RETURN_IF_ERROR(dec.GetString(&body->cohort[i]));
   return Status::OK();
 }
 
@@ -322,7 +331,15 @@ void TransactionManager::Read(uint64_t txn, size_t rm_index,
 void TransactionManager::Write(uint64_t txn, size_t rm_index,
                                std::string_view key, std::string value,
                                rm::KVResourceManager::WriteCallback done) {
-  GetOrCreateTxn(txn);
+  Txn& t = GetOrCreateTxn(txn);
+  // The one-phase family's prepare constraint: once this node prepared (the
+  // early-prepare timer fired), the transaction's write set is frozen — a
+  // late write can no longer be covered by the vote already sent. The same
+  // rule holds for every protocol once phase one starts here.
+  if (t.phase != Phase::kActive) {
+    done(Status::FailedPrecondition("transaction already prepared"));
+    return;
+  }
   rms_.at(rm_index)->Write(txn, key, std::move(value), std::move(done));
 }
 
@@ -386,7 +403,7 @@ void TransactionManager::ComputeParticipants(Txn& txn) {
     if (!included && config_.include_idle_sessions) {
       const bool eligible_leave_out =
           config_.leave_out_opt &&
-          (config_.protocol == ProtocolKind::kPresumedAbort
+          (BaseProtocol(config_.protocol) == ProtocolKind::kPresumedAbort
                ? true
                : session.suspended_leave_out);
       included = !eligible_leave_out;
@@ -435,6 +452,43 @@ void TransactionManager::StartPhaseOne(Txn& txn) {
 void TransactionManager::ContinuePhaseOne(Txn& txn) {
   const uint64_t id = txn.id;
 
+  if (IsPaxos(config_.protocol) && !txn.has_upstream) {
+    // Paxos Commit: there is no last agent and no vote counting here — each
+    // participant sends its vote to the acceptors (its own instance's
+    // ballot-0 2a), and the acceptors' 2b replies come back to us. Prepare
+    // still tells the cohort to prepare, and carries the cohort + acceptor
+    // set every participant needs to lead a takeover if we die.
+    txn.paxos_leader = true;
+    txn.paxos_cohort.clear();
+    txn.paxos_cohort.push_back(name_);
+    for (const auto& child : txn.children)
+      txn.paxos_cohort.push_back(child.peer);
+    std::sort(txn.paxos_cohort.begin(), txn.paxos_cohort.end());
+    txn.paxos_insts.clear();
+    for (const auto& member : txn.paxos_cohort) {
+      txn.paxos_insts.emplace_back();
+      txn.paxos_insts.back().name = member;
+    }
+    if (!txn.children.empty()) {
+      PaxosBody body;
+      body.leader = name_;
+      body.cohort = txn.paxos_cohort;
+      body.acceptors = config_.acceptors;
+      paxos_wire_.clear();
+      EncodePaxosBody(body, &paxos_wire_);
+      for (auto& child : txn.children) {
+        child.prepare_sent = true;
+        Pdu pdu;
+        pdu.type = PduType::kPrepare;
+        pdu.txn = id;
+        SendPdu(child.peer, std::move(pdu), paxos_wire_);
+      }
+      if (CrashHere(CrashPt::kRootAfterPrepareSend)) return;
+    }
+    PrepareLocalRms(txn);
+    return;
+  }
+
   // Select the last agent. Only a node that owns the commit decision (a
   // root or a node the decision was delegated to) may delegate it further.
   const bool owns_decision = !txn.has_upstream || txn.i_am_last_agent;
@@ -461,9 +515,17 @@ void TransactionManager::ContinuePhaseOne(Txn& txn) {
   }
 
   // Send Prepare to everyone except the last agent and the already-voted.
+  const bool one_phase = IsOnePhase(config_.protocol);
   bool sent_prepare = false;
   for (auto& child : txn.children) {
     if (child.is_last_agent || child.voted) continue;
+    if (one_phase) {
+      // One-phase family: there is no Prepare round. The subordinate's
+      // early-prepare timer produces its (unsolicited) vote; count it as
+      // outstanding so the vote timer still guards a silent child.
+      ++txn.votes_outstanding;
+      continue;
+    }
     child.prepare_sent = true;
     ++txn.votes_outstanding;
     Pdu pdu;
@@ -610,6 +672,20 @@ void TransactionManager::MaybePhaseOneComplete(Txn& txn) {
   if (txn.vote_timer_armed) {
     rt_->CancelTimer(txn.vote_timer);
     txn.vote_timer_armed = false;
+  }
+
+  if (IsPaxos(config_.protocol) && !txn.has_upstream) {
+    if (txn.paxos_voted_self) return;  // consensus in flight; 2b's decide
+    if (txn.any_no) {
+      // A local RM voted NO before our own ballot-0 2a went out: no
+      // acceptor has (or will ever) accept Prepared for our instance, so a
+      // takeover's free choice for it defaults to Aborted — deciding abort
+      // directly agrees with every possible consensus outcome.
+      DecidePaxos(txn, /*commit=*/false);
+      return;
+    }
+    StartPaxosCommit(txn);
+    return;
   }
 
   if (txn.any_no) {
@@ -764,8 +840,10 @@ void TransactionManager::DecideAndPropagate(Txn& txn, bool commit) {
   }
 
   txn.outcome = Outcome::kAborted;
-  if (config_.protocol == ProtocolKind::kPresumedAbort) {
+  if (BaseProtocol(config_.protocol) == ProtocolKind::kPresumedAbort) {
     // PA abort: the root logs nothing; absence of information means abort.
+    // (Paxos Commit inherits this: an abort outcome is pinned by the
+    // acceptors' durable state, so the leader need not log it.)
     SendDecision(txn, /*commit=*/false);
     return;
   }
@@ -790,8 +868,8 @@ void TransactionManager::DecideAndPropagate(Txn& txn, bool commit) {
 
 void TransactionManager::SendDecision(Txn& txn, bool commit) {
   const uint64_t id = txn.id;
-  const bool pa = config_.protocol == ProtocolKind::kPresumedAbort;
-  const bool pc = config_.protocol == ProtocolKind::kPresumedCommit;
+  const bool pa = BaseProtocol(config_.protocol) == ProtocolKind::kPresumedAbort;
+  const bool pc = BaseProtocol(config_.protocol) == ProtocolKind::kPresumedCommit;
   bool sent_decision = false;
 
   for (auto& child : txn.children) {
@@ -982,7 +1060,7 @@ void TransactionManager::MaybeComplete(Txn& txn) {
     return;
   }
 
-  const bool pa = config_.protocol == ProtocolKind::kPresumedAbort;
+  const bool pa = BaseProtocol(config_.protocol) == ProtocolKind::kPresumedAbort;
 
   if (txn.has_upstream && !txn.i_am_last_agent) {
     // Subordinate / cascaded completion: END + ack upstream.
@@ -1069,10 +1147,20 @@ void TransactionManager::OnAppData(const net::NodeId& from, const Pdu& pdu,
     txn.work_source = from;
   }
   if (on_app_data_) on_app_data_(pdu.txn, from, data);
+  if (!up_) return;
+  // One-phase family: each burst of work (re)arms the quiesce timer; when
+  // the data flow pauses long enough, this server prepares unsolicited —
+  // the early prepare that removes the explicit voting phase.
+  if (IsOnePhase(config_.protocol)) {
+    Txn* t = FindTxn(pdu.txn);
+    if (t != nullptr && !t->is_root && t->phase == Phase::kActive &&
+        t->has_work_source && !t->unsolicited_sent)
+      ArmEarlyPrepare(*t);
+  }
 }
 
-void TransactionManager::OnPreparePdu(const net::NodeId& from,
-                                      const Pdu& pdu) {
+void TransactionManager::OnPreparePdu(const net::NodeId& from, const Pdu& pdu,
+                                      std::string_view data) {
   Txn& txn = GetOrCreateTxn(pdu.txn);
 
   if (txn.is_root && txn.has_app_cb) {
@@ -1101,6 +1189,13 @@ void TransactionManager::OnPreparePdu(const net::NodeId& from,
   txn.upstream_long_locks = pdu.long_locks;
   AddPeer(txn, from);
 
+  if (IsPaxos(config_.protocol)) {
+    // The Prepare's body carries everything a participant needs to act
+    // without the root: the cohort (instance set) and the acceptor set.
+    if (DecodePaxosBody(data, &paxos_in_).ok() && !paxos_in_.cohort.empty())
+      txn.paxos_cohort = paxos_in_.cohort;
+  }
+
   if (config_.protocol == ProtocolKind::kPresumedNothing) {
     // PN notes the coordinator's identity as soon as commit processing
     // touches this node (non-forced; it rides the prepared force).
@@ -1121,6 +1216,12 @@ void TransactionManager::SendVote(Txn& txn) {
   TPC_CHECK(txn.has_upstream);
 
   if (txn.phase == Phase::kInDoubt) {
+    if (IsPaxos(config_.protocol)) {
+      // Our vote goes to the acceptors, not the coordinator: re-fan the
+      // ballot-0 2a (idempotent at the acceptors) instead of a kVote.
+      SendPaxosVote(txn, /*prepared=*/true, CrashPt::kSubAfterPaxosVoteSend);
+      return;
+    }
     // Re-vote (duplicate prepare): resend YES without re-logging.
     Pdu vote;
     vote.type = PduType::kVote;
@@ -1141,6 +1242,28 @@ void TransactionManager::SendVote(Txn& txn) {
     txn.decided = true;
     txn.commit_decision = false;
     txn.outcome = Outcome::kAborted;
+    if (IsPaxos(config_.protocol)) {
+      // The NO is an Aborted value for our instance at ballot 0; the leader
+      // learns it from the acceptors' 2b majority. Locally we are done:
+      // abort the subtree and forget — the PA base answers any straggler.
+      SendPaxosVote(txn, /*prepared=*/false, CrashPt::kSubAfterPaxosVoteSend);
+      if (!up_) return;
+      Txn* t = FindTxn(id);
+      if (t == nullptr) return;
+      SendDecision(*t, /*commit=*/false);
+      t = FindTxn(id);
+      if (t != nullptr) {
+        for (auto& child : t->children) {
+          if (child.ack_timer_armed) {
+            rt_->CancelTimer(child.ack_timer);
+            child.ack_timer_armed = false;
+          }
+          child.ack_required = false;
+        }
+        Forget(*t);
+      }
+      return;
+    }
     Pdu vote;
     vote.type = PduType::kVote;
     vote.txn = id;
@@ -1151,7 +1274,7 @@ void TransactionManager::SendVote(Txn& txn) {
     SendPdu(txn.upstream, std::move(vote));
     if (CrashHere(no_sent)) return;
 
-    if (config_.protocol == ProtocolKind::kPresumedAbort) {
+    if (BaseProtocol(config_.protocol) == ProtocolKind::kPresumedAbort) {
       // PA: forget immediately; any prepared child that asks later gets the
       // presumed-abort answer, so nothing needs to be remembered or logged.
       // SendDecision's RM callbacks can complete synchronously and Forget
@@ -1193,6 +1316,33 @@ void TransactionManager::SendVote(Txn& txn) {
     return;
   }
 
+  if (IsPaxos(config_.protocol)) {
+    // Read-only is not special-cased: our instance must still reach a
+    // consensus value, and Prepared is correct for a read-only subtree.
+    TmRecordBody body;
+    body.upstream = txn.upstream;
+    body.cohort = txn.paxos_cohort;
+    AppendTmRecord(id, wal::RecordType::kTmPrepared,
+                   /*force=*/!ForceDowngraded(), EncodeBody(body),
+                   [this, id] {
+      if (CrashHereOrLegacy(CrashPt::kSubAfterPreparedForce,
+                            fi_legacy_prepared_))
+        return;
+      Txn* t = FindTxn(id);
+      if (t == nullptr) return;
+      t->voted_yes = true;
+      t->phase = Phase::kInDoubt;
+      t->outcome = Outcome::kInDoubt;
+      SendPaxosVote(*t, /*prepared=*/true, CrashPt::kSubAfterPaxosVoteSend);
+      if (!up_) return;
+      t = FindTxn(id);
+      if (t == nullptr) return;
+      ArmHeuristicTimer(*t);
+      ArmInquiryTimer(*t);  // paxos flavor: the takeover timer
+    });
+    return;
+  }
+
   const bool children_all_ro = std::all_of(
       txn.children.begin(), txn.children.end(),
       [](const Child& c) { return c.vote == rm::Vote::kReadOnly; });
@@ -1221,22 +1371,9 @@ void TransactionManager::SendVote(Txn& txn) {
   }
 
   // YES vote: force the prepared record, then vote.
-  if (CrashHere(SubPt(txn, CrashPt::kCascBeforePreparedForce,
-                      CrashPt::kSubBeforePreparedForce)))
-    return;
-  TmRecordBody body;
-  body.upstream = txn.upstream;
-  for (const auto& c : txn.children)
-    if (!(c.voted && c.vote == rm::Vote::kReadOnly && config_.read_only_opt))
-      body.children.push_back(c.peer);
   const bool reliable = txn.all_reliable;
   const bool leave_out = config_.ok_to_leave_out && txn.all_leave_out;
-  const CrashPt after_force = SubPt(txn, CrashPt::kCascAfterPreparedForce,
-                                    CrashPt::kSubAfterPreparedForce);
-  AppendTmRecord(id, wal::RecordType::kTmPrepared,
-                 /*force=*/!ForceDowngraded(), EncodeBody(body),
-                 [this, id, reliable, leave_out, after_force] {
-    if (CrashHereOrLegacy(after_force, fi_legacy_prepared_)) return;
+  auto send_yes = [this, id, reliable, leave_out] {
     Txn* t = FindTxn(id);
     if (t == nullptr) return;
     t->voted_yes = true;
@@ -1259,6 +1396,34 @@ void TransactionManager::SendVote(Txn& txn) {
     t = FindTxn(id);
     ArmHeuristicTimer(*t);
     ArmInquiryTimer(*t);
+  };
+
+  if (config_.protocol == ProtocolKind::kOnePhaseLogless) {
+    // Logless variant: no prepared force at all — the promise exists only
+    // in the coordinator's decision record and the RM's own log. A crash
+    // here forgets the YES; the txn still converges because a committing
+    // coordinator redrives its unacked decision and the RM log supplies
+    // the redo, while an undelivered vote dies with the session and the
+    // coordinator aborts. See DESIGN.md section 11.2.
+    send_yes();
+    return;
+  }
+
+  if (CrashHere(SubPt(txn, CrashPt::kCascBeforePreparedForce,
+                      CrashPt::kSubBeforePreparedForce)))
+    return;
+  TmRecordBody body;
+  body.upstream = txn.upstream;
+  for (const auto& c : txn.children)
+    if (!(c.voted && c.vote == rm::Vote::kReadOnly && config_.read_only_opt))
+      body.children.push_back(c.peer);
+  const CrashPt after_force = SubPt(txn, CrashPt::kCascAfterPreparedForce,
+                                    CrashPt::kSubAfterPreparedForce);
+  AppendTmRecord(id, wal::RecordType::kTmPrepared,
+                 /*force=*/!ForceDowngraded(), EncodeBody(body),
+                 [this, after_force, send_yes] {
+    if (CrashHereOrLegacy(after_force, fi_legacy_prepared_)) return;
+    send_yes();
   });
 }
 
@@ -1277,8 +1442,8 @@ void TransactionManager::OnDecisionPdu(const net::NodeId& from,
       Forget(*txn);
     }
     const bool should_ack =
-        commit ? config_.protocol != ProtocolKind::kPresumedCommit
-               : config_.protocol != ProtocolKind::kPresumedAbort;
+        commit ? BaseProtocol(config_.protocol) != ProtocolKind::kPresumedCommit
+               : BaseProtocol(config_.protocol) != ProtocolKind::kPresumedAbort;
     if (should_ack) {
       Pdu ack;
       ack.type = PduType::kAck;
@@ -1326,12 +1491,28 @@ void TransactionManager::OnDecisionPdu(const net::NodeId& from,
   }
 
   if (txn->phase == Phase::kInDoubt) {
+    // Paxos Commit: the decision may come from a takeover leader rather
+    // than the (possibly dead) root. The leader owns the decision now, so
+    // acknowledgments must flow to it.
+    if (IsPaxos(config_.protocol) && txn->has_upstream &&
+        from != txn->upstream) {
+      txn->upstream = from;
+    }
     CancelTimers(*txn);
     if (txn->took_heuristic) {
       ResolveAfterHeuristic(*txn, commit);
       return;
     }
     ApplyDecision(*txn, commit);
+    return;
+  }
+
+  if (txn->phase == Phase::kPreparing && commit &&
+      IsPaxos(config_.protocol) && txn->paxos_voted_self) {
+    // A takeover leader completed the consensus while we (the root) were
+    // still collecting 2b's. Commit implies every instance — ours included —
+    // was Prepared, so our local RMs are all prepared; adopt the decision.
+    DecidePaxos(*txn, /*commit=*/true);
     return;
   }
 
@@ -1351,7 +1532,7 @@ void TransactionManager::OnDecisionPdu(const net::NodeId& from,
     // the other is its subordinate). Acknowledge directly — aborts are
     // final and idempotent — or the two trees livelock waiting for each
     // other's acks.
-    if (config_.protocol != ProtocolKind::kPresumedAbort) {
+    if (BaseProtocol(config_.protocol) != ProtocolKind::kPresumedAbort) {
       Pdu ack;
       ack.type = PduType::kAck;
       ack.txn = pdu.txn;
@@ -1404,7 +1585,7 @@ void TransactionManager::ApplyDecision(Txn& txn, bool commit) {
     // resolves to commit.
     const bool force_commit =
         !ForceDowngraded() &&
-        config_.protocol != ProtocolKind::kPresumedCommit;
+        BaseProtocol(config_.protocol) != ProtocolKind::kPresumedCommit;
     const CrashPt after = RolePt(txn, CrashPt::kRootAfterCommitForce,
                                  CrashPt::kCascAfterCommitForce,
                                  CrashPt::kSubAfterCommitForce);
@@ -1421,7 +1602,7 @@ void TransactionManager::ApplyDecision(Txn& txn, bool commit) {
       // durable, before the subtree acks arrive.
       if (config_.ack_timing == AckTiming::kEarly && t->has_upstream &&
           !t->i_am_last_agent && !t->ack_sent &&
-          config_.protocol != ProtocolKind::kPresumedCommit) {
+          BaseProtocol(config_.protocol) != ProtocolKind::kPresumedCommit) {
         DoSendAck(*t, /*pending=*/false);
       }
     });
@@ -1429,7 +1610,7 @@ void TransactionManager::ApplyDecision(Txn& txn, bool commit) {
   }
 
   txn.outcome = Outcome::kAborted;
-  if (config_.protocol == ProtocolKind::kPresumedAbort) {
+  if (BaseProtocol(config_.protocol) == ProtocolKind::kPresumedAbort) {
     // Non-forced abort record; no ack will be sent.
     if (CrashHere(RolePt(txn, CrashPt::kRootBeforeAbortWrite,
                          CrashPt::kCascBeforeAbortWrite,
@@ -1466,8 +1647,8 @@ void TransactionManager::ApplyDecision(Txn& txn, bool commit) {
 
 void TransactionManager::AckUpstreamIfReady(Txn& txn) {
   TPC_CHECK(txn.has_upstream);
-  const bool pa = config_.protocol == ProtocolKind::kPresumedAbort;
-  const bool pn = config_.protocol == ProtocolKind::kPresumedNothing;
+  const bool pa = BaseProtocol(config_.protocol) == ProtocolKind::kPresumedAbort;
+  const bool pn = BaseProtocol(config_.protocol) == ProtocolKind::kPresumedNothing;
   const uint64_t id = txn.id;
 
   // PA abort: no acknowledgment at all; forget immediately.
@@ -1479,7 +1660,7 @@ void TransactionManager::AckUpstreamIfReady(Txn& txn) {
   // Presumed commit: commits are never acknowledged, and there is nothing
   // to close out.
   if (txn.commit_decision &&
-      config_.protocol == ProtocolKind::kPresumedCommit) {
+      BaseProtocol(config_.protocol) == ProtocolKind::kPresumedCommit) {
     Forget(txn);
     return;
   }
@@ -1552,7 +1733,7 @@ void TransactionManager::DoSendAck(Txn& txn, bool pending) {
   // Heuristic report aggregation. PA (R*) reports damage to the immediate
   // coordinator only: what our children reported to us stops here. PN
   // propagates the full report toward the root.
-  const bool pn = config_.protocol == ProtocolKind::kPresumedNothing;
+  const bool pn = BaseProtocol(config_.protocol) == ProtocolKind::kPresumedNothing;
   const bool own_heur_commit = txn.outcome == Outcome::kHeuristicCommitted;
   const bool own_heur_abort = txn.outcome == Outcome::kHeuristicAborted;
   const bool own_damage = (txn.commit_decision && own_heur_abort) ||
@@ -1650,9 +1831,32 @@ void TransactionManager::TakeHeuristicDecision(Txn& txn) {
 
 void TransactionManager::ArmInquiryTimer(Txn& txn) {
   // Coordinator-driven recovery under PN: the subordinate waits.
-  if (config_.protocol == ProtocolKind::kPresumedNothing) return;
+  if (BaseProtocol(config_.protocol) == ProtocolKind::kPresumedNothing) return;
   const uint64_t id = txn.id;
   const uint64_t epoch = epoch_;
+
+  if (IsPaxos(config_.protocol)) {
+    // Paxos Commit never inquires: a PA-presuming answer from a recovered
+    // pre-decision root would say "aborted" while a takeover leader may
+    // have committed. Instead the in-doubt participant *takes over* the
+    // consensus itself — this is what makes the protocol non-blocking.
+    txn.inq_timer_armed = true;
+    txn.inq_timer = rt_->ArmTimer(config_.inquiry_delay, [this, epoch, id] {
+      if (!up_ || epoch != epoch_) return;
+      Txn* t = FindTxn(id);
+      if (t == nullptr) return;
+      t->inq_timer_armed = false;
+      if (t->phase != Phase::kInDoubt) return;
+      StartPaxosTakeover(*t);
+      if (!up_) return;
+      if (CrashHere(CrashPt::kSubAfterTakeoverSend)) return;
+      t = FindTxn(id);
+      if (t == nullptr || t->decided) return;
+      ArmInquiryTimer(*t);  // keep trying until resolved
+    });
+    return;
+  }
+
   txn.inq_timer_armed = true;
   txn.inq_timer = rt_->ArmTimer(config_.inquiry_delay,
                                                [this, epoch, id] {
@@ -1712,8 +1916,16 @@ void TransactionManager::OnInquiryPdu(const net::NodeId& from,
       reply.answer = CommittedEffects(meta->view.outcome)
                          ? InquiryAnswer::kCommitted
                          : InquiryAnswer::kAborted;
-    } else if (config_.protocol == ProtocolKind::kPresumedAbort) {
+    } else if (IsPaxos(config_.protocol)) {
+      // No unilateral presumption exists: the outcome belongs to the
+      // acceptor set, and paxos participants resolve by takeover, not
+      // inquiry. Answering "aborted" here would race a takeover commit.
+      reply.answer = InquiryAnswer::kUnknown;
+    } else if (config_.protocol == ProtocolKind::kPresumedAbort ||
+               config_.protocol == ProtocolKind::kOnePhase ||
+               config_.protocol == ProtocolKind::kOnePhaseLogless) {
       // The presumption that gives PA its name: no information => abort.
+      // The one-phase family inherits it.
       reply.answer = InquiryAnswer::kAborted;
     } else if (config_.protocol == ProtocolKind::kPresumedCommit) {
       reply.answer = InquiryAnswer::kCommitted;
@@ -1757,6 +1969,472 @@ void TransactionManager::OnInquiryReplyPdu(const net::NodeId& from,
 }
 
 // ---------------------------------------------------------------------------
+// One-phase family
+// ---------------------------------------------------------------------------
+
+void TransactionManager::ArmEarlyPrepare(Txn& txn) {
+  if (txn.ep_timer_armed) {
+    rt_->CancelTimer(txn.ep_timer);
+    txn.ep_timer_armed = false;
+  }
+  const uint64_t id = txn.id;
+  const uint64_t epoch = epoch_;
+  txn.ep_timer_armed = true;
+  txn.ep_timer = rt_->ArmTimer(config_.early_prepare_delay,
+                               [this, epoch, id] {
+    if (!up_ || epoch != epoch_) return;
+    Txn* t = FindTxn(id);
+    if (t == nullptr) return;
+    t->ep_timer_armed = false;
+    if (t->phase != Phase::kActive || t->is_root || !t->has_work_source ||
+        t->unsolicited_sent)
+      return;
+    UnsolicitedPrepare(id);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Paxos Commit
+// ---------------------------------------------------------------------------
+
+bool TransactionManager::IsAcceptor() const {
+  for (const auto& acc : config_.acceptors)
+    if (acc == name_) return true;
+  return false;
+}
+
+uint32_t TransactionManager::PaxosBallot(uint32_t attempt) const {
+  const uint32_t n = static_cast<uint32_t>(config_.acceptors.size());
+  uint32_t rank = n;  // non-acceptor leaders draw from the top residue
+  for (uint32_t i = 0; i < n; ++i) {
+    if (config_.acceptors[i] == name_) {
+      rank = i;
+      break;
+    }
+  }
+  return attempt * (n + 1) + rank + 1;
+}
+
+TransactionManager::Txn::PaxosInst* TransactionManager::FindInst(
+    Txn& txn, std::string_view name) {
+  for (auto& inst : txn.paxos_insts)
+    if (inst.name == name) return &inst;
+  return nullptr;
+}
+
+void TransactionManager::SendPaxosPdu(const net::NodeId& peer, PduType type,
+                                      uint64_t id, const PaxosBody& body) {
+  // Paxos traffic runs between nodes that may never have exchanged app
+  // data (leader -> acceptor, takeover -> cohort): make sure the session
+  // exists before the send-path asserts on it.
+  SessionSlot(peer);
+  paxos_wire_.clear();
+  EncodePaxosBody(body, &paxos_wire_);
+  Pdu pdu;
+  pdu.type = type;
+  pdu.txn = id;
+  SendPdu(peer, std::move(pdu), paxos_wire_);
+}
+
+void TransactionManager::SendPaxosVote(Txn& txn, bool prepared,
+                                       CrashPt after_send) {
+  const uint64_t id = txn.id;
+  txn.paxos_voted_self = true;
+  // Stack body: the co-located self-delivery below may reuse paxos_wire_.
+  PaxosBody body;
+  body.ballot = 0;
+  body.prepared = prepared;
+  body.instance = name_;
+  body.leader = txn.has_upstream ? txn.upstream : name_;
+  body.cohort = txn.paxos_cohort;
+  body.acceptors = config_.acceptors;
+  bool sent = false;
+  for (const auto& acc : config_.acceptors) {
+    if (acc == name_) continue;  // delivered locally below
+    SendPaxosPdu(acc, PduType::kPaxosAccept, id, body);
+    sent = true;
+  }
+  if (sent && CrashHere(after_send)) return;
+  if (IsAcceptor()) {
+    // The self-accept's force callback can complete an instance — or the
+    // whole transaction — synchronously; nothing may touch `txn` after it.
+    AcceptorOnAccept(body.leader, id, name_, 0, prepared, body.cohort,
+                     body.leader);
+  }
+}
+
+void TransactionManager::StartPaxosCommit(Txn& txn) {
+  // Every local RM voted YES/RO and no NO arrived: our own instance
+  // proposes Prepared. The decision itself now belongs to the consensus —
+  // we stay kPreparing and learn the outcome from the acceptors' 2b's.
+  const uint64_t id = txn.id;
+  TmRecordBody body;
+  body.is_root = true;
+  body.cohort = txn.paxos_cohort;
+  AppendTmRecord(id, wal::RecordType::kTmPrepared,
+                 /*force=*/!ForceDowngraded(), EncodeBody(body), [this, id] {
+    Txn* t = FindTxn(id);
+    if (t == nullptr) return;
+    ArmPaxosRetry(*t);
+    SendPaxosVote(*t, /*prepared=*/true, CrashPt::kRootAfterPaxosVoteSend);
+  });
+}
+
+void TransactionManager::ArmPaxosRetry(Txn& txn) {
+  if (txn.vote_timer_armed) {
+    rt_->CancelTimer(txn.vote_timer);
+    txn.vote_timer_armed = false;
+  }
+  const uint64_t id = txn.id;
+  const uint64_t epoch = epoch_;
+  txn.vote_timer_armed = true;
+  txn.vote_timer = rt_->ArmTimer(config_.vote_timeout, [this, epoch, id] {
+    if (!up_ || epoch != epoch_) return;
+    Txn* t = FindTxn(id);
+    if (t == nullptr) return;
+    t->vote_timer_armed = false;
+    if (t->decided || t->phase != Phase::kPreparing) return;
+    // Some instance is stuck (a crashed participant never voted, or our
+    // 2a/2b traffic was lost): run a takeover round at a fresh ballot to
+    // finish the consensus — Aborted by default for silent instances.
+    StartPaxosTakeover(*t);
+    if (!up_) return;
+    t = FindTxn(id);
+    if (t == nullptr || t->decided) return;
+    ArmPaxosRetry(*t);
+  });
+}
+
+void TransactionManager::StartPaxosTakeover(Txn& txn) {
+  if (txn.decided) return;
+  const uint64_t id = txn.id;
+  txn.paxos_leader = true;
+  txn.paxos_phase1 = true;
+  txn.paxos_promises = 0;
+  txn.paxos_ballot = PaxosBallot(txn.takeover_attempt++);
+  // (Re)build the instance table from the cohort; phase 1 repopulates the
+  // discovered values.
+  txn.paxos_insts.clear();
+  for (const auto& member : txn.paxos_cohort) {
+    txn.paxos_insts.emplace_back();
+    txn.paxos_insts.back().name = member;
+  }
+  ctx_->trace().Add({rt_->Now(), sim::TraceKind::kState, name_, "", id,
+                     StringPrintf("paxos takeover, ballot %u",
+                                  txn.paxos_ballot)});
+  // Tell the other cohort members we are driving, so they back their own
+  // takeover timers off instead of dueling ballots.
+  {
+    PaxosBody note;
+    note.leader = name_;
+    note.cohort = txn.paxos_cohort;
+    note.acceptors = config_.acceptors;
+    for (const auto& member : txn.paxos_cohort) {
+      if (member == name_) continue;
+      SendPaxosPdu(member, PduType::kPaxosTakeover, id, note);
+    }
+  }
+  // Phase 1a to every acceptor.
+  PaxosBody query;
+  query.ballot = txn.paxos_ballot;
+  query.leader = name_;
+  bool sent = false;
+  for (const auto& acc : config_.acceptors) {
+    if (acc == name_) continue;
+    SendPaxosPdu(acc, PduType::kPaxosQuery, id, query);
+    sent = true;
+  }
+  if (sent && CrashHere(CrashPt::kTakeoverAfterQuerySend)) return;
+  if (IsAcceptor()) AcceptorOnQuery(name_, id, query.ballot);
+}
+
+void TransactionManager::SendPaxosProposals(Txn& txn) {
+  txn.paxos_phase1 = false;
+  const uint64_t id = txn.id;
+  const uint32_t ballot = txn.paxos_ballot;
+  // The classic rule: an instance whose value some acceptor reported must
+  // be re-proposed at that value; a free instance (no acceptor accepted
+  // anything) is proposed Aborted — its participant never voted, and
+  // Aborted is always safe for an unvoted instance.
+  for (auto& inst : txn.paxos_insts) {
+    inst.acks = 0;
+    inst.done = false;
+    inst.value = inst.seen_any ? inst.seen_value : false;
+  }
+  PaxosBody body;
+  body.ballot = ballot;
+  body.leader = name_;
+  body.cohort = txn.paxos_cohort;
+  body.acceptors = config_.acceptors;
+  for (const auto& inst : txn.paxos_insts) {
+    body.instance = inst.name;
+    body.prepared = inst.value;
+    for (const auto& acc : config_.acceptors) {
+      if (acc == name_) continue;
+      SendPaxosPdu(acc, PduType::kPaxosAccept, id, body);
+    }
+  }
+  if (CrashHere(CrashPt::kTakeoverAfterProposalSend)) return;
+  if (IsAcceptor()) {
+    // Copy what the loop needs: each self-accept's force callback can
+    // complete instances and even decide + forget the transaction.
+    std::vector<std::pair<net::NodeId, bool>> mine;
+    mine.reserve(txn.paxos_insts.size());
+    for (const auto& inst : txn.paxos_insts)
+      mine.emplace_back(inst.name, inst.value);
+    const std::vector<std::string> cohort = txn.paxos_cohort;
+    for (const auto& [inst_name, value] : mine) {
+      AcceptorOnAccept(name_, id, inst_name, ballot, value, cohort, "");
+      if (!up_) return;
+    }
+  }
+}
+
+void TransactionManager::CheckPaxosOutcome(Txn& txn) {
+  bool commit = true;
+  for (const auto& inst : txn.paxos_insts) {
+    if (!inst.done) return;
+    if (!inst.value) commit = false;
+  }
+  DecidePaxos(txn, commit);
+}
+
+void TransactionManager::DecidePaxos(Txn& txn, bool commit) {
+  if (txn.decided) return;
+  CancelTimers(txn);
+  txn.paxos_leader = false;
+  txn.paxos_phase1 = false;
+  // The consensus owner drives phase two for the whole cohort, root or not:
+  // a takeover leader simply becomes the coordinator the root would have
+  // been. Cohort members not already children gain a prepared-child entry;
+  // under the PA base, unnecessary or duplicate decisions are answered
+  // idempotently from the receivers' archives.
+  txn.has_upstream = false;
+  for (const auto& member : txn.paxos_cohort) {
+    if (member == name_) continue;
+    Child* child = nullptr;
+    for (auto& c : txn.children)
+      if (c.peer == member) child = &c;
+    if (child == nullptr) {
+      txn.children.emplace_back();
+      child = &txn.children.back();
+      child->peer = member;
+    }
+    child->voted = true;
+    child->vote = rm::Vote::kYes;
+    child->prepare_sent = true;
+  }
+  DecideAndPropagate(txn, commit);
+}
+
+void TransactionManager::AcceptorOnAccept(
+    const net::NodeId& leader, uint64_t id, const net::NodeId& instance,
+    uint32_t ballot, bool prepared, const std::vector<std::string>& cohort,
+    const net::NodeId& leader0) {
+  if (!IsAcceptor()) return;  // stray traffic
+  if (!acceptor_.Accept(id, instance, ballot, prepared, cohort, leader0))
+    return;  // promised a higher ballot: the proposer is stale
+  if (CrashHere(CrashPt::kAcceptorBeforeAcceptForce)) return;
+  // The acceptor's word must survive its crash: force the snapshot before
+  // the 2b leaves. Last-record-wins on recovery.
+  std::string snap;
+  acceptor_.EncodeSnapshot(id, &snap);
+  AppendTmRecord(id, wal::RecordType::kTmAccept, /*force=*/true,
+                 std::move(snap),
+                 [this, id, leader, instance, ballot, prepared] {
+    if (CrashHere(CrashPt::kAcceptorAfterAcceptForce)) return;
+    if (leader == name_) {
+      LeaderOnAccepted(id, instance, ballot, prepared);
+      return;
+    }
+    PaxosBody reply;  // 2b
+    reply.ballot = ballot;
+    reply.prepared = prepared;
+    reply.instance = instance;
+    SendPaxosPdu(leader, PduType::kPaxosAccepted, id, reply);
+    CrashHere(CrashPt::kAcceptorAfterAcceptedSend);
+  });
+}
+
+void TransactionManager::AcceptorOnQuery(const net::NodeId& leader,
+                                         uint64_t id, uint32_t ballot) {
+  if (!IsAcceptor()) return;
+  if (!acceptor_.Promise(id, ballot)) {
+    // Nack: tell the stale leader which ballot outbid it (no durable
+    // change happened, so no force).
+    const uint32_t promised = acceptor_.Promised(id);
+    if (leader == name_) {
+      Txn* t = LeaderForPromise(id, ballot);
+      if (t != nullptr) LeaderPromiseNack(*t, promised);
+      return;
+    }
+    PaxosBody reply;
+    reply.ballot = ballot;
+    reply.granted = false;
+    reply.promised = promised;
+    SendPaxosPdu(leader, PduType::kPaxosPromise, id, reply);
+    return;
+  }
+  if (CrashHere(CrashPt::kAcceptorBeforeAcceptForce)) return;
+  std::string snap;
+  acceptor_.EncodeSnapshot(id, &snap);
+  AppendTmRecord(id, wal::RecordType::kTmAccept, /*force=*/true,
+                 std::move(snap), [this, id, leader, ballot] {
+    const AcceptorTxn* state = acceptor_.Find(id);
+    if (leader == name_) {
+      Txn* t = LeaderForPromise(id, ballot);
+      if (t == nullptr) return;
+      if (state != nullptr) {
+        if (t->paxos_cohort.size() < state->cohort.size())
+          t->paxos_cohort = state->cohort;
+        for (const auto& acc : state->accepted)
+          LeaderMergeAccepted(*t, acc.name, acc.ballot, acc.prepared);
+      }
+      LeaderPromiseGranted(*t);
+      return;
+    }
+    PaxosBody reply;  // 1b
+    reply.ballot = ballot;
+    reply.granted = true;
+    if (state != nullptr) {
+      reply.cohort = state->cohort;
+      reply.leader = state->leader0;
+      for (const auto& acc : state->accepted)
+        reply.accepted.push_back({acc.name, acc.ballot, acc.prepared});
+    }
+    SendPaxosPdu(leader, PduType::kPaxosPromise, id, reply);
+    CrashHere(CrashPt::kAcceptorAfterPromiseSend);
+  });
+}
+
+void TransactionManager::LeaderOnAccepted(uint64_t id,
+                                          std::string_view instance,
+                                          uint32_t ballot, bool prepared) {
+  Txn* txn = FindTxn(id);
+  if (txn == nullptr || !txn->paxos_leader || txn->decided) return;
+  if (txn->paxos_phase1) return;            // still collecting promises
+  if (ballot != txn->paxos_ballot) return;  // stragglers of an old round
+  Txn::PaxosInst* inst = FindInst(*txn, instance);
+  if (inst == nullptr || inst->done) return;
+  inst->value = prepared;  // every 2b at one ballot carries the same value
+  ++inst->acks;
+  if (!PaxosAcceptor::IsMajority(inst->acks, config_.acceptors.size()))
+    return;
+  inst->done = true;
+  CheckPaxosOutcome(*txn);
+}
+
+TransactionManager::Txn* TransactionManager::LeaderForPromise(
+    uint64_t id, uint32_t ballot) {
+  Txn* txn = FindTxn(id);
+  if (txn == nullptr || !txn->paxos_leader || !txn->paxos_phase1) return nullptr;
+  if (txn->decided || txn->paxos_ballot != ballot) return nullptr;
+  return txn;
+}
+
+void TransactionManager::LeaderMergeAccepted(Txn& txn,
+                                             std::string_view instance,
+                                             uint32_t ballot, bool prepared) {
+  Txn::PaxosInst* inst = FindInst(txn, instance);
+  if (inst == nullptr) {
+    // An instance we did not know about (our cohort view was thinner than
+    // the acceptor's): adopt it.
+    txn.paxos_cohort.emplace_back(instance);
+    txn.paxos_insts.emplace_back();
+    inst = &txn.paxos_insts.back();
+    inst->name.assign(instance);
+  }
+  if (!inst->seen_any || ballot >= inst->seen_ballot) {
+    inst->seen_any = true;
+    inst->seen_ballot = ballot;
+    inst->seen_value = prepared;
+  }
+}
+
+void TransactionManager::LeaderPromiseGranted(Txn& txn) {
+  ++txn.paxos_promises;
+  if (!PaxosAcceptor::IsMajority(txn.paxos_promises,
+                                 config_.acceptors.size()))
+    return;
+  SendPaxosProposals(txn);
+}
+
+void TransactionManager::LeaderPromiseNack(Txn& txn, uint32_t promised) {
+  // A higher ballot is active (another leader is driving). Stop this round
+  // and let the retry timer re-run the takeover with a ballot above the
+  // one that outbid us — immediate re-bidding would duel.
+  const uint32_t n = static_cast<uint32_t>(config_.acceptors.size()) + 1;
+  const uint32_t attempt = promised / n + 1;
+  if (attempt > txn.takeover_attempt) txn.takeover_attempt = attempt;
+  txn.paxos_phase1 = false;
+}
+
+void TransactionManager::OnPaxosAcceptPdu(const net::NodeId& from,
+                                          const Pdu& pdu,
+                                          std::string_view data) {
+  if (!DecodePaxosBody(data, &paxos_in_).ok()) return;  // drop malformed
+  const net::NodeId& leader =
+      paxos_in_.leader.empty() ? from : paxos_in_.leader;
+  AcceptorOnAccept(leader, pdu.txn, paxos_in_.instance, paxos_in_.ballot,
+                   paxos_in_.prepared, paxos_in_.cohort, leader);
+}
+
+void TransactionManager::OnPaxosAcceptedPdu(const Pdu& pdu,
+                                            std::string_view data) {
+  if (!DecodePaxosBody(data, &paxos_in_).ok()) return;
+  LeaderOnAccepted(pdu.txn, paxos_in_.instance, paxos_in_.ballot,
+                   paxos_in_.prepared);
+}
+
+void TransactionManager::OnPaxosQueryPdu(const net::NodeId& from,
+                                         const Pdu& pdu,
+                                         std::string_view data) {
+  if (!DecodePaxosBody(data, &paxos_in_).ok()) return;
+  AcceptorOnQuery(from, pdu.txn, paxos_in_.ballot);
+}
+
+void TransactionManager::OnPaxosPromisePdu(const Pdu& pdu,
+                                           std::string_view data) {
+  if (!DecodePaxosBody(data, &paxos_in_).ok()) return;
+  Txn* txn = LeaderForPromise(pdu.txn, paxos_in_.ballot);
+  if (txn == nullptr) return;
+  if (!paxos_in_.granted) {
+    LeaderPromiseNack(*txn, paxos_in_.promised);
+    return;
+  }
+  // Merge the acceptor's knowledge: a fuller cohort first, then the
+  // accepted values (LeaderMergeAccepted grows the instance table for
+  // members we did not know).
+  for (const auto& member : paxos_in_.cohort)
+    if (FindInst(*txn, member) == nullptr) {
+      txn->paxos_cohort.push_back(member);
+      txn->paxos_insts.emplace_back();
+      txn->paxos_insts.back().name = member;
+    }
+  for (const auto& acc : paxos_in_.accepted)
+    LeaderMergeAccepted(*txn, acc.instance, acc.ballot, acc.prepared);
+  LeaderPromiseGranted(*txn);
+}
+
+void TransactionManager::OnPaxosTakeoverPdu(const net::NodeId& from,
+                                            const Pdu& pdu,
+                                            std::string_view data) {
+  (void)from;
+  if (!DecodePaxosBody(data, &paxos_in_).ok()) return;
+  Txn* txn = FindTxn(pdu.txn);
+  if (txn == nullptr || txn->phase != Phase::kInDoubt || txn->decided) return;
+  if (txn->paxos_leader) return;  // we are driving too; ballots arbitrate
+  if (txn->paxos_cohort.size() < paxos_in_.cohort.size())
+    txn->paxos_cohort = paxos_in_.cohort;
+  // Back off: restart our takeover clock instead of starting a duel.
+  if (txn->inq_timer_armed) {
+    rt_->CancelTimer(txn->inq_timer);
+    txn->inq_timer_armed = false;
+  }
+  ArmInquiryTimer(*txn);
+}
+
+// ---------------------------------------------------------------------------
 // Shared helpers
 // ---------------------------------------------------------------------------
 
@@ -1781,6 +2459,10 @@ void TransactionManager::CancelTimers(Txn& txn) {
   if (txn.vote_timer_armed) {
     rt_->CancelTimer(txn.vote_timer);
     txn.vote_timer_armed = false;
+  }
+  if (txn.ep_timer_armed) {
+    rt_->CancelTimer(txn.ep_timer);
+    txn.ep_timer_armed = false;
   }
   for (auto& child : txn.children) {
     if (child.ack_timer_armed) {
@@ -1899,7 +2581,7 @@ void TransactionManager::DispatchPdu(const net::NodeId& from, const Pdu& pdu,
       OnAppData(from, pdu, data);
       break;
     case PduType::kPrepare:
-      OnPreparePdu(from, pdu);
+      OnPreparePdu(from, pdu, data);
       break;
     case PduType::kVote:
       OnVotePdu(from, pdu);
@@ -1916,6 +2598,21 @@ void TransactionManager::DispatchPdu(const net::NodeId& from, const Pdu& pdu,
       break;
     case PduType::kInquiryReply:
       OnInquiryReplyPdu(from, pdu);
+      break;
+    case PduType::kPaxosAccept:
+      OnPaxosAcceptPdu(from, pdu, data);
+      break;
+    case PduType::kPaxosAccepted:
+      OnPaxosAcceptedPdu(pdu, data);
+      break;
+    case PduType::kPaxosQuery:
+      OnPaxosQueryPdu(from, pdu, data);
+      break;
+    case PduType::kPaxosPromise:
+      OnPaxosPromisePdu(pdu, data);
+      break;
+    case PduType::kPaxosTakeover:
+      OnPaxosTakeoverPdu(from, pdu, data);
       break;
   }
 }
@@ -1944,6 +2641,9 @@ void TransactionManager::Crash() {
     session.outbox.clear();
     session.awaiting_implied_ack_txn = 0;
   }
+  // Volatile acceptor state is lost too; RecoverFromLog replays the forced
+  // kTmAccept snapshots.
+  acceptor_.Clear();
 }
 
 void TransactionManager::Restart() {
@@ -1977,6 +2677,13 @@ void TransactionManager::RecoverFromLog() {
   const std::string owner = name_ + ".tm";
   for (const auto& rec : records) {
     if (rec.owner != owner) continue;
+    if (rec.type == wal::RecordType::kTmAccept) {
+      // Acceptor snapshots are a separate state machine: restore them
+      // directly (last record wins) without creating a TM image — an
+      // acceptor-only node must not fabricate transaction state.
+      TPC_CHECK_OK(acceptor_.RestoreSnapshot(rec.txn, rec.body));
+      continue;
+    }
     TmTxnImage& img = images[rec.txn];
     TmRecordBody body;
     switch (rec.type) {
@@ -2059,7 +2766,8 @@ void TransactionManager::RecoverFromLog() {
       // Conservatively re-send to every child (duplicates are acknowledged
       // idempotently via the archive).
       const bool commit = img.committed;
-      const bool pa = config_.protocol == ProtocolKind::kPresumedAbort;
+      const bool pa =
+          BaseProtocol(config_.protocol) == ProtocolKind::kPresumedAbort;
       if (!commit && pa) {
         // PA abort leaves nothing to resume (abort records are advisory).
         TxnMeta& meta = MetaSlot(id);
@@ -2126,8 +2834,26 @@ void TransactionManager::RecoverFromLog() {
       }
       txn.rm_recovered_in_doubt = true;
       ArmHeuristicTimer(txn);
+      if (IsPaxos(config_.protocol)) {
+        // An in-doubt paxos participant never falls back to the PA
+        // presumption (a takeover may still commit); it re-joins the
+        // consensus instead. The root (which has no upstream) re-runs the
+        // takeover immediately; participants let the takeover timer fire.
+        if (!img.last_body.cohort.empty())
+          txn.paxos_cohort = img.last_body.cohort;
+        txn.paxos_voted_self = true;
+        if (img.last_body.is_root) {
+          StartPaxosTakeover(txn);
+          if (!up_) return;
+          Txn* t = FindTxn(id);
+          if (t != nullptr && !t->decided) ArmPaxosRetry(*t);
+        } else {
+          ArmInquiryTimer(txn);
+        }
+        continue;
+      }
       if (txn.has_upstream &&
-          config_.protocol != ProtocolKind::kPresumedNothing) {
+          BaseProtocol(config_.protocol) != ProtocolKind::kPresumedNothing) {
         ArmInquiryTimer(txn);
         SendInquiry(txn);
         if (!up_) return;
@@ -2252,6 +2978,8 @@ uint64_t TransactionManager::ApproxBytes() const {
   for (const Txn& t : txn_slab_) {
     bytes += t.children.capacity() * sizeof(Child);
     bytes += t.peers.capacity() * sizeof(net::NodeId);
+    bytes += t.paxos_insts.capacity() * sizeof(Txn::PaxosInst);
+    bytes += t.paxos_cohort.capacity() * sizeof(std::string);
   }
   bytes += free_slots_.capacity() * sizeof(uint32_t);
   return bytes;

@@ -36,6 +36,7 @@
 #include "rm/resource_manager.h"
 #include "sim/sim_context.h"
 #include "tm/crash_points.h"
+#include "tm/paxos_acceptor.h"
 #include "tm/protocol_messages.h"
 #include "tm/types.h"
 #include "util/flat_map.h"
@@ -84,6 +85,16 @@ struct TmConfig {
   /// node and that node's forces cover ours, so our TM records need not be
   /// forced. (Used by the shared-logs accounting experiments.)
   bool shared_log_with_host = false;
+
+  // --- protocol-family parameters ------------------------------------------
+  /// Paxos Commit: the 2F+1 acceptor node names, identical at every node.
+  /// Acceptors are co-located on existing nodes; a node that finds its own
+  /// name here also plays acceptor. Empty unless protocol == kPaxosCommit.
+  std::vector<std::string> acceptors;
+  /// One-phase family: how long a subordinate lets a transaction go idle
+  /// before preparing early (an unsolicited YES without waiting for the
+  /// coordinator's Prepare — the "early prepare" that removes phase one).
+  sim::Time early_prepare_delay = 10 * sim::kMillisecond;
 
   // --- benchmarking baseline ----------------------------------------------
   /// Route protocol traffic through the frozen seed string path (PDU vector
@@ -325,6 +336,32 @@ class TransactionManager : public net::Endpoint {
     bool inq_timer_armed = false;
     sim::EventId vote_timer = 0;
     bool vote_timer_armed = false;
+    /// One-phase family: quiesce timer driving the early prepare.
+    sim::EventId ep_timer = 0;
+    bool ep_timer_armed = false;
+
+    // Paxos Commit: one consensus instance per cohort member (leader side).
+    struct PaxosInst {
+      net::NodeId name;     ///< cohort member whose vote this instance is
+      bool done = false;    ///< 2b majority reached at the current ballot
+      bool value = false;   ///< instance outcome: Prepared (true) / Aborted
+      uint32_t acks = 0;    ///< 2b count at the current ballot
+      // Takeover phase 1: highest-ballot accepted value reported in 1b.
+      uint32_t seen_ballot = 0;
+      bool seen_value = false;
+      bool seen_any = false;
+    };
+    std::vector<PaxosInst> paxos_insts;
+    /// Every participant (instance) of the consensus, self included; learned
+    /// from the root's Prepare and persisted in the prepared record so a
+    /// recovered participant can lead a takeover.
+    std::vector<net::NodeId> paxos_cohort;
+    bool paxos_leader = false;      ///< currently proposing (root or takeover)
+    bool paxos_phase1 = false;      ///< collecting 1b promises
+    uint32_t paxos_ballot = 0;      ///< proposal ballot (0 = self-vote round)
+    uint32_t paxos_promises = 0;    ///< granted 1b count at paxos_ballot
+    uint32_t takeover_attempt = 0;  ///< generates the next takeover ballot
+    bool paxos_voted_self = false;  ///< our ballot-0 2a fan-out happened
 
     // Recovery: RM in-doubt transactions awaiting our outcome.
     bool rm_recovered_in_doubt = false;
@@ -436,7 +473,8 @@ class TransactionManager : public net::Endpoint {
   // --- subordinate path ---------------------------------------------------------
   void OnAppData(const net::NodeId& from, const Pdu& pdu,
                  std::string_view data);
-  void OnPreparePdu(const net::NodeId& from, const Pdu& pdu);
+  void OnPreparePdu(const net::NodeId& from, const Pdu& pdu,
+                    std::string_view data);
   void SendVote(Txn& txn);
   void OnDecisionPdu(const net::NodeId& from, const Pdu& pdu);
   void ApplyDecision(Txn& txn, bool commit);
@@ -453,6 +491,69 @@ class TransactionManager : public net::Endpoint {
   void SendInquiry(Txn& txn);
   void OnInquiryPdu(const net::NodeId& from, const Pdu& pdu);
   void OnInquiryReplyPdu(const net::NodeId& from, const Pdu& pdu);
+
+  // --- one-phase family ------------------------------------------------------
+  /// (Re)arms the quiesce timer that triggers the early prepare once data
+  /// flow pauses; fires UnsolicitedPrepare.
+  void ArmEarlyPrepare(Txn& txn);
+
+  // --- Paxos Commit -----------------------------------------------------------
+  bool IsAcceptor() const;
+  /// Ballot for this node's `attempt`-th takeover. Distinct leaders draw
+  /// from distinct residues mod (acceptors + 1), so no two leaders ever
+  /// share a ballot; 0 is reserved for the participants' self-votes.
+  uint32_t PaxosBallot(uint32_t attempt) const;
+  /// Encodes `body` and sends `type` for txn `id` to `peer`.
+  void SendPaxosPdu(const net::NodeId& peer, PduType type, uint64_t id,
+                    const PaxosBody& body);
+  /// Fans the ballot-0 2a for our own instance out to the acceptor set;
+  /// callers force the prepared record first. `prepared` is our vote.
+  void SendPaxosVote(Txn& txn, bool prepared, CrashPt after_send);
+  /// Root: all local RMs voted YES — force our prepared record (with the
+  /// cohort) and enter the consensus with our own ballot-0 instance.
+  void StartPaxosCommit(Txn& txn);
+  /// A prepared participant (or restarted root) assumes leadership: new
+  /// ballot, 1a query to the acceptors, completes unfinished instances.
+  void StartPaxosTakeover(Txn& txn);
+  /// Phase 2 of a takeover: propose the discovered (or default Aborted)
+  /// value for every instance at our ballot.
+  void SendPaxosProposals(Txn& txn);
+  /// Decides once every instance has a 2b majority: commit iff all Prepared.
+  void CheckPaxosOutcome(Txn& txn);
+  /// Leader-side liveness timer: re-runs the takeover until decided.
+  void ArmPaxosRetry(Txn& txn);
+  /// Funnels a paxos outcome into the classic decision machinery: this node
+  /// becomes the decision owner and drives phase two for the whole cohort.
+  void DecidePaxos(Txn& txn, bool commit);
+  Txn::PaxosInst* FindInst(Txn& txn, std::string_view name);
+
+  // Acceptor ingress (wire handlers and co-located self-delivery share
+  // these). Every granted promise/accept forces a kTmAccept snapshot before
+  // the reply leaves — the acceptor's word must survive its crash.
+  void AcceptorOnAccept(const net::NodeId& leader, uint64_t id,
+                        const net::NodeId& instance, uint32_t ballot,
+                        bool prepared, const std::vector<std::string>& cohort,
+                        const net::NodeId& leader0);
+  void AcceptorOnQuery(const net::NodeId& leader, uint64_t id,
+                       uint32_t ballot);
+
+  // Leader ingress for acceptor replies (wire + local short-circuit).
+  void LeaderOnAccepted(uint64_t id, std::string_view instance,
+                        uint32_t ballot, bool prepared);
+  Txn* LeaderForPromise(uint64_t id, uint32_t ballot);
+  void LeaderMergeAccepted(Txn& txn, std::string_view instance,
+                           uint32_t ballot, bool prepared);
+  void LeaderPromiseGranted(Txn& txn);
+  void LeaderPromiseNack(Txn& txn, uint32_t promised);
+
+  void OnPaxosAcceptPdu(const net::NodeId& from, const Pdu& pdu,
+                        std::string_view data);
+  void OnPaxosAcceptedPdu(const Pdu& pdu, std::string_view data);
+  void OnPaxosQueryPdu(const net::NodeId& from, const Pdu& pdu,
+                       std::string_view data);
+  void OnPaxosPromisePdu(const Pdu& pdu, std::string_view data);
+  void OnPaxosTakeoverPdu(const net::NodeId& from, const Pdu& pdu,
+                          std::string_view data);
 
   // --- shared ---------------------------------------------------------------
   void AbortLocal(Txn& txn);  ///< undo local RMs (pre-prepare abort)
@@ -503,6 +604,16 @@ class TransactionManager : public net::Endpoint {
   std::vector<uint32_t> free_slots_;
   size_t live_txns_ = 0;
   FlatId64Map<TxnMeta> txn_meta_;
+
+  /// Paxos acceptor role state (co-located; empty unless this node's name is
+  /// in config_.acceptors). Volatile — crash clears it, kTmAccept snapshots
+  /// restore it.
+  PaxosAcceptor acceptor_;
+  /// Reusable encode buffer for outgoing PaxosBody payloads (steady-state
+  /// paxos sends stay allocation-free once its capacity is warm).
+  std::string paxos_wire_;
+  /// Reusable decode target for incoming PaxosBody payloads.
+  PaxosBody paxos_in_;
 
   AppDataHandler on_app_data_;
 };

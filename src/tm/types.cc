@@ -8,6 +8,9 @@ std::string_view ProtocolKindToString(ProtocolKind kind) {
     case ProtocolKind::kPresumedAbort: return "presumed-abort";
     case ProtocolKind::kPresumedNothing: return "presumed-nothing";
     case ProtocolKind::kPresumedCommit: return "presumed-commit";
+    case ProtocolKind::kPaxosCommit: return "paxos-commit";
+    case ProtocolKind::kOnePhase: return "one-phase";
+    case ProtocolKind::kOnePhaseLogless: return "one-phase-logless";
   }
   return "?";
 }

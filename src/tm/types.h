@@ -23,9 +23,45 @@ enum class ProtocolKind : uint8_t {
   /// commit record is not forced (no information presumes commit); aborts
   /// are explicit, forced, and acknowledged.
   kPresumedCommit,
+  /// Extension (Gray & Lamport, "Consensus on Transaction Commit"): each
+  /// participant's vote is ballot 0 of its own Paxos instance against a
+  /// 2F+1 acceptor set; the commit decision is a function of the accepted
+  /// instances, so any node can finish it after the coordinator dies.
+  /// Removes the coordinator-blocking window at the price of 2a/2b flows
+  /// and an accept force per acceptor.
+  kPaxosCommit,
+  /// Extension (early prepare / "short" commit): subordinates prepare and
+  /// vote unsolicited as soon as their work quiesces, eliminating the
+  /// Prepare round. PA presumptions and recovery; same forces as PA.
+  kOnePhase,
+  /// Extension (Zhu et al., "To Vote Before Decide"): kOnePhase without
+  /// the subordinate's forced prepared record — the vote rides on the
+  /// RM's own durability. Fewest forces of any family. A participant that
+  /// crashes between vote and decision has no TM record of its promise;
+  /// it converges anyway because the coordinator redrives its unacked
+  /// decision and the RM's own log supplies the redo — which is why the
+  /// torture matrix runs this variant like any other.
+  kOnePhaseLogless,
 };
 
 std::string_view ProtocolKindToString(ProtocolKind kind);
+
+/// True for both one-phase variants (early unsolicited vote, no Prepare
+/// round, PA-style presumptions).
+inline bool IsOnePhase(ProtocolKind k) {
+  return k == ProtocolKind::kOnePhase || k == ProtocolKind::kOnePhaseLogless;
+}
+
+/// True for the replicated-coordinator family.
+inline bool IsPaxos(ProtocolKind k) { return k == ProtocolKind::kPaxosCommit; }
+
+/// Which classic family's presumption/ack/recovery rules a protocol reuses.
+/// The new families layer their vote/decision machinery over PA semantics
+/// (absence of information presumes abort, aborts unacknowledged); the
+/// original four map to themselves.
+inline ProtocolKind BaseProtocol(ProtocolKind k) {
+  return (IsOnePhase(k) || IsPaxos(k)) ? ProtocolKind::kPresumedAbort : k;
+}
 
 /// Commit-acknowledgment timing for cascaded coordinators (Section 4,
 /// "Commit Acknowledgment").

@@ -16,6 +16,7 @@ std::string_view RecordTypeToString(RecordType type) {
     case RecordType::kTmAborted: return "tm.aborted";
     case RecordType::kTmEnd: return "tm.end";
     case RecordType::kTmHeuristic: return "tm.heuristic";
+    case RecordType::kTmAccept: return "tm.accept";
     case RecordType::kRmUpdate: return "rm.update";
     case RecordType::kRmPrepared: return "rm.prepared";
     case RecordType::kRmCommitted: return "rm.committed";

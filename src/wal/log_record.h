@@ -37,6 +37,7 @@ enum class RecordType : uint8_t {
   kTmAborted,         ///< abort decision / abort performed
   kTmEnd,             ///< transaction forgotten (all acks collected)
   kTmHeuristic,       ///< heuristic decision taken while in doubt
+  kTmAccept,          ///< paxos acceptor state snapshot (promise + accepts)
 
   // Resource-manager records.
   kRmUpdate = 32,     ///< undo/redo for one store mutation

@@ -117,6 +117,9 @@ std::string PlanName(
     case ProtocolKind::kPresumedAbort: name = "PA"; break;
     case ProtocolKind::kPresumedNothing: name = "PN"; break;
     case ProtocolKind::kPresumedCommit: name = "PC"; break;
+    case ProtocolKind::kPaxosCommit: name = "Paxos"; break;
+    case ProtocolKind::kOnePhase: name = "OnePhase"; break;
+    case ProtocolKind::kOnePhaseLogless: name = "OnePhaseLogless"; break;
   }
   name += "_" + plan.node + "_" + plan.point;
   return name;

@@ -276,16 +276,22 @@ TEST(SimLiveEquivalenceTest, SameDecisionsLogsAndStores) {
 
 // --- live smoke --------------------------------------------------------------
 
-TEST(LiveClusterTest, ClosedLoopCommitsAreAtomic) {
+void RunClosedLoopAtomicity(ProtocolKind protocol, const std::string& tag,
+                            int txns) {
   LiveClusterOptions opts;
   opts.worker_threads = 4;
-  opts.dir = FreshDir("smoke");
+  opts.dir = FreshDir(tag);
   LiveCluster c(opts);
   LiveNodeOptions o;
-  o.tm.protocol = ProtocolKind::kPresumedAbort;
+  o.tm.protocol = protocol;
+  // Paxos: the three nodes double as the 2F+1 acceptor set (F=1), so the
+  // accept forces land on real files and the 2a/2b fan-out crosses real
+  // mailboxes.
+  if (tm::IsPaxos(protocol)) o.tm.acceptors = {"coord", "sub1", "sub2"};
   for (const char* n : {"coord", "sub1", "sub2"}) c.AddNode(n, o);
   c.Connect("coord", "sub1");
   c.Connect("coord", "sub2");
+  if (tm::IsPaxos(protocol)) c.Connect("sub1", "sub2");
   for (const char* n : {"sub1", "sub2"}) {
     std::string name = n;
     c.tm(name).SetAppDataHandler(
@@ -296,7 +302,7 @@ TEST(LiveClusterTest, ClosedLoopCommitsAreAtomic) {
   }
   c.Start();
 
-  constexpr int kTxns = 25;
+  const int kTxns = txns;
   for (int i = 0; i < kTxns; ++i) {
     uint64_t txn = 0;
     std::string key = "k" + std::to_string(i);
@@ -326,6 +332,27 @@ TEST(LiveClusterTest, ClosedLoopCommitsAreAtomic) {
     }
   }
   c.Stop();
+}
+
+TEST(LiveClusterTest, ClosedLoopCommitsAreAtomic) {
+  RunClosedLoopAtomicity(ProtocolKind::kPresumedAbort, "smoke", 25);
+}
+
+// The new protocol families run on the live runtime unchanged — same
+// engine, real threads, real fsync. These are the cells the TSan CI job
+// race-checks: the paxos acceptor state and the one-phase quiesce timer
+// both live on the per-node worker, so a locking mistake in either shows
+// up here.
+TEST(LiveClusterTest, PaxosCommitClosedLoopIsAtomic) {
+  RunClosedLoopAtomicity(ProtocolKind::kPaxosCommit, "live_paxos", 10);
+}
+
+TEST(LiveClusterTest, OnePhaseClosedLoopIsAtomic) {
+  RunClosedLoopAtomicity(ProtocolKind::kOnePhase, "live_1pc", 10);
+}
+
+TEST(LiveClusterTest, OnePhaseLoglessClosedLoopIsAtomic) {
+  RunClosedLoopAtomicity(ProtocolKind::kOnePhaseLogless, "live_1pc_ll", 10);
 }
 
 // --- kill and recover --------------------------------------------------------

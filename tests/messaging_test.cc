@@ -313,13 +313,15 @@ void ExpectCodecAgreement(std::string_view payload) {
 TEST(PduFuzzTest, MutatedPayloadsNeverCrashOrDisagree) {
   std::mt19937_64 rng(20260806);
 
-  // Corpus of valid bundles with varied shapes.
+  // Corpus of valid bundles with varied shapes, spanning every PDU type —
+  // including the paxos family, whose frames carry an encoded PaxosBody in
+  // the data field.
   std::vector<std::string> corpus;
   for (int i = 0; i < 32; ++i) {
     std::vector<tm::Pdu> bundle(1 + rng() % 4);
     for (auto& pdu : bundle) {
       pdu.type = static_cast<tm::PduType>(
-          1 + rng() % static_cast<int>(tm::PduType::kInquiryReply));
+          1 + rng() % static_cast<int>(tm::PduType::kPaxosTakeover));
       pdu.txn = rng();
       pdu.vote = static_cast<rm::Vote>(rng() % 3);
       pdu.answer = static_cast<tm::InquiryAnswer>(rng() % 4);
@@ -328,6 +330,32 @@ TEST(PduFuzzTest, MutatedPayloadsNeverCrashOrDisagree) {
       pdu.last_agent = rng() % 2;
       if (pdu.type == tm::PduType::kAppData)
         pdu.data.assign(rng() % 100, static_cast<char>('a' + rng() % 26));
+      if (pdu.type >= tm::PduType::kPaxosAccept) {
+        tm::PaxosBody body;
+        body.ballot = static_cast<uint32_t>(rng() % 1000);
+        body.granted = rng() % 2;
+        body.prepared = rng() % 2;
+        body.instance = "s1";
+        body.leader = "c0";
+        // Build names via append rather than `"x" + std::to_string(...)`:
+        // GCC 12's -Wrestrict trips over the inlined operator+(const char*,
+        // string&&) at -O2 (false positive, fixed upstream).
+        auto name = [](char prefix, uint64_t n) {
+          std::string s(1, prefix);
+          s += std::to_string(n);
+          return s;
+        };
+        for (uint64_t m = rng() % 4; m > 0; --m)
+          body.cohort.push_back(name('n', m));
+        for (uint64_t m = rng() % 4; m > 0; --m)
+          body.acceptors.push_back(name('a', m));
+        for (uint64_t m = rng() % 3; m > 0; --m)
+          body.accepted.push_back(
+              {name('n', m), static_cast<uint32_t>(rng() % 10),
+               rng() % 2 != 0});
+        pdu.data.clear();
+        tm::EncodePaxosBody(body, &pdu.data);
+      }
     }
     corpus.push_back(tm::EncodePdus(bundle));
     ExpectCodecAgreement(corpus.back());  // intact bundles round-trip
@@ -378,6 +406,91 @@ TEST(PduFuzzTest, OversizedAppDataLengthIsRejectedNotOverread) {
   const auto [frames, ok] = CursorWalk(payload);
   EXPECT_EQ(frames, 0u);
   EXPECT_FALSE(ok);
+}
+
+bool BodiesEqual(const tm::PaxosBody& a, const tm::PaxosBody& b) {
+  if (a.ballot != b.ballot || a.promised != b.promised ||
+      a.granted != b.granted || a.prepared != b.prepared ||
+      a.instance != b.instance || a.leader != b.leader ||
+      a.cohort != b.cohort || a.acceptors != b.acceptors ||
+      a.accepted.size() != b.accepted.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.accepted.size(); ++i) {
+    if (a.accepted[i].instance != b.accepted[i].instance ||
+        a.accepted[i].ballot != b.accepted[i].ballot ||
+        a.accepted[i].prepared != b.accepted[i].prepared) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PaxosBodyFuzzTest, MutatedBodiesNeverCrashAndSurvivorsReEncode) {
+  std::mt19937_64 rng(20260809);
+
+  auto random_name = [&] {
+    return std::string(1 + rng() % 12, static_cast<char>('a' + rng() % 26));
+  };
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 24; ++i) {
+    tm::PaxosBody body;
+    body.ballot = static_cast<uint32_t>(rng());
+    body.promised = static_cast<uint32_t>(rng());
+    body.granted = rng() % 2;
+    body.prepared = rng() % 2;
+    body.instance = random_name();
+    body.leader = random_name();
+    for (uint64_t m = rng() % 5; m > 0; --m)
+      body.cohort.push_back(random_name());
+    for (uint64_t m = rng() % 5; m > 0; --m)
+      body.acceptors.push_back(random_name());
+    for (uint64_t m = rng() % 4; m > 0; --m)
+      body.accepted.push_back(
+          {random_name(), static_cast<uint32_t>(rng()), rng() % 2 != 0});
+
+    // Intact bodies round-trip exactly.
+    std::string wire;
+    tm::EncodePaxosBody(body, &wire);
+    tm::PaxosBody decoded;
+    ASSERT_TRUE(tm::DecodePaxosBody(wire, &decoded).ok());
+    EXPECT_TRUE(BodiesEqual(body, decoded));
+    corpus.push_back(std::move(wire));
+  }
+
+  // >= 1k mutations: decode must reject or succeed cleanly — never crash or
+  // overread — and any survivor must re-encode to bytes that decode back to
+  // an equal body (no half-parsed garbage states).
+  tm::PaxosBody scratch;
+  std::string rewire;
+  for (int round = 0; round < 1500; ++round) {
+    std::string wire = corpus[rng() % corpus.size()];
+    switch (round % 3) {
+      case 0:
+        wire.resize(rng() % (wire.size() + 1));
+        break;
+      case 1:
+        if (!wire.empty()) {
+          const size_t pos = rng() % wire.size();
+          wire[pos] = static_cast<char>(static_cast<uint8_t>(wire[pos]) ^
+                                        (1 + rng() % 255));
+        }
+        break;
+      case 2: {
+        wire.resize(rng() % (wire.size() + 1));
+        const size_t extra = rng() % 16;
+        for (size_t i = 0; i < extra; ++i)
+          wire.push_back(static_cast<char>(rng() % 256));
+        break;
+      }
+    }
+    if (!tm::DecodePaxosBody(wire, &scratch).ok()) continue;
+    rewire.clear();
+    tm::EncodePaxosBody(scratch, &rewire);
+    tm::PaxosBody again;
+    ASSERT_TRUE(tm::DecodePaxosBody(rewire, &again).ok());
+    EXPECT_TRUE(BodiesEqual(scratch, again));
+  }
 }
 
 // --- zero-allocation round trip ----------------------------------------------
@@ -449,6 +562,51 @@ TEST(ZeroAllocationTest, SteadyStateSendDeliverDecodeDoesNotAllocate) {
   EXPECT_TRUE(b.ok);
   EXPECT_EQ(b.pdus_seen, 2u * (64 + 256));
   EXPECT_EQ(b.data_bytes, 9u * (64 + 256));
+}
+
+// The paxos codec rides the TM's per-session hot path (every 2a/2b/1a/1b
+// exchange encodes into a reused scratch string and decodes into a reused
+// PaxosBody), so steady-state encode/decode must be allocation-free: Clear()
+// keeps container capacity, node names fit SSO, and the encoder appends into
+// whatever capacity the scratch already has.
+TEST(ZeroAllocationTest, PaxosBodyCodecSteadyStateDoesNotAllocate) {
+  tm::PaxosBody body;
+  body.ballot = 7;
+  body.granted = true;
+  body.prepared = true;
+  body.instance = "s1";
+  body.leader = "c0";
+  // Populate via reserve+push_back: assigning an initializer_list here makes
+  // GCC 12 pair the libstdc++-internal operator new with this TU's replaced
+  // operator delete and emit a bogus -Wmismatched-new-delete at -O2.
+  body.cohort.reserve(3);
+  for (const char* n : {"c0", "s1", "s2"}) body.cohort.push_back(n);
+  body.acceptors.reserve(3);
+  for (const char* n : {"c0", "s1", "a2"}) body.acceptors.push_back(n);
+  body.accepted.reserve(2);
+  body.accepted.push_back({"s1", 3, true});
+  body.accepted.push_back({"s2", 0, false});
+
+  std::string wire;
+  tm::PaxosBody decoded;
+  bool ok = true;
+  auto cycle = [&] {
+    wire.clear();
+    tm::EncodePaxosBody(body, &wire);
+    ok = ok && tm::DecodePaxosBody(wire, &decoded).ok() &&
+         BodiesEqual(body, decoded);
+  };
+
+  // Warm the scratch string and the decoded body's container capacities.
+  for (int i = 0; i < 64; ++i) cycle();
+
+  const uint64_t before = g_alloc_count;
+  for (int i = 0; i < 256; ++i) cycle();
+  const uint64_t allocations = g_alloc_count - before;
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(allocations, 0u)
+      << "steady-state paxos encode/decode must not allocate";
 }
 
 // The runtime seam must be free on the sim path: forwarding clock reads,

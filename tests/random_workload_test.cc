@@ -189,6 +189,9 @@ std::string CaseName(
     case ProtocolKind::kPresumedAbort: name = "PA"; break;
     case ProtocolKind::kPresumedNothing: name = "PN"; break;
     case ProtocolKind::kPresumedCommit: name = "PC"; break;
+    case ProtocolKind::kPaxosCommit: name = "Paxos"; break;
+    case ProtocolKind::kOnePhase: name = "OnePhase"; break;
+    case ProtocolKind::kOnePhaseLogless: name = "OnePhaseLogless"; break;
   }
   return name + "_seed" + std::to_string(seed);
 }

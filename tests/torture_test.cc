@@ -62,7 +62,8 @@ TEST(TortureCampaign, FullCrashPointMatrix) {
   const bool smoke = Level() == "smoke";
   std::set<std::string> smoke_scenarios = {"basic_pair", "pa_pair", "pa_la_ro",
                                            "pn_pair", "pa_gc_pipe",
-                                           "pn_gc_wilo"};
+                                           "pn_gc_wilo", "paxos_flat",
+                                           "onephase_pair"};
 
   std::set<std::string> fired_points;     // distinct point names that fired
   std::set<std::string> fired_protocols;  // protocol configs they fired under
@@ -182,6 +183,77 @@ TEST(TortureCampaign, GroupCommitPipelineWindows) {
   }
 }
 
+// The tentpole claim, asserted head-to-head: in the window where basic 2PC
+// demonstrably blocks (coordinator crash after the votes are in but before
+// its decision is durable), Paxos Commit terminates — the prepared
+// subordinate takes the consensus over against the surviving acceptor
+// majority. The coordinator is itself one of the 2F+1 acceptors, so its
+// crash already is an F=1 acceptor failure.
+TEST(TortureCampaign, PaxosTerminatesWhereBasicBlocks) {
+  TortureConfig basic = BaseConfig("basic_pair");
+  basic.crash_node = "c0";
+  basic.crash_point = "root.before_commit_force";
+  const TortureResult b = RunTortureCell(basic);
+  EXPECT_TRUE(b.crash_fired);
+  EXPECT_TRUE(b.blocked) << "basic 2PC should block in this window";
+  EXPECT_TRUE(b.ok()) << b.violations.front();
+
+  TortureConfig paxos = BaseConfig("paxos_flat");
+  paxos.crash_node = "c0";
+  paxos.crash_point = "root.after_paxos_vote_send";
+  const TortureResult p = RunTortureCell(paxos);
+  EXPECT_TRUE(p.crash_fired);
+  EXPECT_FALSE(p.blocked) << "Paxos Commit must not block";
+  EXPECT_TRUE(p.committed)
+      << "every instance was Prepared; the takeover must finish with commit";
+  EXPECT_TRUE(p.ok()) << p.violations.front();
+}
+
+// Coordinator crash at every decision-adjacent crash point it reaches: the
+// cell must terminate (any participant still in doubt after full recovery is
+// an oracle violation for paxos — there is no `blocked` escape hatch).
+TEST(TortureCampaign, PaxosCoordinatorCrashMatrix) {
+  const char* kPoints[] = {
+      "root.after_prepare_send",      "root.after_paxos_vote_send",
+      "acceptor.before_accept_force", "acceptor.after_accept_force",
+      "acceptor.after_accepted_send", "root.before_commit_force",
+      "root.after_commit_force",      "root.after_decision_send",
+      "takeover.after_query_send",    "takeover.after_proposal_send",
+  };
+  size_t fired = 0;
+  for (const char* point : kPoints) {
+    TortureConfig cfg = BaseConfig("paxos_flat");
+    cfg.crash_node = "c0";
+    cfg.crash_point = point;
+    const TortureResult res = RunTortureCell(cfg);
+    if (res.crash_fired) ++fired;
+    EXPECT_FALSE(res.blocked) << cfg.Repro();
+    for (const std::string& v : res.violations) ADD_FAILURE() << v;
+  }
+  EXPECT_GE(fired, 7u) << "most decision-adjacent points should be reachable";
+}
+
+// Coordinator crash plus a second, distinct acceptor down in the same
+// window: 2 of the 2F+1 acceptors are gone, so the consensus stalls with no
+// majority — until the driver restarts them, after which the takeover's
+// retry completes it. Termination, not blocking, is still required.
+TEST(TortureCampaign, PaxosCoordinatorPlusAcceptorCrash) {
+  TortureConfig cfg = BaseConfig("paxos_flat");
+  cfg.crash_node = "c0";
+  cfg.crash_point = "root.after_paxos_vote_send";
+  cfg.after_build = [](Cluster& c) {
+    // The commit starts at t=1s; the root's 2a fan-out (and its armed
+    // crash) happens within the first few milliseconds after that.
+    c.ctx().events().ScheduleAt(1002 * sim::kMillisecond, [&c] {
+      if (c.tm("a2").IsUp()) c.ctx().failures().CrashNow("a2");
+    });
+  };
+  const TortureResult res = RunTortureCell(cfg);
+  EXPECT_TRUE(res.crash_fired);
+  EXPECT_FALSE(res.blocked);
+  for (const std::string& v : res.violations) ADD_FAILURE() << v;
+}
+
 TEST(TortureCampaign, DoubleFailureSchedules) {
   struct Cell {
     const char* scenario;
@@ -203,6 +275,12 @@ TEST(TortureCampaign, DoubleFailureSchedules) {
        "recovery.after_decision_send"},
       // Cascaded coordinator: vote, die, inquire, die again.
       {"pa_chain", "m1", "casc.after_prepared_force", "sub.after_inquiry_send"},
+      // Paxos root: vote, die, recover in doubt (prepared root record),
+      // immediately re-run the takeover — and die again right after the 1a
+      // queries go out. The twice-restarted root must still converge with
+      // the cohort.
+      {"paxos_flat", "c0", "root.after_paxos_vote_send",
+       "takeover.after_query_send"},
   };
   for (const Cell& cell : kCells) {
     TortureConfig cfg = BaseConfig(cell.scenario);
