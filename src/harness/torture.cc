@@ -17,7 +17,7 @@ namespace {
 
 using tm::ProtocolKind;
 
-enum class Topo { kPair, kChain, kStar, kPaxos };
+enum class Topo { kPair, kChain, kStar, kPaxos, kPaxosF0 };
 
 /// Internal scenario definition: protocol config + topology + workload
 /// switches. Node naming: root "c0"; pair adds "s1"; chain adds cascaded
@@ -85,6 +85,11 @@ const Spec kSpecs[] = {
     // never a `blocked` verdict), because any prepared participant can
     // finish the consensus against the surviving acceptor majority.
     {"paxos_flat", "paxos", ProtocolKind::kPaxosCommit, Topo::kPaxos},
+    // F=0 degenerate: one acceptor, co-located at the coordinator. The
+    // non-blocking property is traded away (the paper's point), but the
+    // oracle still demands termination once the crashed node restarts —
+    // the takeover queries the lone acceptor and finishes.
+    {"paxos_f0", "paxos-f0", ProtocolKind::kPaxosCommit, Topo::kPaxosF0},
     {"paxos_abort", "paxos", ProtocolKind::kPaxosCommit, Topo::kPaxos,
      false, false, false, false, /*abort_vote=*/true},
     // One-phase family: no explicit Prepare — subordinates early-prepare
@@ -107,6 +112,7 @@ std::vector<std::string> SpecNodes(const Spec& spec) {
     case Topo::kChain: return {"c0", "m1", "s2"};
     case Topo::kStar: return {"c0", "s1", "r2"};
     case Topo::kPaxos: return {"c0", "s1", "a2"};
+    case Topo::kPaxosF0: return {"c0", "s1"};
   }
   return {};
 }
@@ -119,6 +125,7 @@ std::vector<std::pair<std::string, std::string>> SpecLinks(const Spec& spec) {
     // Full mesh: consensus traffic flows on every pair, so link loss and
     // flaps exercise the paxos paths too.
     case Topo::kPaxos: return {{"c0", "s1"}, {"c0", "a2"}, {"s1", "a2"}};
+    case Topo::kPaxosF0: return {{"c0", "s1"}};
   }
   return {};
 }
@@ -279,8 +286,11 @@ TortureResult RunTortureCell(const TortureConfig& config) {
     base.group_commit.worker_buffer_bytes = 32;
     base.log_queue_depth = 2;
   }
-  if (tm::IsPaxos(spec->protocol))
-    base.tm.acceptors = {"c0", "s1", "a2"};
+  if (tm::IsPaxos(spec->protocol)) {
+    base.tm.acceptors = spec->topo == Topo::kPaxosF0
+                            ? std::vector<std::string>{"c0"}
+                            : std::vector<std::string>{"c0", "s1", "a2"};
+  }
   for (const std::string& n : nodes) {
     NodeOptions options = base;
     if (n == "a2") options.num_rms = 0;  // acceptor-only machine
@@ -325,6 +335,7 @@ TortureResult RunTortureCell(const TortureConfig& config) {
   switch (spec->topo) {
     case Topo::kPair:
     case Topo::kPaxos:  // a2 holds no data; the work fans to s1 only
+    case Topo::kPaxosF0:
       add_writer("s1");
       writers.emplace_back("s1", "k_s1");
       break;
@@ -382,6 +393,7 @@ TortureResult RunTortureCell(const TortureConfig& config) {
     switch (spec->topo) {
       case Topo::kPair:
       case Topo::kPaxos:
+      case Topo::kPaxosF0:
         (void)c.tm("c0").SendWork(txn, "s1");
         break;
       case Topo::kChain:

@@ -116,11 +116,24 @@ namespace tpc::tm {
      sub.*_prepared_force pair above) */                                \
   X(kRootAfterPaxosVoteSend, "root.after_paxos_vote_send")              \
   X(kSubAfterPaxosVoteSend, "sub.after_paxos_vote_send")                \
+  /* paxos commit: co-located leader/acceptor — the ballot-0 self-accept
+     snapshot rides the prepared record's force, so vote + accept cost
+     one durable write (before_ loses both; after_ has both durable but
+     the 2a fan-out never leaves) */                                    \
+  X(kRootBeforeVoteAcceptForce, "root.before_vote_accept_force")        \
+  X(kRootAfterVoteAcceptForce, "root.after_vote_accept_force")          \
+  X(kSubBeforeVoteAcceptForce, "sub.before_vote_accept_force")          \
+  X(kSubAfterVoteAcceptForce, "sub.after_vote_accept_force")            \
   /* paxos commit: acceptor durability + replies */                     \
   X(kAcceptorBeforeAcceptForce, "acceptor.before_accept_force")         \
   X(kAcceptorAfterAcceptForce, "acceptor.after_accept_force")           \
   X(kAcceptorAfterAcceptedSend, "acceptor.after_accepted_send")         \
   X(kAcceptorAfterPromiseSend, "acceptor.after_promise_send")           \
+  /* paxos commit: bundled acceptor replies (one force covers every
+     instance of the transaction; one 2b bundle per leader) */          \
+  X(kAcceptorBeforeBundleForce, "acceptor.before_bundle_force")         \
+  X(kAcceptorAfterBundleForce, "acceptor.after_bundle_force")           \
+  X(kAcceptorAfterBundleSend, "acceptor.after_bundle_send")             \
   /* paxos commit: takeover by a new leader */                          \
   X(kSubAfterTakeoverSend, "sub.after_takeover_send")                   \
   X(kTakeoverAfterQuerySend, "takeover.after_query_send")               \

@@ -10,7 +10,7 @@ const AcceptorInstance* AcceptorTxn::Find(std::string_view instance) const {
   return nullptr;
 }
 
-bool PaxosAcceptor::Promise(uint64_t txn, uint32_t ballot) {
+bool PaxosAcceptor::Promise(uint64_t txn, uint64_t ballot) {
   AcceptorTxn& state = txns_[txn];
   if (ballot < state.promised) return false;
   state.promised = ballot;
@@ -18,7 +18,7 @@ bool PaxosAcceptor::Promise(uint64_t txn, uint32_t ballot) {
 }
 
 bool PaxosAcceptor::Accept(uint64_t txn, std::string_view instance,
-                           uint32_t ballot, bool prepared,
+                           uint64_t ballot, bool prepared,
                            const std::vector<std::string>& cohort,
                            std::string_view leader) {
   AcceptorTxn& state = txns_[txn];
@@ -47,9 +47,32 @@ const AcceptorTxn* PaxosAcceptor::Find(uint64_t txn) const {
   return it == txns_.end() ? nullptr : &it->second;
 }
 
-uint32_t PaxosAcceptor::Promised(uint64_t txn) const {
+uint64_t PaxosAcceptor::Promised(uint64_t txn) const {
   const AcceptorTxn* state = Find(txn);
   return state == nullptr ? 0 : state->promised;
+}
+
+bool PaxosAcceptor::HasAllInstances(uint64_t txn) const {
+  const AcceptorTxn* state = Find(txn);
+  if (state == nullptr || state->cohort.empty()) return false;
+  for (const std::string& member : state->cohort)
+    if (state->Find(member) == nullptr) return false;
+  return true;
+}
+
+uint64_t PaxosAcceptor::ApproxBytes() const {
+  // Bucket-array estimate plus per-entry heap: the unordered_map's nodes
+  // and every string/vector the entries own.
+  uint64_t bytes = txns_.bucket_count() * sizeof(void*);
+  for (const auto& [id, state] : txns_) {
+    bytes += sizeof(id) + sizeof(state) + 2 * sizeof(void*);
+    bytes += state.leader0.capacity();
+    bytes += state.cohort.capacity() * sizeof(std::string);
+    for (const std::string& n : state.cohort) bytes += n.capacity();
+    bytes += state.accepted.capacity() * sizeof(AcceptorInstance);
+    for (const AcceptorInstance& a : state.accepted) bytes += a.name.capacity();
+  }
+  return bytes;
 }
 
 void PaxosAcceptor::EncodeSnapshot(uint64_t txn, std::string* out) const {
@@ -71,10 +94,7 @@ void PaxosAcceptor::EncodeSnapshot(uint64_t txn, std::string* out) const {
 Status PaxosAcceptor::RestoreSnapshot(uint64_t txn, std::string_view body) {
   Decoder dec(body);
   AcceptorTxn state;
-  uint64_t v = 0;
-  TPC_RETURN_IF_ERROR(dec.GetVarint(&v));
-  if (v > UINT32_MAX) return Status::Corruption("acceptor ballot overflow");
-  state.promised = static_cast<uint32_t>(v);
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&state.promised));
   TPC_RETURN_IF_ERROR(dec.GetString(&state.leader0));
   uint64_t n = 0;
   TPC_RETURN_IF_ERROR(dec.GetVarint(&n));
@@ -89,9 +109,7 @@ Status PaxosAcceptor::RestoreSnapshot(uint64_t txn, std::string_view body) {
   for (uint64_t i = 0; i < n; ++i) {
     AcceptorInstance a;
     TPC_RETURN_IF_ERROR(dec.GetString(&a.name));
-    TPC_RETURN_IF_ERROR(dec.GetVarint(&v));
-    if (v > UINT32_MAX) return Status::Corruption("acceptor ballot overflow");
-    a.ballot = static_cast<uint32_t>(v);
+    TPC_RETURN_IF_ERROR(dec.GetVarint(&a.ballot));
     uint8_t prepared = 0;
     TPC_RETURN_IF_ERROR(dec.GetU8(&prepared));
     if (prepared > 1) return Status::Corruption("bad acceptor value");
@@ -99,6 +117,13 @@ Status PaxosAcceptor::RestoreSnapshot(uint64_t txn, std::string_view body) {
     state.accepted.push_back(std::move(a));
   }
   if (!dec.empty()) return Status::Corruption("trailing acceptor bytes");
+  if (state.promised == 0 && state.accepted.empty() && state.cohort.empty() &&
+      state.leader0.empty()) {
+    // An empty snapshot is the END tombstone: last-record-wins replay must
+    // end with the entry reclaimed, not resurrected as empty state.
+    txns_.erase(txn);
+    return Status::OK();
+  }
   txns_[txn] = std::move(state);
   return Status::OK();
 }

@@ -36,13 +36,13 @@ namespace tpc::tm {
 /// One instance's accepted state at this acceptor.
 struct AcceptorInstance {
   std::string name;       ///< the participant whose vote this instance is
-  uint32_t ballot = 0;    ///< ballot the value was accepted at
+  uint64_t ballot = 0;    ///< ballot the value was accepted at
   bool prepared = false;  ///< accepted value: Prepared (true) or Aborted
 };
 
 /// All consensus state one acceptor holds for one transaction.
 struct AcceptorTxn {
-  uint32_t promised = 0;  ///< highest ballot promised or accepted
+  uint64_t promised = 0;  ///< highest ballot promised or accepted
   std::vector<AcceptorInstance> accepted;
   /// Instance set, learned from 2a traffic — a takeover leader that knows
   /// nothing recovers the cohort from any acceptor's promise.
@@ -58,12 +58,12 @@ class PaxosAcceptor {
   /// Phase 1a: grants when `ballot` >= the transaction's promised ballot
   /// (idempotent re-grant for the same leader), raising the promise.
   /// Returns false — a nack — when a higher ballot was already promised.
-  bool Promise(uint64_t txn, uint32_t ballot);
+  bool Promise(uint64_t txn, uint64_t ballot);
 
   /// Phase 2a: accepts when `ballot` >= promised, recording (ballot, value)
   /// for the instance and merging the cohort/ballot-0-leader metadata.
   /// Returns false when a higher ballot was promised (stale proposer).
-  bool Accept(uint64_t txn, std::string_view instance, uint32_t ballot,
+  bool Accept(uint64_t txn, std::string_view instance, uint64_t ballot,
               bool prepared, const std::vector<std::string>& cohort,
               std::string_view leader);
 
@@ -71,7 +71,18 @@ class PaxosAcceptor {
   const AcceptorTxn* Find(uint64_t txn) const;
 
   /// promised ballot, 0 when the transaction is unknown.
-  uint32_t Promised(uint64_t txn) const;
+  uint64_t Promised(uint64_t txn) const;
+
+  /// True when every cohort member's instance holds an accepted value —
+  /// the point where an acceptor can answer the whole transaction with one
+  /// bundled 2b (and one covering force) instead of per-instance replies.
+  bool HasAllInstances(uint64_t txn) const;
+
+  /// Reclaims one transaction's state (END-driven garbage collection once
+  /// the decision is stable at every cohort member). Returns true when
+  /// state existed. Pair with an empty-snapshot tombstone so recovery's
+  /// last-record-wins replay does not resurrect the entry.
+  bool Erase(uint64_t txn) { return txns_.erase(txn) > 0; }
 
   /// True when `count` voters out of `acceptors` form a majority.
   static bool IsMajority(size_t count, size_t acceptors) {
@@ -89,6 +100,10 @@ class PaxosAcceptor {
   void Clear() { txns_.clear(); }
 
   size_t txn_count() const { return txns_.size(); }
+
+  /// Heap bytes held for live transactions (cluster memory budgets; the
+  /// bounded-memory torture assertions watch this through the TM).
+  uint64_t ApproxBytes() const;
 
  private:
   std::unordered_map<uint64_t, AcceptorTxn> txns_;

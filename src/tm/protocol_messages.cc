@@ -21,6 +21,9 @@ std::string_view PduTypeToString(PduType type) {
     case PduType::kPaxosQuery: return "PX_QUERY";
     case PduType::kPaxosPromise: return "PX_PROMISE";
     case PduType::kPaxosTakeover: return "PX_TAKEOVER";
+    case PduType::kPaxosAcceptBundle: return "PX_ACCEPT_BUNDLE";
+    case PduType::kPaxosAcceptedBundle: return "PX_ACCEPTED_BUNDLE";
+    case PduType::kPaxosEnd: return "PX_END";
   }
   return "?";
 }
@@ -49,7 +52,7 @@ Status DecodeFrame(std::string_view* rest, Pdu* pdu, std::string_view* data) {
   Decoder dec(*rest);
   uint8_t type = 0;
   TPC_RETURN_IF_ERROR(dec.GetU8(&type));
-  if (type < 1 || type > static_cast<uint8_t>(PduType::kPaxosTakeover))
+  if (type < 1 || type > static_cast<uint8_t>(PduType::kPaxosEnd))
     return Status::Corruption("bad pdu type");
   pdu->type = static_cast<PduType>(type);
   TPC_RETURN_IF_ERROR(dec.GetVarint(&pdu->txn));
@@ -160,13 +163,8 @@ void EncodePaxosBody(const PaxosBody& body, std::string* out) {
 
 Status DecodePaxosBody(std::string_view data, PaxosBody* out) {
   Decoder dec(data);
-  uint64_t v = 0;
-  TPC_RETURN_IF_ERROR(dec.GetVarint(&v));
-  if (v > UINT32_MAX) return Status::Corruption("paxos ballot overflow");
-  out->ballot = static_cast<uint32_t>(v);
-  TPC_RETURN_IF_ERROR(dec.GetVarint(&v));
-  if (v > UINT32_MAX) return Status::Corruption("paxos ballot overflow");
-  out->promised = static_cast<uint32_t>(v);
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&out->ballot));
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&out->promised));
   uint8_t flags = 0;
   TPC_RETURN_IF_ERROR(dec.GetU8(&flags));
   if (flags > 3) return Status::Corruption("bad paxos flags");
@@ -183,15 +181,54 @@ Status DecodePaxosBody(std::string_view data, PaxosBody* out) {
     if (i >= out->accepted.size()) out->accepted.emplace_back();
     PaxosAccepted& a = out->accepted[i];
     TPC_RETURN_IF_ERROR(GetName(&dec, &a.instance));
-    TPC_RETURN_IF_ERROR(dec.GetVarint(&v));
-    if (v > UINT32_MAX) return Status::Corruption("paxos ballot overflow");
-    a.ballot = static_cast<uint32_t>(v);
+    TPC_RETURN_IF_ERROR(dec.GetVarint(&a.ballot));
     uint8_t prepared = 0;
     TPC_RETURN_IF_ERROR(dec.GetU8(&prepared));
     if (prepared > 1) return Status::Corruption("bad paxos accepted value");
     a.prepared = prepared != 0;
   }
   if (!dec.empty()) return Status::Corruption("trailing paxos body bytes");
+  return Status::OK();
+}
+
+void EncodePaxosBundle(const PaxosBody& body, std::string* out) {
+  AppendVarint(*out, body.ballot);
+  AppendLengthPrefixed(*out, body.leader);
+  AppendVarint(*out, body.cohort.size());
+  for (const std::string& n : body.cohort) AppendLengthPrefixed(*out, n);
+  AppendVarint(*out, body.acceptors.size());
+  for (const std::string& n : body.acceptors) AppendLengthPrefixed(*out, n);
+  AppendVarint(*out, body.accepted.size());
+  for (const PaxosAccepted& a : body.accepted) {
+    AppendLengthPrefixed(*out, a.instance);
+    AppendU8(*out, a.prepared ? 1 : 0);
+  }
+}
+
+Status DecodePaxosBundle(std::string_view data, PaxosBody* out) {
+  Decoder dec(data);
+  TPC_RETURN_IF_ERROR(dec.GetVarint(&out->ballot));
+  out->promised = 0;
+  out->granted = false;
+  out->prepared = false;
+  out->instance.clear();
+  TPC_RETURN_IF_ERROR(GetName(&dec, &out->leader));
+  TPC_RETURN_IF_ERROR(DecodeNameList(&dec, &out->cohort));
+  TPC_RETURN_IF_ERROR(DecodeNameList(&dec, &out->acceptors));
+  uint64_t n = 0;
+  TPC_RETURN_IF_ERROR(GetBoundedCount(&dec, &n));
+  if (out->accepted.size() > n) out->accepted.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i >= out->accepted.size()) out->accepted.emplace_back();
+    PaxosAccepted& a = out->accepted[i];
+    TPC_RETURN_IF_ERROR(GetName(&dec, &a.instance));
+    a.ballot = out->ballot;  // entries share the bundle ballot
+    uint8_t prepared = 0;
+    TPC_RETURN_IF_ERROR(dec.GetU8(&prepared));
+    if (prepared > 1) return Status::Corruption("bad paxos bundle value");
+    a.prepared = prepared != 0;
+  }
+  if (!dec.empty()) return Status::Corruption("trailing paxos bundle bytes");
   return Status::OK();
 }
 

@@ -45,15 +45,25 @@ enum class PduType : uint8_t {
   kPaxosQuery,     ///< 1a: takeover leader -> acceptor (promise request)
   kPaxosPromise,   ///< 1b: acceptor -> takeover leader (grant or nack)
   kPaxosTakeover,  ///< stuck participant asks a candidate to lead
+
+  // Bundled paxos traffic (the paper's cost optimization): all of one
+  // transaction's instances ride in a single PDU whose data field holds the
+  // repeated-instance bundle encoding (EncodePaxosBundle).
+  kPaxosAcceptBundle,    ///< 2a bundle: takeover leader -> acceptor
+  kPaxosAcceptedBundle,  ///< 2b bundle: acceptor -> leader, all instances
+  kPaxosEnd,  ///< leader -> acceptor after full resolution: reclaim state
 };
 
 std::string_view PduTypeToString(PduType type);
 
-/// One accepted instance reported in a 1b promise: the participant whose
-/// instance it is, the ballot it was accepted at, and the accepted value.
+/// One accepted instance reported in a 1b promise or carried in a 2a/2b
+/// bundle: the participant whose instance it is, the ballot it was
+/// accepted at, and the accepted value. Ballots are 64-bit end to end so
+/// the takeover ballot arithmetic never wraps back under a promised value
+/// (see TransactionManager::PaxosBallot).
 struct PaxosAccepted {
   std::string instance;
-  uint32_t ballot = 0;
+  uint64_t ballot = 0;
   bool prepared = false;
 };
 
@@ -67,8 +77,8 @@ struct PaxosAccepted {
 ///                   acceptors, leader (ballot-0 leader, if known)
 ///   kPaxosTakeover: cohort, acceptors
 struct PaxosBody {
-  uint32_t ballot = 0;
-  uint32_t promised = 0;  ///< nack: the higher ballot already promised
+  uint64_t ballot = 0;
+  uint64_t promised = 0;  ///< nack: the higher ballot already promised
   bool granted = false;
   bool prepared = false;  ///< the proposed/accepted value of an instance
   std::string instance;   ///< which participant's instance
@@ -88,6 +98,20 @@ void EncodePaxosBody(const PaxosBody& body, std::string* out);
 /// Decodes a paxos body, reusing `out`'s container capacity. Corruption on
 /// truncated or malformed input; implausible list sizes are rejected.
 Status DecodePaxosBody(std::string_view data, PaxosBody* out);
+
+/// Repeated-instance bundle codec (kPaxosAcceptBundle / kPaxosAcceptedBundle
+/// data field). The bundle shares one ballot and leader across all entries:
+/// the header (ballot, leader, cohort, acceptors) is encoded once, followed
+/// by one (instance, prepared) pair per entry from `body.accepted` — entry
+/// ballots are not encoded (they equal `body.ballot`; decode restores them).
+/// A 2b bundle leaves leader/cohort/acceptors empty. Same reuse discipline
+/// as EncodePaxosBody: append-only encode, capacity-reusing decode.
+void EncodePaxosBundle(const PaxosBody& body, std::string* out);
+
+/// Inverse of EncodePaxosBundle. Corruption on truncation at any bundle
+/// boundary, on a malformed entry, and on trailing bytes; list sizes are
+/// bounded. Fields not in the bundle format are cleared on `out`.
+Status DecodePaxosBundle(std::string_view data, PaxosBody* out);
 
 /// Answer carried by kInquiryReply.
 enum class InquiryAnswer : uint8_t {

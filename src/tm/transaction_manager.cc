@@ -1,6 +1,7 @@
 #include "tm/transaction_manager.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <utility>
@@ -1219,7 +1220,8 @@ void TransactionManager::SendVote(Txn& txn) {
     if (IsPaxos(config_.protocol)) {
       // Our vote goes to the acceptors, not the coordinator: re-fan the
       // ballot-0 2a (idempotent at the acceptors) instead of a kVote.
-      SendPaxosVote(txn, /*prepared=*/true, CrashPt::kSubAfterPaxosVoteSend);
+      SendPaxosVote(txn, /*prepared=*/true, CrashPt::kSubAfterPaxosVoteSend,
+                    /*self_accepted=*/false);
       return;
     }
     // Re-vote (duplicate prepare): resend YES without re-logging.
@@ -1246,7 +1248,11 @@ void TransactionManager::SendVote(Txn& txn) {
       // The NO is an Aborted value for our instance at ballot 0; the leader
       // learns it from the acceptors' 2b majority. Locally we are done:
       // abort the subtree and forget — the PA base answers any straggler.
-      SendPaxosVote(txn, /*prepared=*/false, CrashPt::kSubAfterPaxosVoteSend);
+      // The self-accept stays volatile (no force follows): losing it in a
+      // crash is safe, Aborted being the free choice a takeover lands on.
+      const bool self_accepted = PaxosSelfAccept(txn, /*prepared=*/false);
+      SendPaxosVote(txn, /*prepared=*/false, CrashPt::kSubAfterPaxosVoteSend,
+                    self_accepted);
       if (!up_) return;
       Txn* t = FindTxn(id);
       if (t == nullptr) return;
@@ -1322,18 +1328,26 @@ void TransactionManager::SendVote(Txn& txn) {
     TmRecordBody body;
     body.upstream = txn.upstream;
     body.cohort = txn.paxos_cohort;
+    // Co-located acceptor: fold the ballot-0 self-accept snapshot into the
+    // prepared record's force, so vote + accept cost one durable write.
+    const bool self_accepted = PaxosSelfAccept(txn, /*prepared=*/true);
+    if (self_accepted && CrashHere(CrashPt::kSubBeforeVoteAcceptForce))
+      return;
     AppendTmRecord(id, wal::RecordType::kTmPrepared,
                    /*force=*/!ForceDowngraded(), EncodeBody(body),
-                   [this, id] {
+                   [this, id, self_accepted] {
       if (CrashHereOrLegacy(CrashPt::kSubAfterPreparedForce,
                             fi_legacy_prepared_))
+        return;
+      if (self_accepted && CrashHere(CrashPt::kSubAfterVoteAcceptForce))
         return;
       Txn* t = FindTxn(id);
       if (t == nullptr) return;
       t->voted_yes = true;
       t->phase = Phase::kInDoubt;
       t->outcome = Outcome::kInDoubt;
-      SendPaxosVote(*t, /*prepared=*/true, CrashPt::kSubAfterPaxosVoteSend);
+      SendPaxosVote(*t, /*prepared=*/true, CrashPt::kSubAfterPaxosVoteSend,
+                    self_accepted);
       if (!up_) return;
       t = FindTxn(id);
       if (t == nullptr) return;
@@ -2003,15 +2017,22 @@ bool TransactionManager::IsAcceptor() const {
   return false;
 }
 
-uint32_t TransactionManager::PaxosBallot(uint32_t attempt) const {
-  const uint32_t n = static_cast<uint32_t>(config_.acceptors.size());
-  uint32_t rank = n;  // non-acceptor leaders draw from the top residue
-  for (uint32_t i = 0; i < n; ++i) {
+uint64_t TransactionManager::PaxosBallot(uint64_t attempt) const {
+  const uint64_t n = static_cast<uint64_t>(config_.acceptors.size());
+  uint64_t rank = n;  // non-acceptor leaders draw from the top residue
+  for (uint64_t i = 0; i < n; ++i) {
     if (config_.acceptors[i] == name_) {
       rank = i;
       break;
     }
   }
+  // Saturate instead of wrapping: at the cap every leader still draws a
+  // distinct ballot (the rank residue survives), and a capped ballot can
+  // never fall back under an already-promised one — dueling takeovers
+  // plateau at the cap rather than colliding or regressing.
+  const uint64_t cap =
+      (std::numeric_limits<uint64_t>::max() - (n + 1)) / (n + 1);
+  if (attempt > cap) attempt = cap;
   return attempt * (n + 1) + rank + 1;
 }
 
@@ -2036,8 +2057,38 @@ void TransactionManager::SendPaxosPdu(const net::NodeId& peer, PduType type,
   SendPdu(peer, std::move(pdu), paxos_wire_);
 }
 
+void TransactionManager::SendPaxosBundle(const net::NodeId& peer,
+                                         PduType type, uint64_t id,
+                                         const PaxosBody& body) {
+  SessionSlot(peer);
+  paxos_wire_.clear();
+  EncodePaxosBundle(body, &paxos_wire_);
+  Pdu pdu;
+  pdu.type = type;
+  pdu.txn = id;
+  SendPdu(peer, std::move(pdu), paxos_wire_);
+}
+
+bool TransactionManager::PaxosSelfAccept(Txn& txn, bool prepared) {
+  if (!IsAcceptor()) return false;
+  const uint64_t id = txn.id;
+  const net::NodeId leader = txn.has_upstream ? txn.upstream : name_;
+  if (!acceptor_.Accept(id, name_, 0, prepared, txn.paxos_cohort, leader))
+    return false;  // a takeover ballot already outbid our ballot-0 vote
+  // The snapshot is appended NON-forced: the caller's prepared-record force
+  // immediately follows and covers it, so vote + accept cost one durable
+  // write. (A NO voter has no prepared force; its acceptance stays safely
+  // volatile — Aborted is the free choice a takeover lands on anyway.)
+  std::string snap;
+  acceptor_.EncodeSnapshot(id, &snap);
+  AppendTmRecord(id, wal::RecordType::kTmAccept, /*force=*/false,
+                 std::move(snap), nullptr);
+  return true;
+}
+
 void TransactionManager::SendPaxosVote(Txn& txn, bool prepared,
-                                       CrashPt after_send) {
+                                       CrashPt after_send,
+                                       bool self_accepted) {
   const uint64_t id = txn.id;
   txn.paxos_voted_self = true;
   // Stack body: the co-located self-delivery below may reuse paxos_wire_.
@@ -2050,17 +2101,23 @@ void TransactionManager::SendPaxosVote(Txn& txn, bool prepared,
   body.acceptors = config_.acceptors;
   bool sent = false;
   for (const auto& acc : config_.acceptors) {
-    if (acc == name_) continue;  // delivered locally below
+    if (acc == name_) continue;  // the self-accept rode the prepared force
     SendPaxosPdu(acc, PduType::kPaxosAccept, id, body);
     sent = true;
   }
   if (sent && CrashHere(after_send)) return;
-  if (IsAcceptor()) {
-    // The self-accept's force callback can complete an instance — or the
-    // whole transaction — synchronously; nothing may touch `txn` after it.
+  if (!IsAcceptor()) return;
+  if (!self_accepted) {
+    // The combined-force fold did not happen (a takeover outbid ballot 0
+    // before we voted): run the classic accept path, which rechecks the
+    // ballot and forces before any reply. May complete synchronously.
     AcceptorOnAccept(body.leader, id, name_, 0, prepared, body.cohort,
                      body.leader);
+    return;
   }
+  // Our acceptance already rode the prepared force; reply (bundled) once
+  // the whole cohort's instances are in. May decide synchronously.
+  AcceptorMaybeReply(body.leader, id);
 }
 
 void TransactionManager::StartPaxosCommit(Txn& txn) {
@@ -2071,12 +2128,25 @@ void TransactionManager::StartPaxosCommit(Txn& txn) {
   TmRecordBody body;
   body.is_root = true;
   body.cohort = txn.paxos_cohort;
+  const bool self_accepted = PaxosSelfAccept(txn, /*prepared=*/true);
+  if (self_accepted && CrashHere(CrashPt::kRootBeforeVoteAcceptForce)) return;
+  // F = 0 degenerate: we are the only acceptor, so the 2a fan-out
+  // externalizes nothing — every later externalization (a 1b/2b reply's
+  // snapshot force, or our own decision force) covers these buffered
+  // records, and losing them in a crash aborts by presumption exactly as
+  // 2PC would. The vote then costs no force at all, collapsing the
+  // protocol to Presumed-Abort cost.
+  const bool lazy_f0 = config_.acceptors.size() == 1 && IsAcceptor();
   AppendTmRecord(id, wal::RecordType::kTmPrepared,
-                 /*force=*/!ForceDowngraded(), EncodeBody(body), [this, id] {
+                 /*force=*/!ForceDowngraded() && !lazy_f0, EncodeBody(body),
+                 [this, id, self_accepted] {
+    if (self_accepted && CrashHere(CrashPt::kRootAfterVoteAcceptForce))
+      return;
     Txn* t = FindTxn(id);
     if (t == nullptr) return;
     ArmPaxosRetry(*t);
-    SendPaxosVote(*t, /*prepared=*/true, CrashPt::kRootAfterPaxosVoteSend);
+    SendPaxosVote(*t, /*prepared=*/true, CrashPt::kRootAfterPaxosVoteSend,
+                  self_accepted);
   });
 }
 
@@ -2093,7 +2163,13 @@ void TransactionManager::ArmPaxosRetry(Txn& txn) {
     Txn* t = FindTxn(id);
     if (t == nullptr) return;
     t->vote_timer_armed = false;
-    if (t->decided || t->phase != Phase::kPreparing) return;
+    // kPreparing is the live ballot-0 round; kInDoubt is a recovered root
+    // re-driving the consensus as a takeover leader. Both must keep
+    // re-bidding until decided, or a stalled takeover (partition, dueling
+    // leader) would block forever after its first attempt.
+    if (t->decided ||
+        (t->phase != Phase::kPreparing && t->phase != Phase::kInDoubt))
+      return;
     // Some instance is stuck (a crashed participant never voted, or our
     // 2a/2b traffic was lost): run a takeover round at a fresh ballot to
     // finish the consensus — Aborted by default for silent instances.
@@ -2120,8 +2196,9 @@ void TransactionManager::StartPaxosTakeover(Txn& txn) {
     txn.paxos_insts.back().name = member;
   }
   ctx_->trace().Add({rt_->Now(), sim::TraceKind::kState, name_, "", id,
-                     StringPrintf("paxos takeover, ballot %u",
-                                  txn.paxos_ballot)});
+                     StringPrintf("paxos takeover, ballot %llu",
+                                  static_cast<unsigned long long>(
+                                      txn.paxos_ballot))});
   // Tell the other cohort members we are driving, so they back their own
   // takeover timers off instead of dueling ballots.
   {
@@ -2151,7 +2228,7 @@ void TransactionManager::StartPaxosTakeover(Txn& txn) {
 void TransactionManager::SendPaxosProposals(Txn& txn) {
   txn.paxos_phase1 = false;
   const uint64_t id = txn.id;
-  const uint32_t ballot = txn.paxos_ballot;
+  const uint64_t ballot = txn.paxos_ballot;
   // The classic rule: an instance whose value some acceptor reported must
   // be re-proposed at that value; a free instance (no acceptor accepted
   // anything) is proposed Aborted — its participant never voted, and
@@ -2161,32 +2238,28 @@ void TransactionManager::SendPaxosProposals(Txn& txn) {
     inst.done = false;
     inst.value = inst.seen_any ? inst.seen_value : false;
   }
+  // One 2a bundle per acceptor: every instance's proposal rides one PDU,
+  // and the acceptor answers the whole transaction with one covering force
+  // and one bundled 2b (the paper's bundling optimization) instead of a
+  // force and a reply per instance.
   PaxosBody body;
   body.ballot = ballot;
   body.leader = name_;
   body.cohort = txn.paxos_cohort;
   body.acceptors = config_.acceptors;
-  for (const auto& inst : txn.paxos_insts) {
-    body.instance = inst.name;
-    body.prepared = inst.value;
-    for (const auto& acc : config_.acceptors) {
-      if (acc == name_) continue;
-      SendPaxosPdu(acc, PduType::kPaxosAccept, id, body);
-    }
+  for (const auto& inst : txn.paxos_insts)
+    body.accepted.push_back({inst.name, ballot, inst.value});
+  for (const auto& acc : config_.acceptors) {
+    if (acc == name_) continue;
+    SendPaxosBundle(acc, PduType::kPaxosAcceptBundle, id, body);
   }
   if (CrashHere(CrashPt::kTakeoverAfterProposalSend)) return;
   if (IsAcceptor()) {
-    // Copy what the loop needs: each self-accept's force callback can
+    // Copy what self-delivery needs: the bundle's force callback can
     // complete instances and even decide + forget the transaction.
-    std::vector<std::pair<net::NodeId, bool>> mine;
-    mine.reserve(txn.paxos_insts.size());
-    for (const auto& inst : txn.paxos_insts)
-      mine.emplace_back(inst.name, inst.value);
+    const std::vector<PaxosAccepted> mine = std::move(body.accepted);
     const std::vector<std::string> cohort = txn.paxos_cohort;
-    for (const auto& [inst_name, value] : mine) {
-      AcceptorOnAccept(name_, id, inst_name, ballot, value, cohort, "");
-      if (!up_) return;
-    }
+    AcceptorOnAcceptBundle(name_, id, ballot, mine, cohort);
   }
 }
 
@@ -2229,11 +2302,24 @@ void TransactionManager::DecidePaxos(Txn& txn, bool commit) {
 
 void TransactionManager::AcceptorOnAccept(
     const net::NodeId& leader, uint64_t id, const net::NodeId& instance,
-    uint32_t ballot, bool prepared, const std::vector<std::string>& cohort,
+    uint64_t ballot, bool prepared, const std::vector<std::string>& cohort,
     const net::NodeId& leader0) {
   if (!IsAcceptor()) return;  // stray traffic
   if (!acceptor_.Accept(id, instance, ballot, prepared, cohort, leader0))
     return;  // promised a higher ballot: the proposer is stale
+  if (ballot == 0) {
+    // Ballot-0 votes arrive one per participant. Defer the reply until the
+    // whole cohort's instances are in, so the transaction costs this
+    // acceptor ONE covering force and ONE bundled 2b instead of one of
+    // each per instance (the paper's bundling optimization). Deferral is
+    // liveness-safe: the leader cannot decide without every instance
+    // anyway, and a lost vote is redriven by the takeover machinery.
+    AcceptorMaybeReply(leader, id);
+    return;
+  }
+  // A singleton 2a at a takeover ballot (wire compatibility; live takeover
+  // leaders now send bundles): classic immediate path — force, then the
+  // per-instance 2b.
   if (CrashHere(CrashPt::kAcceptorBeforeAcceptForce)) return;
   // The acceptor's word must survive its crash: force the snapshot before
   // the 2b leaves. Last-record-wins on recovery.
@@ -2256,13 +2342,131 @@ void TransactionManager::AcceptorOnAccept(
   });
 }
 
+void TransactionManager::AcceptorMaybeReply(const net::NodeId& fallback_leader,
+                                            uint64_t id) {
+  const AcceptorTxn* state = acceptor_.Find(id);
+  if (state == nullptr) return;
+  if (!acceptor_.HasAllInstances(id)) return;  // defer; more votes coming
+  const net::NodeId leader =
+      state->leader0.empty() ? fallback_leader : state->leader0;
+  if (leader == name_) {
+    // Externalization rule: we are the ballot-0 leader, so acceptance and
+    // observation live on one node — the decision record's force is the
+    // durability barrier, and the snapshot rides non-forced under it. A
+    // crash loses the acceptances and their observation together.
+    std::string snap;
+    acceptor_.EncodeSnapshot(id, &snap);
+    AppendTmRecord(id, wal::RecordType::kTmAccept, /*force=*/false,
+                   std::move(snap), nullptr);
+    // Copy the entries out: LeaderOnAccepted can decide the transaction
+    // and reclaim the acceptor state under the iteration.
+    paxos_entries_.clear();
+    for (const auto& acc : state->accepted)
+      paxos_entries_.push_back({acc.name, acc.ballot, acc.prepared});
+    for (const PaxosAccepted& e : paxos_entries_) {
+      LeaderOnAccepted(id, e.instance, e.ballot, e.prepared);
+      if (!up_) return;
+    }
+    return;
+  }
+  if (CrashHere(CrashPt::kAcceptorBeforeBundleForce)) return;
+  std::string snap;
+  acceptor_.EncodeSnapshot(id, &snap);
+  AppendTmRecord(id, wal::RecordType::kTmAccept, /*force=*/true,
+                 std::move(snap), [this, id, leader] {
+    if (CrashHere(CrashPt::kAcceptorAfterBundleForce)) return;
+    const AcceptorTxn* state = acceptor_.Find(id);
+    // promised != 0 means a takeover outbid the ballot-0 round while the
+    // force was in flight: entries may now hold the new leader's values,
+    // and a ballot-0 bundle misreporting them could let the old leader
+    // count a cross-ballot majority. The new leader's own bundle reply
+    // supersedes ours; stay silent.
+    if (state == nullptr || state->promised != 0) return;
+    PaxosBody reply;  // bundled 2b: every instance in one PDU
+    reply.ballot = 0;
+    reply.accepted.clear();
+    for (const auto& acc : state->accepted)
+      reply.accepted.push_back({acc.name, acc.ballot, acc.prepared});
+    SendPaxosBundle(leader, PduType::kPaxosAcceptedBundle, id, reply);
+    CrashHere(CrashPt::kAcceptorAfterBundleSend);
+  });
+}
+
+void TransactionManager::AcceptorOnAcceptBundle(
+    const net::NodeId& leader, uint64_t id, uint64_t ballot,
+    const std::vector<PaxosAccepted>& entries,
+    const std::vector<std::string>& cohort) {
+  if (!IsAcceptor() || entries.empty()) return;
+  bool any = false;
+  for (const PaxosAccepted& e : entries)
+    any |= acceptor_.Accept(id, e.instance, ballot, e.prepared, cohort, "");
+  if (!any) return;  // a higher ballot was promised: the proposer is stale
+  if (CrashHere(CrashPt::kAcceptorBeforeBundleForce)) return;
+  // One covering force for every instance of the transaction, then one
+  // bundled 2b to the proposing leader.
+  std::string snap;
+  acceptor_.EncodeSnapshot(id, &snap);
+  AppendTmRecord(id, wal::RecordType::kTmAccept, /*force=*/true,
+                 std::move(snap), [this, id, leader, ballot] {
+    if (CrashHere(CrashPt::kAcceptorAfterBundleForce)) return;
+    const AcceptorTxn* state = acceptor_.Find(id);
+    // Outbid while the force was in flight: the higher-ballot leader's
+    // reply supersedes ours (see the ballot-0 bundle path).
+    if (state == nullptr || state->promised != ballot) return;
+    if (leader == name_) {
+      paxos_entries_.clear();
+      for (const auto& acc : state->accepted)
+        if (acc.ballot == ballot)
+          paxos_entries_.push_back({acc.name, acc.ballot, acc.prepared});
+      for (const PaxosAccepted& e : paxos_entries_) {
+        LeaderOnAccepted(id, e.instance, ballot, e.prepared);
+        if (!up_) return;
+      }
+      return;
+    }
+    PaxosBody reply;
+    reply.ballot = ballot;
+    for (const auto& acc : state->accepted)
+      if (acc.ballot == ballot)
+        reply.accepted.push_back({acc.name, acc.ballot, acc.prepared});
+    SendPaxosBundle(leader, PduType::kPaxosAcceptedBundle, id, reply);
+    CrashHere(CrashPt::kAcceptorAfterBundleSend);
+  });
+}
+
+void TransactionManager::AcceptorReclaim(uint64_t id) {
+  if (!acceptor_.Erase(id)) return;
+  // Tombstone: an empty snapshot — last-record-wins replay then ends with
+  // the entry reclaimed instead of resurrected. Non-forced: losing it in a
+  // crash resurrects a stale entry (bounded memory, not correctness).
+  std::string snap;
+  acceptor_.EncodeSnapshot(id, &snap);
+  AppendTmRecord(id, wal::RecordType::kTmAccept, /*force=*/false,
+                 std::move(snap), nullptr);
+}
+
+void TransactionManager::PaxosBroadcastEnd(Txn& txn) {
+  const uint64_t id = txn.id;
+  AcceptorReclaim(id);
+  // Buffered, not sent: kPaxosEnd rides the session outbox and piggybacks
+  // on the next message to each acceptor (zero extra flows) — reclamation
+  // is a hint, never a protocol step.
+  for (const auto& acc : config_.acceptors) {
+    if (acc == name_) continue;
+    Pdu pdu;
+    pdu.type = PduType::kPaxosEnd;
+    pdu.txn = id;
+    BufferPdu(acc, std::move(pdu));
+  }
+}
+
 void TransactionManager::AcceptorOnQuery(const net::NodeId& leader,
-                                         uint64_t id, uint32_t ballot) {
+                                         uint64_t id, uint64_t ballot) {
   if (!IsAcceptor()) return;
   if (!acceptor_.Promise(id, ballot)) {
     // Nack: tell the stale leader which ballot outbid it (no durable
     // change happened, so no force).
-    const uint32_t promised = acceptor_.Promised(id);
+    const uint64_t promised = acceptor_.Promised(id);
     if (leader == name_) {
       Txn* t = LeaderForPromise(id, ballot);
       if (t != nullptr) LeaderPromiseNack(*t, promised);
@@ -2309,7 +2513,7 @@ void TransactionManager::AcceptorOnQuery(const net::NodeId& leader,
 
 void TransactionManager::LeaderOnAccepted(uint64_t id,
                                           std::string_view instance,
-                                          uint32_t ballot, bool prepared) {
+                                          uint64_t ballot, bool prepared) {
   Txn* txn = FindTxn(id);
   if (txn == nullptr || !txn->paxos_leader || txn->decided) return;
   if (txn->paxos_phase1) return;            // still collecting promises
@@ -2325,7 +2529,7 @@ void TransactionManager::LeaderOnAccepted(uint64_t id,
 }
 
 TransactionManager::Txn* TransactionManager::LeaderForPromise(
-    uint64_t id, uint32_t ballot) {
+    uint64_t id, uint64_t ballot) {
   Txn* txn = FindTxn(id);
   if (txn == nullptr || !txn->paxos_leader || !txn->paxos_phase1) return nullptr;
   if (txn->decided || txn->paxos_ballot != ballot) return nullptr;
@@ -2334,7 +2538,7 @@ TransactionManager::Txn* TransactionManager::LeaderForPromise(
 
 void TransactionManager::LeaderMergeAccepted(Txn& txn,
                                              std::string_view instance,
-                                             uint32_t ballot, bool prepared) {
+                                             uint64_t ballot, bool prepared) {
   Txn::PaxosInst* inst = FindInst(txn, instance);
   if (inst == nullptr) {
     // An instance we did not know about (our cohort view was thinner than
@@ -2359,12 +2563,14 @@ void TransactionManager::LeaderPromiseGranted(Txn& txn) {
   SendPaxosProposals(txn);
 }
 
-void TransactionManager::LeaderPromiseNack(Txn& txn, uint32_t promised) {
+void TransactionManager::LeaderPromiseNack(Txn& txn, uint64_t promised) {
   // A higher ballot is active (another leader is driving). Stop this round
   // and let the retry timer re-run the takeover with a ballot above the
-  // one that outbid us — immediate re-bidding would duel.
-  const uint32_t n = static_cast<uint32_t>(config_.acceptors.size()) + 1;
-  const uint32_t attempt = promised / n + 1;
+  // one that outbid us — immediate re-bidding would duel. `promised` is
+  // wire data: the division keeps the derived attempt in range (PaxosBallot
+  // saturates it again anyway), so a hostile value cannot wrap us to 0.
+  const uint64_t n = static_cast<uint64_t>(config_.acceptors.size()) + 1;
+  const uint64_t attempt = promised / n + 1;
   if (attempt > txn.takeover_attempt) txn.takeover_attempt = attempt;
   txn.paxos_phase1 = false;
 }
@@ -2377,6 +2583,35 @@ void TransactionManager::OnPaxosAcceptPdu(const net::NodeId& from,
       paxos_in_.leader.empty() ? from : paxos_in_.leader;
   AcceptorOnAccept(leader, pdu.txn, paxos_in_.instance, paxos_in_.ballot,
                    paxos_in_.prepared, paxos_in_.cohort, leader);
+}
+
+void TransactionManager::OnPaxosAcceptBundlePdu(const net::NodeId& from,
+                                                const Pdu& pdu,
+                                                std::string_view data) {
+  if (!DecodePaxosBundle(data, &paxos_in_).ok()) return;  // drop malformed
+  const net::NodeId& leader =
+      paxos_in_.leader.empty() ? from : paxos_in_.leader;
+  AcceptorOnAcceptBundle(leader, pdu.txn, paxos_in_.ballot,
+                         paxos_in_.accepted, paxos_in_.cohort);
+}
+
+void TransactionManager::OnPaxosAcceptedBundlePdu(const Pdu& pdu,
+                                                  std::string_view data) {
+  if (!DecodePaxosBundle(data, &paxos_in_).ok()) return;
+  // Copy out of the reused decode scratch: completing an instance can
+  // decide the transaction and drive sends that re-enter the codec.
+  paxos_entries_.assign(paxos_in_.accepted.begin(), paxos_in_.accepted.end());
+  const uint64_t ballot = paxos_in_.ballot;
+  for (const PaxosAccepted& e : paxos_entries_) {
+    LeaderOnAccepted(pdu.txn, e.instance, ballot, e.prepared);
+    if (!up_) return;
+  }
+}
+
+void TransactionManager::OnPaxosEndPdu(const Pdu& pdu) {
+  // The decision owner finished resolving everywhere: our acceptor state
+  // for this transaction can never be read by a takeover again.
+  AcceptorReclaim(pdu.txn);
 }
 
 void TransactionManager::OnPaxosAcceptedPdu(const Pdu& pdu,
@@ -2474,6 +2709,19 @@ void TransactionManager::CancelTimers(Txn& txn) {
 
 void TransactionManager::Forget(Txn& txn) {
   CancelTimers(txn);
+  if (IsPaxos(config_.protocol) && txn.decided) {
+    if (!txn.has_upstream) {
+      // The decision owner forgets only once the outcome is stable at every
+      // cohort member (commit: all acks are in; abort: the free choice a
+      // takeover lands on anyway) — acceptor state for this transaction is
+      // dead weight everywhere. Reclaim ours, hint the rest.
+      PaxosBroadcastEnd(txn);
+    } else if (!txn.commit_decision) {
+      // A locally-decided abort (NO voter): our acceptor state can only
+      // re-abort, so reclaim it now; the owner's kPaxosEnd covers peers.
+      AcceptorReclaim(txn.id);
+    }
+  }
   TxnView view;
   view.outcome = txn.outcome;
   const bool mismatch = (txn.commit_decision && txn.heur_abort) ||
@@ -2613,6 +2861,15 @@ void TransactionManager::DispatchPdu(const net::NodeId& from, const Pdu& pdu,
       break;
     case PduType::kPaxosTakeover:
       OnPaxosTakeoverPdu(from, pdu, data);
+      break;
+    case PduType::kPaxosAcceptBundle:
+      OnPaxosAcceptBundlePdu(from, pdu, data);
+      break;
+    case PduType::kPaxosAcceptedBundle:
+      OnPaxosAcceptedBundlePdu(pdu, data);
+      break;
+    case PduType::kPaxosEnd:
+      OnPaxosEndPdu(pdu);
       break;
   }
 }
@@ -2968,6 +3225,7 @@ size_t TransactionManager::InDoubtCount() const {
 
 uint64_t TransactionManager::ApproxBytes() const {
   uint64_t bytes = txn_meta_.ApproxBytes();
+  bytes += acceptor_.ApproxBytes();
   bytes += sessions_.capacity() * sizeof(Session);
   for (const Session& s : sessions_)
     bytes += s.outbox.capacity() * sizeof(Pdu);

@@ -224,6 +224,11 @@ class TransactionManager : public net::Endpoint {
   /// Number of transactions currently tracked (for checkpoint safety).
   size_t ActiveTxnCount() const { return live_txns_; }
 
+  /// Transactions still held by the co-located paxos acceptor (0 for
+  /// non-acceptors). END-driven reclamation keeps this bounded by the
+  /// in-flight window; tests gate the leak here.
+  size_t AcceptorTxnCount() const { return acceptor_.txn_count(); }
+
   rm::KVResourceManager* rm(size_t index) { return rms_.at(index); }
   size_t rm_count() const { return rms_.size(); }
 
@@ -347,7 +352,7 @@ class TransactionManager : public net::Endpoint {
       bool value = false;   ///< instance outcome: Prepared (true) / Aborted
       uint32_t acks = 0;    ///< 2b count at the current ballot
       // Takeover phase 1: highest-ballot accepted value reported in 1b.
-      uint32_t seen_ballot = 0;
+      uint64_t seen_ballot = 0;
       bool seen_value = false;
       bool seen_any = false;
     };
@@ -358,9 +363,9 @@ class TransactionManager : public net::Endpoint {
     std::vector<net::NodeId> paxos_cohort;
     bool paxos_leader = false;      ///< currently proposing (root or takeover)
     bool paxos_phase1 = false;      ///< collecting 1b promises
-    uint32_t paxos_ballot = 0;      ///< proposal ballot (0 = self-vote round)
+    uint64_t paxos_ballot = 0;      ///< proposal ballot (0 = self-vote round)
     uint32_t paxos_promises = 0;    ///< granted 1b count at paxos_ballot
-    uint32_t takeover_attempt = 0;  ///< generates the next takeover ballot
+    uint64_t takeover_attempt = 0;  ///< generates the next takeover ballot
     bool paxos_voted_self = false;  ///< our ballot-0 2a fan-out happened
 
     // Recovery: RM in-doubt transactions awaiting our outcome.
@@ -501,14 +506,31 @@ class TransactionManager : public net::Endpoint {
   bool IsAcceptor() const;
   /// Ballot for this node's `attempt`-th takeover. Distinct leaders draw
   /// from distinct residues mod (acceptors + 1), so no two leaders ever
-  /// share a ballot; 0 is reserved for the participants' self-votes.
-  uint32_t PaxosBallot(uint32_t attempt) const;
+  /// share a ballot; 0 is reserved for the participants' self-votes. The
+  /// 64-bit arithmetic saturates at a cap where the residues still differ,
+  /// so dueling takeovers can never wrap a ballot back under a promised
+  /// value or collide two leaders on one ballot.
+  uint64_t PaxosBallot(uint64_t attempt) const;
   /// Encodes `body` and sends `type` for txn `id` to `peer`.
   void SendPaxosPdu(const net::NodeId& peer, PduType type, uint64_t id,
                     const PaxosBody& body);
+  /// Same, but with the repeated-instance bundle encoding (kPaxos*Bundle).
+  void SendPaxosBundle(const net::NodeId& peer, PduType type, uint64_t id,
+                       const PaxosBody& body);
   /// Fans the ballot-0 2a for our own instance out to the acceptor set;
   /// callers force the prepared record first. `prepared` is our vote.
-  void SendPaxosVote(Txn& txn, bool prepared, CrashPt after_send);
+  /// `self_accepted` reports whether the co-located ballot-0 self-accept
+  /// already rode that force (PaxosSelfAccept) — if so, the self 2a is
+  /// short-circuited into a direct 2b delivery.
+  void SendPaxosVote(Txn& txn, bool prepared, CrashPt after_send,
+                     bool self_accepted);
+  /// Co-located leader/acceptor piggyback: applies our ballot-0 self-accept
+  /// to the acceptor state machine and appends its snapshot non-forced, so
+  /// the caller's immediately following prepared-record force makes vote
+  /// and accept durable in ONE write (Gray & Lamport's first cost
+  /// optimization). Returns false when this node is not an acceptor or a
+  /// takeover ballot already outbid ballot 0.
+  bool PaxosSelfAccept(Txn& txn, bool prepared);
   /// Root: all local RMs voted YES — force our prepared record (with the
   /// cohort) and enter the consensus with our own ballot-0 instance.
   void StartPaxosCommit(Txn& txn);
@@ -528,23 +550,45 @@ class TransactionManager : public net::Endpoint {
   Txn::PaxosInst* FindInst(Txn& txn, std::string_view name);
 
   // Acceptor ingress (wire handlers and co-located self-delivery share
-  // these). Every granted promise/accept forces a kTmAccept snapshot before
-  // the reply leaves — the acceptor's word must survive its crash.
+  // these). Acceptor state must be durable before it becomes observable
+  // off-node: a snapshot force precedes every 2b/1b reply to a REMOTE
+  // leader. A reply delivered locally to ourself-as-leader rides without
+  // its own force — the decision record's force is the externalization
+  // barrier, so a crash loses the acceptance and its observation together.
   void AcceptorOnAccept(const net::NodeId& leader, uint64_t id,
-                        const net::NodeId& instance, uint32_t ballot,
+                        const net::NodeId& instance, uint64_t ballot,
                         bool prepared, const std::vector<std::string>& cohort,
                         const net::NodeId& leader0);
+  /// Bundled 2a ingress (one PDU, every instance): applies all accepts,
+  /// forces ONE covering snapshot, replies with ONE bundled 2b.
+  void AcceptorOnAcceptBundle(const net::NodeId& leader, uint64_t id,
+                              uint64_t ballot,
+                              const std::vector<PaxosAccepted>& entries,
+                              const std::vector<std::string>& cohort);
+  /// Ballot-0 deferral: once every cohort instance holds a value, force one
+  /// covering snapshot and send the leader one bundled 2b for the whole
+  /// transaction (or deliver locally when we are the leader).
+  void AcceptorMaybeReply(const net::NodeId& leader, uint64_t id);
   void AcceptorOnQuery(const net::NodeId& leader, uint64_t id,
-                       uint32_t ballot);
+                       uint64_t ballot);
+  /// END-driven reclamation: erases the transaction from the acceptor state
+  /// machine and appends an empty-snapshot tombstone (non-forced; it rides
+  /// any later force) so recovery does not resurrect the entry.
+  void AcceptorReclaim(uint64_t id);
+  /// Decision stable at every cohort member (the owner's Forget): reclaim
+  /// our own acceptor state and buffer kPaxosEnd to the other acceptors —
+  /// buffered PDUs piggyback on the next message to each peer, so
+  /// reclamation costs zero extra flows.
+  void PaxosBroadcastEnd(Txn& txn);
 
   // Leader ingress for acceptor replies (wire + local short-circuit).
   void LeaderOnAccepted(uint64_t id, std::string_view instance,
-                        uint32_t ballot, bool prepared);
-  Txn* LeaderForPromise(uint64_t id, uint32_t ballot);
+                        uint64_t ballot, bool prepared);
+  Txn* LeaderForPromise(uint64_t id, uint64_t ballot);
   void LeaderMergeAccepted(Txn& txn, std::string_view instance,
-                           uint32_t ballot, bool prepared);
+                           uint64_t ballot, bool prepared);
   void LeaderPromiseGranted(Txn& txn);
-  void LeaderPromiseNack(Txn& txn, uint32_t promised);
+  void LeaderPromiseNack(Txn& txn, uint64_t promised);
 
   void OnPaxosAcceptPdu(const net::NodeId& from, const Pdu& pdu,
                         std::string_view data);
@@ -554,6 +598,10 @@ class TransactionManager : public net::Endpoint {
   void OnPaxosPromisePdu(const Pdu& pdu, std::string_view data);
   void OnPaxosTakeoverPdu(const net::NodeId& from, const Pdu& pdu,
                           std::string_view data);
+  void OnPaxosAcceptBundlePdu(const net::NodeId& from, const Pdu& pdu,
+                              std::string_view data);
+  void OnPaxosAcceptedBundlePdu(const Pdu& pdu, std::string_view data);
+  void OnPaxosEndPdu(const Pdu& pdu);
 
   // --- shared ---------------------------------------------------------------
   void AbortLocal(Txn& txn);  ///< undo local RMs (pre-prepare abort)
@@ -614,6 +662,10 @@ class TransactionManager : public net::Endpoint {
   std::string paxos_wire_;
   /// Reusable decode target for incoming PaxosBody payloads.
   PaxosBody paxos_in_;
+  /// Reusable entry scratch: bundle paths copy accepted entries here before
+  /// delivering them, because completing an instance can decide the
+  /// transaction and reclaim the acceptor state mid-iteration.
+  std::vector<PaxosAccepted> paxos_entries_;
 
   AppDataHandler on_app_data_;
 };

@@ -493,6 +493,128 @@ TEST(PaxosBodyFuzzTest, MutatedBodiesNeverCrashAndSurvivorsReEncode) {
   }
 }
 
+// --- paxos bundle codec -------------------------------------------------------
+
+// A decoded bundle is normalized: singleton-only fields are cleared and every
+// entry carries the bundle ballot (entry ballots are not on the wire).
+tm::PaxosBody MakeBundle(uint64_t ballot, std::string leader,
+                         std::vector<std::string> cohort,
+                         std::vector<std::string> acceptors,
+                         std::vector<std::pair<std::string, bool>> entries) {
+  tm::PaxosBody body;
+  body.ballot = ballot;
+  body.leader = std::move(leader);
+  body.cohort = std::move(cohort);
+  body.acceptors = std::move(acceptors);
+  for (auto& [name, prepared] : entries)
+    body.accepted.push_back({name, ballot, prepared});
+  return body;
+}
+
+TEST(PaxosBundleCodecTest, RoundTripsBothDirections) {
+  // A takeover 2a bundle (full header) and an acceptor's 2b bundle (header
+  // fields empty) — the two shapes the protocol actually sends.
+  const tm::PaxosBody two_a = MakeBundle(
+      9, "s1", {"c0", "s1"}, {"c0", "s1", "a2"},
+      {{"c0", true}, {"s1", false}});
+  const tm::PaxosBody two_b =
+      MakeBundle(0, "", {}, {}, {{"c0", true}, {"s1", true}});
+  for (const tm::PaxosBody* body : {&two_a, &two_b}) {
+    std::string wire;
+    tm::EncodePaxosBundle(*body, &wire);
+    tm::PaxosBody decoded;
+    // Dirty the decode target: decode must fully overwrite or clear every
+    // bundle-relevant field (capacity reuse, not state reuse).
+    decoded.instance = "stale";
+    decoded.promised = 77;
+    decoded.granted = true;
+    decoded.prepared = true;
+    ASSERT_TRUE(tm::DecodePaxosBundle(wire, &decoded).ok());
+    EXPECT_TRUE(BodiesEqual(*body, decoded));
+  }
+}
+
+TEST(PaxosBundleCodecTest, TruncationAtEveryBoundaryIsRejected) {
+  const tm::PaxosBody body = MakeBundle(
+      12, "c0", {"c0", "s1", "s2"}, {"c0", "s1", "a2"},
+      {{"c0", true}, {"s1", false}, {"s2", true}});
+  std::string wire;
+  tm::EncodePaxosBundle(body, &wire);
+  // Counts are declared up front and trailing bytes are rejected, so EVERY
+  // proper prefix — including each header / name / entry boundary — must
+  // fail, and every extension must fail too.
+  tm::PaxosBody scratch;
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        tm::DecodePaxosBundle(std::string_view(wire.data(), len), &scratch)
+            .ok())
+        << "prefix of length " << len << " decoded";
+  }
+  std::string extended = wire;
+  extended.push_back('\0');
+  EXPECT_FALSE(tm::DecodePaxosBundle(extended, &scratch).ok());
+}
+
+TEST(PaxosBundleFuzzTest, MutatedBundlesNeverCrashAndSurvivorsReEncode) {
+  std::mt19937_64 rng(20260810);
+  auto random_name = [&] {
+    return std::string(1 + rng() % 12, static_cast<char>('a' + rng() % 26));
+  };
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 24; ++i) {
+    tm::PaxosBody body;
+    body.ballot = rng();
+    body.leader = random_name();
+    for (uint64_t m = rng() % 5; m > 0; --m)
+      body.cohort.push_back(random_name());
+    for (uint64_t m = rng() % 5; m > 0; --m)
+      body.acceptors.push_back(random_name());
+    for (uint64_t m = rng() % 5; m > 0; --m)
+      body.accepted.push_back({random_name(), body.ballot, rng() % 2 != 0});
+
+    std::string wire;
+    tm::EncodePaxosBundle(body, &wire);
+    tm::PaxosBody decoded;
+    ASSERT_TRUE(tm::DecodePaxosBundle(wire, &decoded).ok());
+    EXPECT_TRUE(BodiesEqual(body, decoded));
+    corpus.push_back(std::move(wire));
+  }
+
+  // >= 1.5k mutations (truncations, bit flips, truncate+extend): decode must
+  // reject or succeed cleanly — never crash or overread — and any survivor
+  // must re-encode to bytes that decode back to an equal bundle.
+  tm::PaxosBody scratch;
+  std::string rewire;
+  for (int round = 0; round < 1500; ++round) {
+    std::string wire = corpus[rng() % corpus.size()];
+    switch (round % 3) {
+      case 0:
+        wire.resize(rng() % (wire.size() + 1));
+        break;
+      case 1:
+        if (!wire.empty()) {
+          const size_t pos = rng() % wire.size();
+          wire[pos] = static_cast<char>(static_cast<uint8_t>(wire[pos]) ^
+                                        (1 + rng() % 255));
+        }
+        break;
+      case 2: {
+        wire.resize(rng() % (wire.size() + 1));
+        const size_t extra = rng() % 16;
+        for (size_t i = 0; i < extra; ++i)
+          wire.push_back(static_cast<char>(rng() % 256));
+        break;
+      }
+    }
+    if (!tm::DecodePaxosBundle(wire, &scratch).ok()) continue;
+    rewire.clear();
+    tm::EncodePaxosBundle(scratch, &rewire);
+    tm::PaxosBody again;
+    ASSERT_TRUE(tm::DecodePaxosBundle(rewire, &again).ok());
+    EXPECT_TRUE(BodiesEqual(scratch, again));
+  }
+}
+
 // --- zero-allocation round trip ----------------------------------------------
 
 class PduCountingEndpoint : public net::Endpoint {
@@ -607,6 +729,44 @@ TEST(ZeroAllocationTest, PaxosBodyCodecSteadyStateDoesNotAllocate) {
   EXPECT_TRUE(ok);
   EXPECT_EQ(allocations, 0u)
       << "steady-state paxos encode/decode must not allocate";
+}
+
+// The bundle codec carries every ballot-0 vote round and every takeover
+// round (one 2a bundle per acceptor, one 2b bundle back), so its
+// steady-state cost discipline matches the singleton codec's: encode into a
+// warm scratch, decode with container-capacity reuse, zero allocations.
+TEST(ZeroAllocationTest, PaxosBundleCodecSteadyStateDoesNotAllocate) {
+  tm::PaxosBody body;
+  body.ballot = 11;
+  body.leader = "s1";
+  body.cohort.reserve(3);
+  for (const char* n : {"c0", "s1", "s2"}) body.cohort.push_back(n);
+  body.acceptors.reserve(3);
+  for (const char* n : {"c0", "s1", "a2"}) body.acceptors.push_back(n);
+  body.accepted.reserve(3);
+  body.accepted.push_back({"c0", 11, true});
+  body.accepted.push_back({"s1", 11, true});
+  body.accepted.push_back({"s2", 11, false});
+
+  std::string wire;
+  tm::PaxosBody decoded;
+  bool ok = true;
+  auto cycle = [&] {
+    wire.clear();
+    tm::EncodePaxosBundle(body, &wire);
+    ok = ok && tm::DecodePaxosBundle(wire, &decoded).ok() &&
+         BodiesEqual(body, decoded);
+  };
+
+  for (int i = 0; i < 64; ++i) cycle();
+
+  const uint64_t before = g_alloc_count;
+  for (int i = 0; i < 256; ++i) cycle();
+  const uint64_t allocations = g_alloc_count - before;
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(allocations, 0u)
+      << "steady-state bundle encode/decode must not allocate";
 }
 
 // The runtime seam must be free on the sim path: forwarding clock reads,

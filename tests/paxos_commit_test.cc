@@ -10,6 +10,7 @@
 //      (writes after the early prepare are rejected), and the logless
 //      variant's force count.
 
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -140,6 +141,55 @@ TEST(PaxosAcceptorTest, SnapshotRoundTripsAndRejectsCorruption) {
   EXPECT_FALSE(PaxosAcceptor::IsMajority(2, 5));
 }
 
+TEST(PaxosAcceptorTest, SixtyFourBitBallotsNeverWrap) {
+  // Dueling takeovers drive ballots up monotonically; near the top of the
+  // 64-bit range the discipline must still hold — a promise at a huge
+  // ballot can never be outbid by arithmetic that wrapped around.
+  PaxosAcceptor acc;
+  const uint64_t huge = std::numeric_limits<uint64_t>::max() - 3;
+  EXPECT_TRUE(acc.Promise(1, huge));
+  EXPECT_FALSE(acc.Promise(1, huge - 1));
+  EXPECT_FALSE(acc.Accept(1, "c0", 5, true, {"c0", "s1"}, "c0"));
+  EXPECT_TRUE(acc.Accept(1, "c0", huge, true, {"c0", "s1"}, "c0"));
+  // Snapshots carry the full width.
+  std::string snap;
+  acc.EncodeSnapshot(1, &snap);
+  PaxosAcceptor restored;
+  ASSERT_TRUE(restored.RestoreSnapshot(1, snap).ok());
+  EXPECT_FALSE(restored.Promise(1, huge - 1));
+  EXPECT_TRUE(restored.Promise(1, huge));
+}
+
+TEST(PaxosAcceptorTest, EraseAndTombstoneReclaimState) {
+  PaxosAcceptor acc;
+  EXPECT_TRUE(acc.Accept(7, "c0", 0, true, {"c0", "s1"}, "c0"));
+  EXPECT_FALSE(acc.HasAllInstances(7));  // s1's instance still missing
+  EXPECT_TRUE(acc.Accept(7, "s1", 0, true, {"c0", "s1"}, "c0"));
+  EXPECT_TRUE(acc.HasAllInstances(7));
+  const size_t held = acc.ApproxBytes();
+
+  // Erase reclaims; the empty snapshot is the replayable tombstone.
+  EXPECT_TRUE(acc.Erase(7));
+  EXPECT_FALSE(acc.Erase(7));  // idempotent
+  EXPECT_EQ(acc.txn_count(), 0u);
+  EXPECT_LT(acc.ApproxBytes(), held);
+
+  // Replaying live state then the tombstone (last-record-wins) ends
+  // reclaimed, not resurrected as empty state.
+  PaxosAcceptor replay;
+  EXPECT_TRUE(replay.Accept(7, "c0", 0, true, {"c0", "s1"}, "c0"));
+  std::string live;
+  replay.EncodeSnapshot(7, &live);
+  std::string tomb;
+  PaxosAcceptor empty;
+  empty.EncodeSnapshot(7, &tomb);  // unknown txn encodes the empty snapshot
+  PaxosAcceptor target;
+  ASSERT_TRUE(target.RestoreSnapshot(7, live).ok());
+  EXPECT_EQ(target.txn_count(), 1u);
+  ASSERT_TRUE(target.RestoreSnapshot(7, tomb).ok());
+  EXPECT_EQ(target.txn_count(), 0u);
+}
+
 // --- end-to-end Paxos Commit ------------------------------------------------
 
 struct PaxosCluster {
@@ -266,6 +316,119 @@ TEST(PaxosCommitTest, RecoveryIdempotentUnderDoubleRestart) {
     EXPECT_EQ(f.c.tm("s1").InDoubtCount(), 0u) << "round " << round;
     EXPECT_EQ(f.c.tm("c0").InDoubtCount(), 0u) << "round " << round;
   }
+}
+
+// Satellite (a): two cohort members duel for the takeover across >= 3
+// attempts each and still converge on one decision. The partition stalls
+// both leaders (self-promise only, no majority), so the retry timer keeps
+// raising attempts; healing the partition lets the duel resolve. The 64-bit
+// saturating ballot arithmetic guarantees attempts never collide or wrap.
+TEST(PaxosCommitTest, DuelingTakeoversConvergeOnOneDecision) {
+  PaxosCluster f;
+  f.StartWorkload();
+  f.c.ctx().failures().ArmCrash("c0", "root.after_paxos_vote_send", 1);
+  f.c.StartCommit("c0", f.txn);
+  f.c.RunFor(100 * sim::kMillisecond);  // 2a fan-outs reach the acceptors
+  EXPECT_FALSE(f.c.tm("c0").IsUp());
+
+  // Partition every link, then bring c0 back: both prepared cohort members
+  // (the recovered root and the stuck subordinate) start takeovers that
+  // cannot reach a majority.
+  const char* links[][2] = {{"c0", "s1"}, {"c0", "a2"}, {"s1", "a2"}};
+  for (const auto& l : links) f.c.network().SetLinkDown(l[0], l[1], true);
+  f.c.node("c0").Restart();
+  f.c.RunFor(25 * sim::kSecond);  // several failed attempts on each side
+
+  size_t c0_attempts = 0;
+  size_t s1_attempts = 0;
+  f.c.ctx().trace().ForEach(
+      [](const sim::TraceEntry& e) {
+        return e.detail.find("paxos takeover") != std::string::npos;
+      },
+      [&](const sim::TraceEntry& e) {
+        if (e.node == "c0") ++c0_attempts;
+        if (e.node == "s1") ++s1_attempts;
+      });
+  EXPECT_GE(c0_attempts, 3u) << "root should keep re-bidding";
+  EXPECT_GE(s1_attempts, 3u) << "subordinate should keep re-bidding";
+
+  for (const auto& l : links) f.c.network().SetLinkDown(l[0], l[1], false);
+  f.c.RunFor(30 * sim::kSecond);
+
+  // One decision, converged everywhere: every instance was Prepared before
+  // the crash, so it must be commit.
+  EXPECT_EQ(f.c.tm("c0").View(f.txn).outcome, tm::Outcome::kCommitted);
+  EXPECT_EQ(f.c.tm("s1").View(f.txn).outcome, tm::Outcome::kCommitted);
+  EXPECT_TRUE(f.c.node("c0").rm().Peek("k_c0").ok());
+  EXPECT_TRUE(f.c.node("s1").rm().Peek("k_s1").ok());
+  const harness::TxnAudit audit = f.c.Audit(f.txn);
+  EXPECT_TRUE(audit.consistent);
+  EXPECT_FALSE(audit.any_in_doubt);
+}
+
+// Satellite (c): a bundled 2b that arrives after the leader already decided
+// (slow acceptor; the majority was reached without it) must be dropped
+// idempotently — no second decision fan-out, no state resurrection.
+TEST(PaxosCommitTest, LateAcceptorReplyAfterDecisionIsDropped) {
+  PaxosCluster f;
+  // a2 is two seconds away in each direction: its bundled 2b lands at the
+  // coordinator well after {c0, s1} formed the majority, decided, fanned
+  // out, collected acks, and forgot the transaction.
+  f.c.network().SetLinkLatency("c0", "a2", 2 * sim::kSecond);
+  f.c.network().SetLinkLatency("s1", "a2", 2 * sim::kSecond);
+  f.StartWorkload();
+  const auto count_decisions = [&f] {
+    size_t n = 0;
+    f.c.ctx().trace().ForEach(
+        [](const sim::TraceEntry& e) {
+          return e.kind == sim::TraceKind::kSend && e.node == "c0" &&
+                 e.peer == "s1" &&
+                 e.detail.find("COMMIT") != std::string::npos;
+        },
+        [&n](const sim::TraceEntry&) { ++n; });
+    return n;
+  };
+  const DrivenCommit r = f.c.CommitAndWait("c0", f.txn, 60 * sim::kSecond);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.result.outcome, tm::Outcome::kCommitted);
+  const size_t decisions_at_commit = count_decisions();
+
+  f.c.RunFor(30 * sim::kSecond);  // the stragglers arrive and must be eaten
+
+  EXPECT_EQ(count_decisions(), decisions_at_commit)
+      << "the late 2b re-entered decision fan-out";
+  EXPECT_EQ(f.c.tm("c0").View(f.txn).outcome, tm::Outcome::kCommitted);
+  EXPECT_EQ(f.c.tm("s1").View(f.txn).outcome, tm::Outcome::kCommitted);
+  EXPECT_TRUE(f.c.Audit(f.txn).consistent);
+}
+
+// Satellite (b): END-driven reclamation. A long closed loop of decided
+// transactions must not accumulate acceptor state anywhere — the decision
+// owner reclaims at Forget, cohort acceptors on the piggybacked kPaxosEnd,
+// so at any quiescent point each node holds at most the not-yet-hinted tail
+// (the most recent transaction).
+TEST(PaxosCommitTest, AcceptorStateIsGarbageCollectedAcrossClosedLoop) {
+  PaxosCluster f;
+  size_t a2_bytes_early = 0;
+  for (int i = 0; i < 30; ++i) {
+    f.StartWorkload();
+    const DrivenCommit r = f.c.CommitAndWait("c0", f.txn, 60 * sim::kSecond);
+    ASSERT_TRUE(r.completed);
+    ASSERT_EQ(r.result.outcome, tm::Outcome::kCommitted) << "iteration " << i;
+    // The owner reclaims its own state at Forget; peers lag by at most the
+    // buffered kPaxosEnd, which rides the next transaction's traffic.
+    EXPECT_EQ(f.c.tm("c0").AcceptorTxnCount(), 0u) << "iteration " << i;
+    EXPECT_LE(f.c.tm("s1").AcceptorTxnCount(), 1u) << "iteration " << i;
+    EXPECT_LE(f.c.tm("a2").AcceptorTxnCount(), 1u) << "iteration " << i;
+    if (i == 4) a2_bytes_early = f.c.tm("a2").ApproxBytes();
+  }
+  // Bounded memory on the acceptor-only node: growth across the last 25
+  // decided transactions is per-txn archive metadata only, far below what
+  // 25 leaked AcceptorTxn entries (cohort + instance vectors + strings)
+  // would cost.
+  const size_t a2_bytes_late = f.c.tm("a2").ApproxBytes();
+  EXPECT_LT(a2_bytes_late, a2_bytes_early + 25 * 200)
+      << "acceptor-only node keeps per-txn state after resolution";
 }
 
 // --- one-phase family -------------------------------------------------------

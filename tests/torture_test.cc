@@ -63,7 +63,7 @@ TEST(TortureCampaign, FullCrashPointMatrix) {
   std::set<std::string> smoke_scenarios = {"basic_pair", "pa_pair", "pa_la_ro",
                                            "pn_pair", "pa_gc_pipe",
                                            "pn_gc_wilo", "paxos_flat",
-                                           "onephase_pair"};
+                                           "paxos_f0", "onephase_pair"};
 
   std::set<std::string> fired_points;     // distinct point names that fired
   std::set<std::string> fired_protocols;  // protocol configs they fired under
@@ -213,12 +213,17 @@ TEST(TortureCampaign, PaxosTerminatesWhereBasicBlocks) {
 // cell must terminate (any participant still in doubt after full recovery is
 // an oracle violation for paxos — there is no `blocked` escape hatch).
 TEST(TortureCampaign, PaxosCoordinatorCrashMatrix) {
+  // The co-located/bundled optimization retired the coordinator's singleton
+  // acceptor forces: its ballot-0 self-accept rides the prepared force
+  // (root.*_vote_accept_force) and its local 2b delivery has no force of
+  // its own — the acceptor.*_bundle_* windows now live on s1/a2 (see
+  // PaxosCombinedForceCrashMatrix).
   const char* kPoints[] = {
-      "root.after_prepare_send",      "root.after_paxos_vote_send",
-      "acceptor.before_accept_force", "acceptor.after_accept_force",
-      "acceptor.after_accepted_send", "root.before_commit_force",
-      "root.after_commit_force",      "root.after_decision_send",
-      "takeover.after_query_send",    "takeover.after_proposal_send",
+      "root.after_prepare_send",       "root.after_paxos_vote_send",
+      "root.before_vote_accept_force", "root.after_vote_accept_force",
+      "root.before_commit_force",      "root.after_commit_force",
+      "root.after_decision_send",      "takeover.after_query_send",
+      "takeover.after_proposal_send",
   };
   size_t fired = 0;
   for (const char* point : kPoints) {
@@ -231,6 +236,52 @@ TEST(TortureCampaign, PaxosCoordinatorCrashMatrix) {
     for (const std::string& v : res.violations) ADD_FAILURE() << v;
   }
   EXPECT_GE(fired, 7u) << "most decision-adjacent points should be reachable";
+}
+
+// The optimization-specific crash windows, every cell against the strict
+// paxos oracle (termination, consistency, idempotent recovery):
+//   - between the combined vote+accept force and the ballot-0 2a fan-out
+//     (the window the co-located piggyback created: vote AND acceptance are
+//     durable together, but nobody else has heard either), and
+//   - around a cohort acceptor's covering bundle force / bundled 2b send.
+TEST(TortureCampaign, PaxosCombinedForceCrashMatrix) {
+  const std::pair<const char*, const char*> kCells[] = {
+      {"c0", "root.before_vote_accept_force"},
+      {"c0", "root.after_vote_accept_force"},
+      {"s1", "sub.before_vote_accept_force"},
+      {"s1", "sub.after_vote_accept_force"},
+      {"s1", "acceptor.before_bundle_force"},
+      {"s1", "acceptor.after_bundle_force"},
+      {"s1", "acceptor.after_bundle_send"},
+      {"a2", "acceptor.before_bundle_force"},
+      {"a2", "acceptor.after_bundle_force"},
+      {"a2", "acceptor.after_bundle_send"},
+  };
+  size_t fired = 0;
+  for (const auto& [node, point] : kCells) {
+    TortureConfig cfg = BaseConfig("paxos_flat");
+    cfg.crash_node = node;
+    cfg.crash_point = point;
+    const TortureResult res = RunTortureCell(cfg);
+    if (res.crash_fired) ++fired;
+    EXPECT_FALSE(res.blocked) << cfg.Repro();
+    for (const std::string& v : res.violations) ADD_FAILURE() << v;
+  }
+  EXPECT_GE(fired, 8u) << "the combined-force windows must be reachable";
+
+  // F=0 degenerate: the lone co-located acceptor's crash is a total outage;
+  // termination is still required once it restarts (takeover-on-recovery).
+  for (const char* point :
+       {"root.after_vote_accept_force", "root.before_commit_force",
+        "sub.after_prepared_force"}) {
+    TortureConfig cfg = BaseConfig("paxos_f0");
+    cfg.crash_node = point[0] == 's' ? "s1" : "c0";
+    cfg.crash_point = point;
+    const TortureResult res = RunTortureCell(cfg);
+    EXPECT_TRUE(res.crash_fired) << cfg.Repro();
+    EXPECT_FALSE(res.blocked) << cfg.Repro();
+    for (const std::string& v : res.violations) ADD_FAILURE() << v;
+  }
 }
 
 // Coordinator crash plus a second, distinct acceptor down in the same
